@@ -1,0 +1,153 @@
+// Command tipbench regenerates every table and figure of the paper's
+// evaluation and writes them as aligned-text tables.
+//
+// A full-scale run evaluates all 27 benchmarks with the complete profiler
+// matrix (7 profilers x 5 sampling frequencies, periodic and random) in a
+// single simulation pass per benchmark; on a laptop-class core this takes a
+// few minutes. Use -scale to shrink the workloads for a quick look.
+//
+// Examples:
+//
+//	tipbench                        # everything, full scale
+//	tipbench -scale 300000          # quick pass
+//	tipbench -figures fig10,fig13   # a subset
+//	tipbench -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/experiments"
+)
+
+func tipBenchmarks() []string { return tip.Benchmarks() }
+
+func main() {
+	var (
+		scale   = flag.Uint64("scale", 0, "dynamic-instruction budget per benchmark (0 = full scale)")
+		samples = flag.Uint64("samples", 0, "4 kHz-equivalent sample count (0 = default 32768)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		figures = flag.String("figures", "", "comma-separated subset: fig1,fig7,fig8,fig9,fig10,fig11a,fig11b,fig11c,fig12,fig13,table1,overhead,sampling-overhead,validation")
+		benchs  = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		out     = flag.String("out", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	if *figures != "" {
+		for _, f := range strings.Split(*figures, ",") {
+			want[strings.ToLower(strings.TrimSpace(f))] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	opt := experiments.Options{
+		Seed:          *seed,
+		Scale:         *scale,
+		TargetSamples: *samples,
+	}
+	if *benchs != "" {
+		opt.Benchmarks = strings.Split(*benchs, ",")
+	}
+
+	// Static experiments need no simulation.
+	if sel("table1") {
+		fmt.Fprintln(w, experiments.Table1())
+	}
+	if sel("overhead") {
+		fmt.Fprintln(w, experiments.OverheadTable())
+	}
+	if sel("sampling-overhead") {
+		t, err := experiments.SamplingOverhead(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, t)
+	}
+
+	needSuite := sel("fig1") || sel("fig7") || sel("fig8") || sel("fig9") ||
+		sel("fig10") || sel("fig11a") || sel("fig11b") || sel("fig11c") || sel("validation")
+	if needSuite {
+		start := time.Now()
+		fmt.Fprintf(w, "evaluating suite (%d benchmarks)...\n", len(suiteNames(opt)))
+		evals, err := experiments.EvalSuite(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "suite evaluated in %s\n\n", time.Since(start).Round(time.Second))
+		if sel("fig1") {
+			fmt.Fprintln(w, experiments.Fig01(evals))
+		}
+		if sel("fig7") {
+			fmt.Fprintln(w, experiments.Fig07(evals))
+		}
+		if sel("fig8") {
+			fmt.Fprintln(w, experiments.Fig08(evals))
+		}
+		if sel("fig9") {
+			fmt.Fprintln(w, experiments.Fig09(evals))
+		}
+		if sel("fig10") {
+			fmt.Fprintln(w, experiments.Fig10(evals))
+		}
+		if sel("fig11a") {
+			fmt.Fprintln(w, experiments.Fig11a(evals, nil))
+		}
+		if sel("fig11b") {
+			fmt.Fprintln(w, experiments.Fig11b(evals))
+		}
+		if sel("fig11c") {
+			fmt.Fprintln(w, experiments.Fig11c(evals))
+		}
+		if sel("validation") {
+			fmt.Fprintln(w, experiments.Validation(evals))
+		}
+	}
+
+	if sel("fig12") {
+		t, err := experiments.Fig12(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, t)
+	}
+	if sel("fig13") {
+		r, err := experiments.Fig13(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, r.Table)
+	}
+}
+
+func suiteNames(opt experiments.Options) []string {
+	if opt.Benchmarks != nil {
+		return opt.Benchmarks
+	}
+	return allNames()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tipbench:", err)
+	os.Exit(1)
+}
+
+func allNames() []string {
+	return tipBenchmarks()
+}

@@ -1,0 +1,101 @@
+// Command tipreport post-processes a raw TIP sample file (recorded with
+// `tipsim -record`) against the application binary, rebuilding the profile
+// offline — the role `perf report` plays in the paper's deployment (§3.1).
+//
+// The "binary" is regenerated from the benchmark name and seed (workload
+// generation is deterministic), which stands in for reading symbols and
+// instruction types out of an ELF file.
+//
+// Example:
+//
+//	tipsim -bench imagick -record imagick.tipperf
+//	tipreport -bench imagick -data imagick.tipperf -fn ceil
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/tipprof/tip/internal/perfdata"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "imagick", "benchmark the samples were recorded from")
+		seed  = flag.Uint64("seed", 1, "workload seed used at record time")
+		scale = flag.Uint64("scale", 0, "workload scale used at record time")
+		data  = flag.String("data", "", "raw sample file (required)")
+		top   = flag.Int("top", 10, "functions to print")
+		fn    = flag.String("fn", "", "print the instruction profile of this function")
+		insts = flag.Int("insts", 0, "print the N hottest instructions")
+	)
+	flag.Parse()
+	if *data == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+
+	w, err := workload.LoadScaled(*bench, *seed, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	prof, cats, err := perfdata.Postprocess(perfdata.NewReader(f), w.Prog)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s: %.0f cycles attributed across %d instructions\n",
+		*bench, prof.Attributed(), w.Prog.NumInsts())
+	fmt.Printf("cycle categories: %s\n\n", cats.Stack.String())
+
+	fmt.Println("hottest functions:")
+	for _, r := range prof.TopFunctions(*top, true) {
+		fmt.Printf("  %-24s %6.2f%%\n", r.Name, r.Share*100)
+	}
+
+	if *insts > 0 {
+		fmt.Println("\nhottest instructions:")
+		type row struct {
+			idx int
+			v   float64
+		}
+		var rows []row
+		for i, v := range prof.InstCycles {
+			if v > 0 {
+				rows = append(rows, row{i, v})
+			}
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].v > rows[b].v })
+		total := prof.Attributed()
+		for i, r := range rows {
+			if i >= *insts {
+				break
+			}
+			in := w.Prog.InstByIndex(r.idx)
+			fmt.Printf("  %#8x %-12s %-20s %6.2f%%\n",
+				in.PC, in.Name(), in.Func().Name, r.v/total*100)
+		}
+	}
+
+	if *fn != "" {
+		fmt.Printf("\ninstruction profile of %s:\n", *fn)
+		for _, r := range prof.FunctionInstProfile(*fn) {
+			fmt.Printf("  %-28s %6.2f%%\n", r.Name, r.Share*100)
+		}
+		st := cats.FunctionStack(*fn)
+		fmt.Printf("\n%s cycle categories: %s\n", *fn, st.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tipreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+// Command tipsim runs one benchmark on the simulated BOOM-style core with
+// any set of profilers and prints the resulting profiles, cycle stack, and
+// profile errors against the Oracle reference.
+//
+// Examples:
+//
+//	tipsim -bench imagick -top 8
+//	tipsim -bench imagick -fn ceil
+//	tipsim -bench gcc -profilers NCI,TIP -samples 8192
+//	tipsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/perfdata"
+	"github.com/tipprof/tip/internal/sampling"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "imagick", "benchmark name (see -list)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		profilers = flag.String("profilers", "", "comma-separated profiler subset (default: all)")
+		samples   = flag.Uint64("samples", 4096, "calibrated sample count (4 kHz-equivalent)")
+		random    = flag.Bool("random", false, "random sampling within each interval")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		scale     = flag.Uint64("scale", 0, "approximate dynamic instruction budget (0 = default)")
+		top       = flag.Int("top", 10, "functions to print")
+		fn        = flag.String("fn", "", "print the instruction-level profile of this function")
+		record    = flag.String("record", "", "record raw TIP samples (88 B/sample) to this file; post-process with tipreport")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range tip.Benchmarks() {
+			class, _ := tip.BenchmarkClass(name)
+			fmt.Printf("%-16s %s\n", name, class)
+		}
+		fmt.Printf("%-16s %s\n", "imagick-opt", "Flush (optimized §6 variant)")
+		return
+	}
+
+	kinds, err := parseKinds(*profilers)
+	if err != nil {
+		fatal(err)
+	}
+
+	w, err := workload.LoadScaled(*bench, *seed, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	rc := tip.DefaultRunConfig()
+	rc.TargetSamples = *samples
+	rc.RandomSampling = *random
+	rc.Profilers = kinds
+	rc.WithBreakdown = true
+
+	var recFile *os.File
+	var recWriter *perfdata.Writer
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		recFile = f
+		recWriter = perfdata.NewWriter(f)
+		// The collector needs the concrete interval; calibrate first.
+		stats, err := tip.MeasureStats(w, rc.Core)
+		if err != nil {
+			fatal(err)
+		}
+		interval := stats.Cycles / *samples
+		if interval < 16 {
+			interval = 16
+		}
+		rc.SampleInterval = sampling.NextPrime(interval)
+		rc.ExtraConsumers = append(rc.ExtraConsumers,
+			perfdata.NewCollector(recWriter, sampling.NewPeriodic(rc.SampleInterval), 0, 1, 1))
+	}
+
+	res, err := tip.Run(w, rc)
+	if err != nil {
+		fatal(err)
+	}
+	if recWriter != nil {
+		if recWriter.Err() != nil {
+			fatal(recWriter.Err())
+		}
+		if err := recFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d raw samples (%d bytes) to %s\n",
+			recWriter.Count(), recWriter.Count()*perfdata.RecordBytes, *record)
+	}
+
+	fmt.Printf("benchmark %s: %d cycles, %d instructions, IPC %.2f, sample interval %d cycles\n",
+		w.Name, res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC(), res.SampleInterval)
+	fmt.Printf("mispredicts %d, CSR flushes %d, exceptions %d\n",
+		res.Stats.Mispredicts, res.Stats.CSRFlushes, res.Stats.Exceptions)
+	fmt.Printf("cycle stack: %s  (class %s)\n\n", res.Stack().String(), res.Stack().Class())
+
+	fmt.Println("profile error vs Oracle (instruction / basic-block / function):")
+	for _, k := range orderOf(res) {
+		fmt.Printf("  %-9s %6.2f%%  %6.2f%%  %6.2f%%\n", k.String(),
+			res.Err(k, tip.GranInstruction)*100,
+			res.Err(k, tip.GranBlock)*100,
+			res.Err(k, tip.GranFunction)*100)
+	}
+
+	fmt.Printf("\nhottest functions (Oracle):\n")
+	for _, r := range res.Oracle.Profile.TopFunctions(*top, true) {
+		fmt.Printf("  %-24s %6.2f%%\n", r.Name, r.Share*100)
+	}
+
+	if *fn != "" {
+		fmt.Printf("\ninstruction profile of %s (Oracle / TIP / NCI):\n", *fn)
+		or := res.Oracle.Profile.FunctionInstProfile(*fn)
+		tp := res.Sampled[tip.KindTIP]
+		np := res.Sampled[tip.KindNCI]
+		for i, r := range or {
+			tv, nv := "-", "-"
+			if tp != nil {
+				if rows := tp.Profile.FunctionInstProfile(*fn); i < len(rows) {
+					tv = fmt.Sprintf("%6.2f%%", rows[i].Share*100)
+				}
+			}
+			if np != nil {
+				if rows := np.Profile.FunctionInstProfile(*fn); i < len(rows) {
+					nv = fmt.Sprintf("%6.2f%%", rows[i].Share*100)
+				}
+			}
+			fmt.Printf("  %-28s %6.2f%%  %7s  %7s\n", r.Name, r.Share*100, tv, nv)
+		}
+	}
+}
+
+func parseKinds(s string) ([]tip.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	byName := map[string]tip.Kind{}
+	for _, k := range tip.AllKinds() {
+		byName[strings.ToLower(k.String())] = k
+	}
+	var out []tip.Kind
+	for _, part := range strings.Split(s, ",") {
+		k, ok := byName[strings.ToLower(strings.TrimSpace(part))]
+		if !ok {
+			return nil, fmt.Errorf("unknown profiler %q (known: Software, Dispatch, LCI, NCI, NCI+ILP, TIP-ILP, TIP)", part)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func orderOf(res *tip.Result) []tip.Kind {
+	var out []tip.Kind
+	for _, k := range tip.AllKinds() {
+		if _, ok := res.Sampled[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tipsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module github.com/tipprof/tip
+
+go 1.22

@@ -1,0 +1,293 @@
+package branch
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/xrand"
+)
+
+func trainAndMeasure(t *testing.T, outcomes func(i int) (pc uint64, taken bool), warm, measure int) float64 {
+	t.Helper()
+	tg := NewTage(DefaultTageConfig())
+	for i := 0; i < warm; i++ {
+		pc, taken := outcomes(i)
+		tg.Update(pc, taken)
+	}
+	tg.Lookups, tg.Mispredicts = 0, 0
+	for i := warm; i < warm+measure; i++ {
+		pc, taken := outcomes(i)
+		pred := tg.Predict(pc)
+		tg.Update(pc, taken)
+		_ = pred
+	}
+	return tg.MispredictRate()
+}
+
+func TestTageAlwaysTaken(t *testing.T) {
+	r := trainAndMeasure(t, func(i int) (uint64, bool) { return 0x1000, true }, 100, 1000)
+	if r > 0.001 {
+		t.Fatalf("always-taken mispredict rate %v", r)
+	}
+}
+
+func TestTageAlternating(t *testing.T) {
+	r := trainAndMeasure(t, func(i int) (uint64, bool) { return 0x1000, i%2 == 0 }, 500, 2000)
+	if r > 0.02 {
+		t.Fatalf("alternating pattern mispredict rate %v, want near 0", r)
+	}
+}
+
+func TestTageShortLoop(t *testing.T) {
+	// Loop with trip 5: T T T T N repeating — needs history.
+	r := trainAndMeasure(t, func(i int) (uint64, bool) { return 0x2000, i%5 != 4 }, 1000, 5000)
+	if r > 0.05 {
+		t.Fatalf("trip-5 loop mispredict rate %v, want < 5%%", r)
+	}
+}
+
+func TestTageRandomNearChance(t *testing.T) {
+	rng := xrand.New(1)
+	outcomes := make([]bool, 20000)
+	for i := range outcomes {
+		outcomes[i] = rng.Bool(0.5)
+	}
+	r := trainAndMeasure(t, func(i int) (uint64, bool) { return 0x3000, outcomes[i] }, 2000, 10000)
+	if r < 0.35 || r > 0.65 {
+		t.Fatalf("random branch mispredict rate %v, want near 0.5", r)
+	}
+}
+
+func TestTageBiasedBranch(t *testing.T) {
+	rng := xrand.New(2)
+	outcomes := make([]bool, 30000)
+	for i := range outcomes {
+		outcomes[i] = rng.Bool(0.9)
+	}
+	r := trainAndMeasure(t, func(i int) (uint64, bool) { return 0x4000, outcomes[i] }, 2000, 20000)
+	if r > 0.2 {
+		t.Fatalf("90%%-biased branch mispredict rate %v, want < 0.2", r)
+	}
+}
+
+func TestTageManyBranchesNoInterference(t *testing.T) {
+	// 64 branches, each always-taken or always-not-taken by PC parity.
+	outcome := func(i int) (uint64, bool) {
+		pc := uint64(0x1000 + (i%64)*4)
+		return pc, (i%64)%2 == 0
+	}
+	r := trainAndMeasure(t, outcome, 64*20, 64*100)
+	if r > 0.01 {
+		t.Fatalf("static branches mispredict rate %v", r)
+	}
+}
+
+func TestTageCorrelatedBranches(t *testing.T) {
+	// Branch B is taken iff branch A was taken: global history captures it.
+	state := false
+	rng := xrand.New(3)
+	outcome := func(i int) (uint64, bool) {
+		if i%2 == 0 {
+			state = rng.Bool(0.5)
+			return 0x5000, state
+		}
+		return 0x6000, state
+	}
+	tg := NewTage(DefaultTageConfig())
+	for i := 0; i < 20000; i++ {
+		pc, taken := outcome(i)
+		tg.Update(pc, taken)
+	}
+	tg.Lookups, tg.Mispredicts = 0, 0
+	misB, totB := 0, 0
+	for i := 20000; i < 60000; i++ {
+		pc, taken := outcome(i)
+		pred := tg.Predict(pc)
+		tg.Update(pc, taken)
+		if pc == 0x6000 {
+			totB++
+			if pred != taken {
+				misB++
+			}
+		}
+	}
+	rate := float64(misB) / float64(totB)
+	if rate > 0.10 {
+		t.Fatalf("correlated branch mispredict rate %v, want < 0.10", rate)
+	}
+}
+
+func TestTageReset(t *testing.T) {
+	tg := NewTage(DefaultTageConfig())
+	for i := 0; i < 1000; i++ {
+		tg.Update(0x1000, true)
+	}
+	tg.Reset()
+	if tg.Lookups != 0 || tg.Mispredicts != 0 {
+		t.Fatal("stats survived reset")
+	}
+	// A reset predictor predicts not-taken-ish from zero counters; just
+	// check it functions.
+	tg.Predict(0x1000)
+	tg.Update(0x1000, false)
+}
+
+func TestTageStorageBudget(t *testing.T) {
+	tg := NewTage(DefaultTageConfig())
+	kb := tg.StorageBits() / 8 / 1024
+	if kb < 4 || kb > 56 {
+		t.Fatalf("TAGE storage %d KB implausible for a 28 KB-class predictor", kb)
+	}
+}
+
+func TestTageInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	NewTage(TageConfig{})
+}
+
+func TestBTBHitAfterInsert(t *testing.T) {
+	b := NewBTB(512, 4)
+	if _, ok := b.Lookup(0x1000); ok {
+		t.Fatal("empty BTB hit")
+	}
+	b.Insert(0x1000, 0x2000)
+	tgt, ok := b.Lookup(0x1000)
+	if !ok || tgt != 0x2000 {
+		t.Fatalf("lookup = %#x, %v", tgt, ok)
+	}
+}
+
+func TestBTBUpdateExisting(t *testing.T) {
+	b := NewBTB(512, 4)
+	b.Insert(0x1000, 0x2000)
+	b.Insert(0x1000, 0x3000)
+	tgt, ok := b.Lookup(0x1000)
+	if !ok || tgt != 0x3000 {
+		t.Fatalf("lookup after update = %#x, %v", tgt, ok)
+	}
+}
+
+func TestBTBEvictionLRU(t *testing.T) {
+	b := NewBTB(4, 4) // single set
+	for i := 0; i < 4; i++ {
+		b.Insert(uint64(0x1000+i*8), uint64(i))
+	}
+	b.Lookup(0x1000) // make first entry MRU
+	b.Insert(0x9000, 99)
+	if _, ok := b.Lookup(0x1000); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	live := 0
+	for i := 0; i < 4; i++ {
+		if _, ok := b.Lookup(uint64(0x1000 + i*8)); ok {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Fatalf("%d original entries live, want 3", live)
+	}
+}
+
+func TestBTBGeometryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBTB(0, 1) },
+		func() { NewBTB(512, 0) },
+		func() { NewBTB(511, 4) },
+		func() { NewBTB(24, 4) }, // 6 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad BTB geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRASBalancedCalls(t *testing.T) {
+	r := NewRAS(16)
+	for depth := 0; depth < 10; depth++ {
+		r.Push(uint64(0x1000 + depth*4))
+	}
+	for depth := 9; depth >= 0; depth-- {
+		pred, ok := r.Pop(uint64(0x1000 + depth*4))
+		if !ok {
+			t.Fatalf("balanced pop mispredicted at depth %d (pred %#x)", depth, pred)
+		}
+	}
+	if r.Mispredicts != 0 {
+		t.Fatalf("mispredicts = %d", r.Mispredicts)
+	}
+}
+
+func TestRASUnderflowMispredicts(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(0x1234); ok {
+		t.Fatal("empty RAS pop predicted correctly?")
+	}
+	if r.Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d", r.Mispredicts)
+	}
+}
+
+func TestRASOverflowClobbers(t *testing.T) {
+	r := NewRAS(4)
+	for i := 0; i < 6; i++ { // two deeper than capacity
+		r.Push(uint64(0x1000 + i*4))
+	}
+	// Unwind: the top 4 predict correctly, the bottom 2 were clobbered.
+	correct := 0
+	for i := 5; i >= 0; i-- {
+		if _, ok := r.Pop(uint64(0x1000 + i*4)); ok {
+			correct++
+		}
+	}
+	if correct != 4 {
+		t.Fatalf("%d correct pops, want 4", correct)
+	}
+}
+
+func TestRASDepthReporting(t *testing.T) {
+	r := NewRAS(4)
+	for i := 0; i < 10; i++ {
+		r.Push(1)
+	}
+	if r.Depth() != 4 {
+		t.Fatalf("Depth = %d, want capped 4", r.Depth())
+	}
+	r.Reset()
+	if r.Depth() != 0 {
+		t.Fatal("reset did not empty RAS")
+	}
+}
+
+func BenchmarkTagePredictUpdate(b *testing.B) {
+	tg := NewTage(DefaultTageConfig())
+	rng := xrand.New(1)
+	pcs := make([]uint64, 256)
+	outs := make([]bool, 256)
+	for i := range pcs {
+		pcs[i] = uint64(0x1000 + i*4)
+		outs[i] = rng.Bool(0.7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 255
+		tg.Predict(pcs[k])
+		tg.Update(pcs[k], outs[k])
+	}
+}
+
+func BenchmarkBTBLookup(b *testing.B) {
+	btb := NewBTB(512, 4)
+	btb.Insert(0x1000, 0x2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		btb.Lookup(0x1000)
+	}
+}

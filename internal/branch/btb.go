@@ -1,0 +1,163 @@
+package branch
+
+// BTB is a set-associative branch target buffer. Because the synthetic
+// programs have static targets for direct control flow, a BTB hit always
+// yields the correct target; a miss on a taken control-flow instruction
+// costs a front-end redirect bubble (the target becomes known at decode).
+type BTB struct {
+	ways    int
+	sets    int
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	lru     []uint64
+	stamp   uint64
+
+	Hits, Misses uint64
+}
+
+// NewBTB builds a BTB with the given total entries and associativity.
+func NewBTB(entries, ways int) *BTB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("branch: invalid BTB geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("branch: BTB set count must be a power of two")
+	}
+	return &BTB{
+		ways:    ways,
+		sets:    sets,
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		lru:     make([]uint64, entries),
+	}
+}
+
+func (b *BTB) setOf(pc uint64) int { return int(hashPC(pc) & uint64(b.sets-1)) }
+
+// Lookup returns the predicted target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	base := b.setOf(pc) * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.Hits++
+			b.stamp++
+			b.lru[i] = b.stamp
+			return b.targets[i], true
+		}
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Insert records pc -> target.
+func (b *BTB) Insert(pc, target uint64) {
+	base := b.setOf(pc) * b.ways
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			victim = i
+			break
+		}
+		if !b.valid[i] {
+			victim = i
+			break
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.tags[victim] = pc
+	b.targets[victim] = target
+	b.valid[victim] = true
+	b.stamp++
+	b.lru[victim] = b.stamp
+}
+
+// Reset clears the BTB.
+func (b *BTB) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+	b.Hits, b.Misses, b.stamp = 0, 0, 0
+}
+
+// RAS is a circular return-address stack. Overflow silently wraps (the
+// oldest entries are clobbered), which makes deep recursion mispredict its
+// unwinding returns — matching real hardware.
+type RAS struct {
+	stack []uint64
+	top   int // number of live entries, may exceed len (wrapped)
+
+	Pushes, Pops, Mispredicts uint64
+}
+
+// NewRAS builds a return-address stack with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		panic("branch: invalid RAS depth")
+	}
+	return &RAS{stack: make([]uint64, depth)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(ret uint64) {
+	r.stack[r.top%len(r.stack)] = ret
+	r.top++
+	r.Pushes++
+}
+
+// Pop predicts the target of a return; correct reports whether the
+// prediction matched actual. An empty stack always mispredicts.
+func (r *RAS) Pop(actual uint64) (predicted uint64, correct bool) {
+	r.Pops++
+	if r.top == 0 {
+		r.Mispredicts++
+		return 0, false
+	}
+	r.top--
+	predicted = r.stack[r.top%len(r.stack)]
+	if predicted != actual {
+		r.Mispredicts++
+		return predicted, false
+	}
+	return predicted, true
+}
+
+// Depth returns the current live entry count (capped at capacity for
+// reporting).
+func (r *RAS) Depth() int {
+	if r.top > len(r.stack) {
+		return len(r.stack)
+	}
+	return r.top
+}
+
+// Reset empties the stack.
+func (r *RAS) Reset() {
+	r.top = 0
+	r.Pushes, r.Pops, r.Mispredicts = 0, 0, 0
+}
+
+// CopyFrom restores this stack's contents from other (same depth required).
+// Cores keep an architectural RAS updated at commit and restore the
+// speculative fetch RAS from it on pipeline flushes.
+func (r *RAS) CopyFrom(other *RAS) {
+	if len(r.stack) != len(other.stack) {
+		panic("branch: RAS depth mismatch in CopyFrom")
+	}
+	copy(r.stack, other.stack)
+	r.top = other.top
+}
+
+// hashPC mixes a PC for BTB indexing.
+func hashPC(pc uint64) uint64 {
+	pc ^= pc >> 33
+	pc *= 0xff51afd7ed558ccd
+	pc ^= pc >> 33
+	return pc
+}

@@ -1,0 +1,280 @@
+// Package branch models the front-end prediction structures of Table 1: a
+// TAGE direction predictor (28 KB class), a branch target buffer, and a
+// return-address stack.
+//
+// The predictor is used trace-driven: the core asks for a prediction for the
+// committed-path branch and then updates with the actual outcome, recording
+// a misprediction whenever they disagree. This matches how the paper's
+// FireSim methodology observes mispredict flags on the committed-path ROB
+// entries.
+package branch
+
+// TageConfig parameterises the direction predictor.
+type TageConfig struct {
+	// BaseBits is log2 of the bimodal base table size.
+	BaseBits int
+	// TableBits is log2 of each tagged table size.
+	TableBits int
+	// TagBits is the tag width of tagged entries.
+	TagBits int
+	// Histories lists the geometric history lengths, shortest first.
+	Histories []int
+	// UsefulResetPeriod is how many allocations occur between halvings
+	// of the useful counters.
+	UsefulResetPeriod int
+}
+
+// DefaultTageConfig approximates the 28 KB TAGE of Table 1.
+func DefaultTageConfig() TageConfig {
+	return TageConfig{
+		BaseBits:          13, // 8K 2-bit counters = 2 KB
+		TableBits:         10, // 1K entries x 4 tables
+		TagBits:           9,
+		Histories:         []int{5, 15, 44, 130},
+		UsefulResetPeriod: 256 * 1024,
+	}
+}
+
+type tagEntry struct {
+	tag    uint32
+	ctr    int8 // 3-bit signed counter [-4,3]; >=0 predicts taken
+	useful uint8
+}
+
+// folded is an incrementally maintained folded-history register (Seznec's
+// CBP TAGE technique): it holds the XOR-fold of the newest olen history
+// bits into clen bits, updated in O(1) per branch.
+type folded struct {
+	comp     uint64
+	clen     uint
+	olen     uint
+	outpoint uint
+}
+
+func newFolded(olen, clen int) folded {
+	return folded{clen: uint(clen), olen: uint(olen), outpoint: uint(olen % clen)}
+}
+
+func (f *folded) update(newBit, oldBit uint64) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= oldBit << f.outpoint
+	f.comp ^= f.comp >> f.clen
+	f.comp &= (1 << f.clen) - 1
+}
+
+// Tage is the direction predictor.
+type Tage struct {
+	cfg  TageConfig
+	base []int8 // 2-bit counters [-2,1]
+	tabs [][]tagEntry
+
+	// Circular global history buffer (one byte per outcome) plus folded
+	// registers for index and tag computation per tagged table.
+	hist     []uint8
+	histHead int
+	fIdx     []folded
+	fTag1    []folded
+	fTag2    []folded
+
+	allocs uint64
+
+	// Stats.
+	Lookups, Mispredicts uint64
+}
+
+// NewTage builds the predictor.
+func NewTage(cfg TageConfig) *Tage {
+	if cfg.BaseBits <= 0 || cfg.TableBits <= 0 || len(cfg.Histories) == 0 {
+		panic("branch: invalid TAGE config")
+	}
+	maxHist := cfg.Histories[len(cfg.Histories)-1]
+	t := &Tage{
+		cfg:  cfg,
+		base: make([]int8, 1<<cfg.BaseBits),
+		tabs: make([][]tagEntry, len(cfg.Histories)),
+		hist: make([]uint8, maxHist+1),
+	}
+	for i := range t.tabs {
+		t.tabs[i] = make([]tagEntry, 1<<cfg.TableBits)
+		t.fIdx = append(t.fIdx, newFolded(cfg.Histories[i], cfg.TableBits))
+		t.fTag1 = append(t.fTag1, newFolded(cfg.Histories[i], cfg.TagBits))
+		t.fTag2 = append(t.fTag2, newFolded(cfg.Histories[i], cfg.TagBits-1))
+	}
+	return t
+}
+
+func (t *Tage) index(table int, pc uint64) int {
+	v := (pc >> 2) ^ (pc >> (2 + uint(table+1))) ^ t.fIdx[table].comp
+	return int(v & uint64(len(t.tabs[table])-1))
+}
+
+func (t *Tage) tag(table int, pc uint64) uint32 {
+	v := (pc >> 2) ^ t.fTag1[table].comp ^ (t.fTag2[table].comp << 1)
+	return uint32(v & ((1 << t.cfg.TagBits) - 1))
+}
+
+func (t *Tage) baseIndex(pc uint64) int {
+	return int((pc >> 2) & uint64(len(t.base)-1))
+}
+
+// lookup finds the longest-history matching table; returns (table, index,
+// prediction, providerFound). Table -1 means the base predictor provided.
+func (t *Tage) lookup(pc uint64) (provider int, idx int, pred bool) {
+	for table := len(t.tabs) - 1; table >= 0; table-- {
+		i := t.index(table, pc)
+		if t.tabs[table][i].tag == t.tag(table, pc) {
+			return table, i, t.tabs[table][i].ctr >= 0
+		}
+	}
+	return -1, t.baseIndex(pc), t.base[t.baseIndex(pc)] >= 0
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (t *Tage) Predict(pc uint64) bool {
+	t.Lookups++
+	_, _, pred := t.lookup(pc)
+	return pred
+}
+
+// Update trains the predictor with the actual outcome and shifts history.
+// It returns whether the pre-update prediction was correct, so callers can
+// do Predict and Update as one call when convenient.
+func (t *Tage) Update(pc uint64, taken bool) bool {
+	provider, idx, pred := t.lookup(pc)
+	correct := pred == taken
+	if !correct {
+		t.Mispredicts++
+	}
+
+	if provider >= 0 {
+		e := &t.tabs[provider][idx]
+		e.ctr = satUpdate3(e.ctr, taken)
+		if correct && e.useful < 3 {
+			e.useful++
+		} else if !correct && e.useful > 0 {
+			e.useful--
+		}
+	} else {
+		b := &t.base[idx]
+		*b = satUpdate2(*b, taken)
+	}
+
+	// On a mispredict, allocate an entry in a longer-history table.
+	if !correct && provider < len(t.tabs)-1 {
+		allocated := false
+		for table := provider + 1; table < len(t.tabs); table++ {
+			i := t.index(table, pc)
+			if t.tabs[table][i].useful == 0 {
+				t.tabs[table][i] = tagEntry{
+					tag: t.tag(table, pc),
+					ctr: ctrInit(taken),
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay usefulness so future allocations succeed.
+			for table := provider + 1; table < len(t.tabs); table++ {
+				i := t.index(table, pc)
+				if t.tabs[table][i].useful > 0 {
+					t.tabs[table][i].useful--
+				}
+			}
+		}
+		t.allocs++
+		if t.cfg.UsefulResetPeriod > 0 && t.allocs%uint64(t.cfg.UsefulResetPeriod) == 0 {
+			for _, tab := range t.tabs {
+				for k := range tab {
+					tab[k].useful >>= 1
+				}
+			}
+		}
+	}
+
+	t.shiftHistory(taken)
+	return correct
+}
+
+// shiftHistory pushes the outcome into global history and updates every
+// folded register in O(1).
+func (t *Tage) shiftHistory(taken bool) {
+	b := uint64(0)
+	if taken {
+		b = 1
+	}
+	n := len(t.hist)
+	t.histHead = (t.histHead + 1) % n
+	t.hist[t.histHead] = uint8(b)
+	for i := range t.fIdx {
+		old := uint64(t.hist[(t.histHead-int(t.fIdx[i].olen)+n)%n])
+		t.fIdx[i].update(b, old)
+		t.fTag1[i].update(b, old)
+		t.fTag2[i].update(b, old)
+	}
+}
+
+// MispredictRate returns mispredicts/lookups.
+func (t *Tage) MispredictRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Mispredicts) / float64(t.Lookups)
+}
+
+// Reset clears all predictor state.
+func (t *Tage) Reset() {
+	for i := range t.base {
+		t.base[i] = 0
+	}
+	for _, tab := range t.tabs {
+		for k := range tab {
+			tab[k] = tagEntry{}
+		}
+	}
+	for i := range t.hist {
+		t.hist[i] = 0
+	}
+	t.histHead = 0
+	for i := range t.fIdx {
+		t.fIdx[i].comp = 0
+		t.fTag1[i].comp = 0
+		t.fTag2[i].comp = 0
+	}
+	t.allocs, t.Lookups, t.Mispredicts = 0, 0, 0
+}
+
+// StorageBits estimates the predictor's storage budget in bits.
+func (t *Tage) StorageBits() int {
+	bitsPerTag := t.cfg.TagBits + 3 + 2 // tag + ctr + useful
+	return len(t.base)*2 + len(t.tabs)*(1<<t.cfg.TableBits)*bitsPerTag
+}
+
+func satUpdate2(c int8, taken bool) int8 {
+	if taken {
+		if c < 1 {
+			c++
+		}
+	} else if c > -2 {
+		c--
+	}
+	return c
+}
+
+func satUpdate3(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > -4 {
+		c--
+	}
+	return c
+}
+
+func ctrInit(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}

@@ -1,0 +1,307 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCache(back Level) *Cache {
+	return New(Config{
+		Name: "T", SizeBytes: 1024, LineBytes: 64, Ways: 2, Latency: 2, MSHRs: 4,
+	}, back)
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	back := &FixedLatency{Lat: 100}
+	c := smallCache(back)
+	d1 := c.Access(0x40, false, 0)
+	if d1 != 2+100 { // lookup latency + backing latency
+		t.Fatalf("cold miss done at %d, want 102", d1)
+	}
+	d2 := c.Access(0x40, false, d1)
+	if d2 != d1+2 {
+		t.Fatalf("hit done at %d, want %d", d2, d1+2)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestSameLineDifferentBytes(t *testing.T) {
+	c := smallCache(&FixedLatency{Lat: 50})
+	c.Access(0x80, false, 0)
+	d := c.Access(0xBF, false, 100) // same 64 B line
+	if d != 102 {
+		t.Fatalf("same-line access missed: done %d", d)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	back := &FixedLatency{Lat: 10}
+	c := smallCache(back) // 8 sets, 2 ways
+	// Three lines mapping to set 0: line numbers 0, 8, 16.
+	c.Access(0*64*8*0, false, 0) // line 0 -> set 0
+	c.Access(8*64, false, 100)   // line 8 -> set 0
+	c.Access(0, false, 200)      // touch line 0 (now MRU)
+	c.Access(16*64, false, 300)  // line 16 evicts line 8 (LRU)
+	if !c.Contains(0) {
+		t.Fatal("line 0 should survive (MRU)")
+	}
+	if c.Contains(8 * 64) {
+		t.Fatal("line 8 should have been evicted")
+	}
+	if !c.Contains(16 * 64) {
+		t.Fatal("line 16 should be present")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	back := &FixedLatency{Lat: 10}
+	c := smallCache(back)
+	c.Access(0, true, 0)       // write-allocate line 0 in set 0
+	c.Access(8*64, false, 100) // fill set 0 way 2
+	before := back.Accesses
+	c.Access(16*64, false, 200) // evicts dirty line 0 -> writeback + fill
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks)
+	}
+	if back.Accesses != before+2 { // one writeback + one fill
+		t.Fatalf("backing accesses = %d, want %d", back.Accesses, before+2)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	back := &FixedLatency{Lat: 10}
+	c := smallCache(back)
+	c.Access(0, false, 0)
+	c.Access(8*64, false, 100)
+	c.Access(16*64, false, 200)
+	if c.Writebacks != 0 {
+		t.Fatalf("writebacks = %d, want 0", c.Writebacks)
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	back := &FixedLatency{Lat: 100}
+	c := smallCache(back)
+	d1 := c.Access(0, false, 0)
+	// Second access to the same line while the first is in flight should
+	// merge and complete no later than the first fill plus hit latency.
+	d2 := c.Access(0, false, 1)
+	if back.Accesses != 1 {
+		t.Fatalf("backing accesses = %d, want 1 (merged)", back.Accesses)
+	}
+	if d2 > d1+2 {
+		t.Fatalf("merged access done %d, first %d", d2, d1)
+	}
+}
+
+func TestMSHRStall(t *testing.T) {
+	back := &FixedLatency{Lat: 100}
+	c := New(Config{Name: "T", SizeBytes: 4096, LineBytes: 64, Ways: 4, Latency: 1, MSHRs: 2}, back)
+	c.Access(0*64, false, 0)
+	c.Access(1*64, false, 0)
+	// Third distinct miss at time 0 must wait for an MSHR.
+	d := c.Access(2*64, false, 0)
+	if c.MSHRStalls != 1 {
+		t.Fatalf("MSHR stalls = %d, want 1", c.MSHRStalls)
+	}
+	if d <= 101 {
+		t.Fatalf("stalled miss finished too early: %d", d)
+	}
+}
+
+func TestNextLinePrefetch(t *testing.T) {
+	back := &FixedLatency{Lat: 50}
+	c := New(Config{Name: "T", SizeBytes: 4096, LineBytes: 64, Ways: 4, Latency: 1, MSHRs: 8, NextLinePrefetch: true}, back)
+	c.Access(0, false, 0)
+	if c.Prefetches != 1 {
+		t.Fatalf("prefetches = %d, want 1", c.Prefetches)
+	}
+	if !c.Contains(64) {
+		t.Fatal("next line not prefetched")
+	}
+	// Access to the prefetched line is a hit.
+	misses := c.Misses
+	c.Access(64, false, 200)
+	if c.Misses != misses {
+		t.Fatal("prefetched line missed")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := smallCache(&FixedLatency{Lat: 10})
+	if c.MissRate() != 0 {
+		t.Fatal("empty cache miss rate should be 0")
+	}
+	c.Access(0, false, 0)
+	c.Access(0, false, 100)
+	c.Access(0, false, 200)
+	c.Access(64, false, 300)
+	if r := c.MissRate(); r != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", r)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := smallCache(&FixedLatency{Lat: 10})
+	c.Access(0, true, 0)
+	c.Reset()
+	if c.Contains(0) {
+		t.Fatal("line survived reset")
+	}
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "b", SizeBytes: 1024, LineBytes: 48, Ways: 2, MSHRs: 1},       // non-pow2 line
+		{Name: "b", SizeBytes: 1024, LineBytes: 64, Ways: 0, MSHRs: 1},       // zero ways
+		{Name: "b", SizeBytes: 1024, LineBytes: 64, Ways: 2, MSHRs: 0},       // zero mshrs
+		{Name: "b", SizeBytes: 3 * 64 * 2, LineBytes: 64, Ways: 2, MSHRs: 1}, // non-pow2 sets
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg, &FixedLatency{Lat: 1})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil next level did not panic")
+			}
+		}()
+		New(Config{Name: "b", SizeBytes: 1024, LineBytes: 64, Ways: 2, MSHRs: 1}, nil)
+	}()
+}
+
+func TestHierarchyDefault(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// Cold access goes all the way to DRAM.
+	d := h.L1D.Access(0x100000, false, 0)
+	if d < 45 {
+		t.Fatalf("cold access completed at %d, too fast for a DRAM trip", d)
+	}
+	if h.DRAM.Accesses == 0 {
+		t.Fatal("cold miss never reached DRAM")
+	}
+	// Hot access is an L1 hit.
+	d2 := h.L1D.Access(0x100000, false, d)
+	if d2 != d+h.L1D.Config().Latency {
+		t.Fatalf("hot access latency = %d", d2-d)
+	}
+}
+
+func TestHierarchyL2SharedByL1I(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.L1D.Access(0x200000, false, 0)
+	l2Hits := h.L2.Hits
+	// Same line through the I-side should hit in the shared L2.
+	h.L1I.Access(0x200000, false, 1000)
+	if h.L2.Hits != l2Hits+1 {
+		t.Fatalf("L2 hits = %d, want %d", h.L2.Hits, l2Hits+1)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.L1D.Access(0x1000, false, 0)
+	h.Reset()
+	if h.L1D.Contains(0x1000) || h.L2.Contains(0x1000) || h.LLC.Contains(0x1000) {
+		t.Fatal("lines survived hierarchy reset")
+	}
+}
+
+func TestWorkingSetLatencyTiers(t *testing.T) {
+	// A footprint that fits L1 must have lower average latency than one
+	// that only fits L2, which must beat one that only fits LLC.
+	avg := func(footprint uint64) float64 {
+		h := NewHierarchy(DefaultHierarchyConfig())
+		now := uint64(0)
+		var total uint64
+		const rounds = 4
+		n := int(footprint / 64)
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < n; i++ {
+				start := now
+				now = h.L1D.Access(uint64(i)*64, false, now)
+				if r > 0 { // skip cold round
+					total += now - start
+				}
+			}
+		}
+		return float64(total) / float64((rounds-1)*n)
+	}
+	l1 := avg(16 << 10)
+	l2 := avg(256 << 10)
+	llc := avg(2 << 20)
+	if !(l1 < l2 && l2 < llc) {
+		t.Fatalf("latency tiers wrong: L1 %v, L2 %v, LLC %v", l1, l2, llc)
+	}
+}
+
+// Property: Access never returns a time earlier than now + hit latency.
+func TestQuickAccessMonotone(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := smallCache(&FixedLatency{Lat: 30})
+		now := uint64(0)
+		for _, a := range addrs {
+			done := c.Access(uint64(a), a%3 == 0, now)
+			if done < now+c.Config().Latency {
+				return false
+			}
+			now = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after accessing an address, it is contained (no silent drop).
+func TestQuickInstalled(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := smallCache(&FixedLatency{Lat: 5})
+		now := uint64(0)
+		for _, a := range addrs {
+			now = c.Access(uint64(a), false, now)
+			if !c.Contains(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := smallCache(&FixedLatency{Lat: 100})
+	c.Access(0, false, 0)
+	now := uint64(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = c.Access(0, false, now)
+	}
+}
+
+func BenchmarkHierarchyStride(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = h.L1D.Access(uint64(i%100000)*64, false, now)
+	}
+}

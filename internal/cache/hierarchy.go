@@ -1,0 +1,81 @@
+package cache
+
+import "github.com/tipprof/tip/internal/mem"
+
+// Hierarchy is the Table 1 cache hierarchy: split 32 KB 8-way L1I/L1D, a
+// shared 512 KB 8-way L2, a 4 MB 8-way LLC, and DRAM behind it.
+type Hierarchy struct {
+	L1I, L1D, L2, LLC *Cache
+	DRAM              *mem.DRAM
+}
+
+// HierarchyConfig collects the per-level configurations.
+type HierarchyConfig struct {
+	L1I, L1D, L2, LLC Config
+	DRAM              mem.Config
+}
+
+// DefaultHierarchyConfig returns the Table 1 configuration. Hit latencies
+// are load-to-use cycles typical of the simulated BOOM at 3.2 GHz.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:  Config{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Latency: 1, MSHRs: 4},
+		L1D:  Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, Latency: 3, MSHRs: 8, NextLinePrefetch: true},
+		L2:   Config{Name: "L2", SizeBytes: 512 << 10, LineBytes: 64, Ways: 8, Latency: 14, MSHRs: 12},
+		LLC:  Config{Name: "LLC", SizeBytes: 4 << 20, LineBytes: 64, Ways: 8, Latency: 30, MSHRs: 8},
+		DRAM: mem.DefaultConfig(),
+	}
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	dram := mem.New(cfg.DRAM)
+	llc := New(cfg.LLC, dram)
+	l2 := New(cfg.L2, llc)
+	l1d := New(cfg.L1D, l2)
+	l1i := New(cfg.L1I, l2)
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, LLC: llc, DRAM: dram}
+}
+
+// Reset clears every level.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.LLC.Reset()
+	h.DRAM.Reset()
+}
+
+// NewSharedLLC builds an LLC backed by its own DRAM, to be shared by
+// several cores' private stacks (multi-core configurations).
+func NewSharedLLC(cfg HierarchyConfig) *Cache {
+	return New(cfg.LLC, mem.New(cfg.DRAM))
+}
+
+// Offset relocates addresses before forwarding to the next level. In the
+// multi-core system it stands in for per-process physical mappings: every
+// core's virtual addresses land in a disjoint physical range, so co-runners
+// contend for shared-cache capacity without falsely sharing data.
+type Offset struct {
+	// Base is added to every address.
+	Base uint64
+	// Next receives the relocated accesses.
+	Next Level
+}
+
+// Access implements Level.
+func (o *Offset) Access(addr uint64, write bool, now uint64) uint64 {
+	return o.Next.Access(addr+o.Base, write, now)
+}
+
+// NewPrivateStack builds one core's private L1I/L1D/L2 on top of a shared
+// next level (typically a NewSharedLLC cache), relocating the core's
+// addresses by physOffset.
+func NewPrivateStack(cfg HierarchyConfig, shared Level, physOffset uint64) (l1i, l1d *Cache) {
+	var next Level = shared
+	if physOffset != 0 {
+		next = &Offset{Base: physOffset, Next: shared}
+	}
+	l2 := New(cfg.L2, next)
+	return New(cfg.L1I, l2), New(cfg.L1D, l2)
+}

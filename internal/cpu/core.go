@@ -1,0 +1,848 @@
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/tipprof/tip/internal/branch"
+	"github.com/tipprof/tip/internal/cache"
+	"github.com/tipprof/tip/internal/isa"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/tlb"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// dep references a producing ROB entry; the reference is stale (and the
+// operand ready) when the slot's uop tag no longer matches.
+type dep struct {
+	robIdx int32
+	uop    uint64
+}
+
+// robEntry is one reorder-buffer slot.
+type robEntry struct {
+	d   program.DynInst
+	fid uint64
+	uop uint64
+
+	iq     isa.IssueClass
+	inIQ   bool
+	issued bool
+	// doneCycle is when the result is available (valid once issued).
+	doneCycle uint64
+
+	deps  [2]dep
+	ndeps int
+
+	mispredicted     bool // resolved-mispredicted control flow
+	exceptionPending bool // raises when it reaches the ROB head
+	faultPage        uint64
+	flushAtCommit    bool
+	serialized       bool
+}
+
+// fetchedInst is a fetch-buffer element.
+type fetchedInst struct {
+	d            program.DynInst
+	fid          uint64
+	readyAt      uint64
+	mispredicted bool
+}
+
+const invalidFID = ^uint64(0)
+
+// Core is the simulated out-of-order processor.
+type Core struct {
+	cfg  Config
+	prog *program.Program
+
+	hier *cache.Hierarchy
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	mmu  *tlb.MMU
+	tage *branch.Tage
+	btb  *branch.BTB
+	ras  *branch.RAS
+	// archRAS mirrors the RAS at commit so flushes can repair the
+	// speculative fetch RAS instead of leaving it corrupted.
+	archRAS *branch.RAS
+
+	// Instruction supply.
+	stream     program.Stream
+	streamDone bool
+	la         fetchLookahead
+	pending    []program.DynInst
+	pi         int
+
+	// Front end.
+	fetchBlockedUntil uint64
+	waitBranchFID     uint64 // invalidFID when not waiting
+	lastFetchLine     uint64
+	fetchBuf          []fetchedInst // FIFO; head at index 0 via fbHead
+	fbHead            int
+	nextFID           uint64
+
+	// Rename state: architectural reg -> producing ROB slot + uop tag.
+	renameRob [isa.NumRegs]int32
+	renameUop [isa.NumRegs]uint64
+
+	// ROB ring buffer.
+	rob      []robEntry
+	robHead  int
+	robCount int
+	nextUop  uint64
+
+	// Issue queues hold ROB slot indices in dispatch (age) order.
+	iqs [isa.NumIssueClasses][]int32
+
+	// Execution resources.
+	intDivBusyUntil uint64
+	fpDivBusyUntil  uint64
+	lsqCount        int
+	storeBuf        []uint64 // drain-completion cycles
+
+	// Outstanding-branch bookkeeping: resolveAt times of unresolved
+	// control flow, drained each cycle.
+	branchResolve   []uint64
+	serializeActive bool
+
+	handlerSeed uint64
+	pmuPending  bool
+
+	stats Stats
+}
+
+type fetchLookahead struct {
+	d     program.DynInst
+	valid bool
+}
+
+// New builds a core executing prog from stream with a private memory
+// hierarchy.
+func New(cfg Config, prog *program.Program, stream program.Stream) *Core {
+	hier := cache.NewHierarchy(cfg.Hierarchy)
+	c := NewWithCaches(cfg, prog, stream, hier.L1I, hier.L1D)
+	c.hier = hier
+	return c
+}
+
+// NewWithCaches builds a core whose private L1 caches are supplied by the
+// caller — the multi-core configuration, where per-core L1/L2 stacks share
+// an LLC and DRAM (each physical core gets its own TIP unit, §3.2).
+func NewWithCaches(cfg Config, prog *program.Program, stream program.Stream, l1i, l1d *cache.Cache) *Core {
+	cfg.validate()
+	c := &Core{
+		cfg:     cfg,
+		prog:    prog,
+		l1i:     l1i,
+		l1d:     l1d,
+		tage:    branch.NewTage(cfg.Tage),
+		btb:     branch.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		ras:     branch.NewRAS(cfg.RASDepth),
+		archRAS: branch.NewRAS(cfg.RASDepth),
+		stream:  stream,
+		rob:     make([]robEntry, cfg.ROBEntries),
+	}
+	c.mmu = tlb.New(cfg.TLB, c.l1d)
+	c.waitBranchFID = invalidFID
+	c.lastFetchLine = ^uint64(0)
+	for i := range c.renameRob {
+		c.renameRob[i] = -1
+	}
+	c.handlerSeed = cfg.HandlerSeed
+	// Code pages are resident (the loader touched them); data pages
+	// demand-fault unless the workload prefaults them.
+	c.mmu.PrefaultRange(prog.Base(), prog.CodeBytes())
+	return c
+}
+
+// MMU exposes the translation machinery (workloads prefault through it).
+func (c *Core) MMU() *tlb.MMU { return c.mmu }
+
+// Hierarchy exposes the cache hierarchy for inspection; nil when the core
+// was built with NewWithCaches (shared-memory configurations).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// L1D exposes the core's private data cache.
+func (c *Core) L1D() *cache.Cache { return c.l1d }
+
+// Step advances the machine one cycle, filling rec with the commit-stage
+// observation; it reports whether the core has fully drained. Exported for
+// lockstep multi-core simulation — single-core users call Run.
+func (c *Core) Step(cycle uint64, rec *trace.Record) bool {
+	return c.step(cycle, rec)
+}
+
+// FinalizeStats records the run length after external stepping (Run does
+// this automatically).
+func (c *Core) FinalizeStats(lastCommitCycle uint64) {
+	c.stats.Cycles = lastCommitCycle + 1
+}
+
+// Predictor exposes the direction predictor for inspection.
+func (c *Core) Predictor() *branch.Tage { return c.tage }
+
+// Stats returns the accumulated run statistics.
+func (c *Core) Stats() Stats { return c.stats }
+
+// supplyNext pulls the next correct-path instruction: lookahead first, then
+// the replay queue, then the workload stream.
+func (c *Core) supplyNext() (program.DynInst, bool) {
+	if c.la.valid {
+		c.la.valid = false
+		return c.la.d, true
+	}
+	if c.pi < len(c.pending) {
+		d := c.pending[c.pi]
+		c.pi++
+		if c.pi == len(c.pending) {
+			c.pending = c.pending[:0]
+			c.pi = 0
+		}
+		return d, true
+	}
+	if c.streamDone {
+		return program.DynInst{}, false
+	}
+	d, ok := c.stream.Next()
+	if !ok {
+		c.streamDone = true
+		return program.DynInst{}, false
+	}
+	return d, true
+}
+
+// unread pushes an instruction back into the lookahead slot.
+func (c *Core) unread(d program.DynInst) {
+	if c.la.valid {
+		panic("cpu: double unread")
+	}
+	c.la = fetchLookahead{d: d, valid: true}
+}
+
+// anySupply reports whether any instruction remains to execute.
+func (c *Core) anySupply() bool {
+	return c.la.valid || c.pi < len(c.pending) || !c.streamDone
+}
+
+func (c *Core) fbLen() int { return len(c.fetchBuf) - c.fbHead }
+
+func (c *Core) fbPush(f fetchedInst) { c.fetchBuf = append(c.fetchBuf, f) }
+
+func (c *Core) fbPeek() *fetchedInst { return &c.fetchBuf[c.fbHead] }
+
+func (c *Core) fbPop() fetchedInst {
+	f := c.fetchBuf[c.fbHead]
+	c.fbHead++
+	if c.fbHead == len(c.fetchBuf) {
+		c.fetchBuf = c.fetchBuf[:0]
+		c.fbHead = 0
+	} else if c.fbHead >= 64 {
+		// Compact so the backing array stays bounded in steady state.
+		n := copy(c.fetchBuf, c.fetchBuf[c.fbHead:])
+		c.fetchBuf = c.fetchBuf[:n]
+		c.fbHead = 0
+	}
+	return f
+}
+
+// Run simulates until the program finishes (or MaxCycles), emitting one
+// trace record per cycle to consumer. It returns the final statistics.
+func (c *Core) Run(consumer trace.Consumer) (Stats, error) {
+	var rec trace.Record
+	cycle := uint64(0)
+	lastCommitCycle := uint64(0)
+	for {
+		if c.cfg.MaxCycles > 0 && cycle > c.cfg.MaxCycles {
+			return c.stats, fmt.Errorf("cpu: exceeded MaxCycles=%d (committed %d)", c.cfg.MaxCycles, c.stats.Committed)
+		}
+		done := c.step(cycle, &rec)
+		if consumer != nil {
+			consumer.OnCycle(&rec)
+		}
+		if rec.CommitCount > 0 {
+			lastCommitCycle = cycle
+		}
+		if done {
+			break
+		}
+		cycle++
+	}
+	c.stats.Cycles = lastCommitCycle + 1
+	if consumer != nil {
+		consumer.Finish(c.stats.Cycles)
+	}
+	return c.stats, nil
+}
+
+// step advances one cycle: commit (and record), issue, dispatch, fetch. It
+// reports whether the machine is fully drained with no supply left.
+func (c *Core) step(cycle uint64, rec *trace.Record) bool {
+	c.drainBranchResolve(cycle)
+	if c.cfg.SampleInterruptEvery > 0 && cycle > 0 && cycle%c.cfg.SampleInterruptEvery == 0 {
+		c.pmuPending = true
+	}
+	c.commit(cycle, rec)
+	c.issue(cycle)
+	c.dispatch(cycle)
+	c.fetch(cycle)
+	return c.robCount == 0 && c.fbLen() == 0 && !c.anySupply()
+}
+
+func (c *Core) drainBranchResolve(cycle uint64) {
+	out := c.branchResolve[:0]
+	for _, t := range c.branchResolve {
+		if t > cycle {
+			out = append(out, t)
+		}
+	}
+	c.branchResolve = out
+}
+
+// ---------------------------------------------------------------------------
+// Commit stage
+
+// commit records the commit-stage state for this cycle and retires up to
+// CommitWidth executed instructions, handling exceptions, flushing CSRs,
+// and store-buffer pressure.
+func (c *Core) commit(cycle uint64, rec *trace.Record) {
+	*rec = trace.Record{Cycle: cycle, NumBanks: c.cfg.CommitWidth}
+
+	cw := c.cfg.CommitWidth
+	if c.robCount == 0 {
+		rec.ROBEmpty = true
+	} else {
+		rec.HeadBank = uint8(c.robHead % cw)
+		n := c.robCount
+		if n > cw {
+			n = cw
+		}
+		for i := 0; i < n; i++ {
+			slot := (c.robHead + i) % c.cfg.ROBEntries
+			e := &c.rob[slot]
+			b := &rec.Banks[slot%cw]
+			b.Valid = true
+			b.PC = e.d.PC()
+			b.FID = e.fid
+			b.InstIndex = int32(e.d.SI.Index)
+			b.Mispredicted = e.mispredicted
+			b.Flush = e.flushAtCommit
+			b.Exception = e.exceptionPending
+		}
+	}
+
+	// PMU sampling interrupt: taken at the next cycle boundary, draining
+	// in-flight work into the OS handler (perf's CSR-copy path, §3.2).
+	if c.pmuPending {
+		c.pmuPending = false
+		c.stats.PMUInterrupts++
+		c.observeFrontEnd(cycle, rec)
+		c.raiseInterrupt(cycle)
+		return
+	}
+
+	// Exception: raised when the excepting instruction is at the head
+	// and its page walk has completed.
+	if c.robCount > 0 {
+		h := &c.rob[c.robHead]
+		if h.exceptionPending && h.issued && h.doneCycle <= cycle {
+			rec.ExceptionRaised = true
+			rec.ExceptionPC = h.d.PC()
+			rec.ExceptionFID = h.fid
+			rec.ExceptionInstIndex = int32(h.d.SI.Index)
+			c.observeFrontEnd(cycle, rec)
+			c.raiseException(cycle, h)
+			return
+		}
+	}
+
+	committed := 0
+	for committed < cw && c.robCount > 0 {
+		e := &c.rob[c.robHead]
+		if !e.issued || e.doneCycle > cycle {
+			break
+		}
+		if e.exceptionPending {
+			// Became head mid-group; raise next cycle.
+			break
+		}
+		if e.d.SI.Kind == isa.KindStore {
+			if !c.retireStore(e, cycle) {
+				c.stats.StoreStallCycles++
+				break
+			}
+		}
+		slot := c.robHead
+		rec.Banks[slot%cw].Committing = true
+		committed++
+		c.stats.Committed++
+		switch e.d.SI.Kind {
+		case isa.KindCall:
+			c.archRAS.Push(e.d.PC() + isa.InstBytes)
+		case isa.KindRet:
+			c.archRAS.Pop(e.d.NextPC)
+		}
+		// Clear rename mappings that point at the retiring entry.
+		if dst := e.d.SI.Dst; dst != isa.RegZero {
+			if c.renameRob[dst] == int32(slot) && c.renameUop[dst] == e.uop {
+				c.renameRob[dst] = -1
+			}
+		}
+		if e.serialized {
+			c.serializeActive = false
+		}
+		flush := e.flushAtCommit
+		e.uop = 0 // invalidate tag so dependents see ready
+		c.robHead = (c.robHead + 1) % c.cfg.ROBEntries
+		c.robCount--
+		if e.d.SI.Kind.IsMem() {
+			c.lsqCount--
+		}
+		if flush {
+			c.stats.CSRFlushes++
+			c.observeFrontEnd(cycle, rec)
+			rec.CommitCount = uint8(committed)
+			c.flushPipeline(cycle, nil)
+			return
+		}
+	}
+	rec.CommitCount = uint8(committed)
+	c.observeFrontEnd(cycle, rec)
+}
+
+// retireStore pushes a committing store into the store buffer; it reports
+// false when the buffer is full (the store stalls at the head).
+func (c *Core) retireStore(e *robEntry, cycle uint64) bool {
+	// Drop drained entries.
+	out := c.storeBuf[:0]
+	for _, t := range c.storeBuf {
+		if t > cycle {
+			out = append(out, t)
+		}
+	}
+	c.storeBuf = out
+	if len(c.storeBuf) >= c.cfg.StoreBufEntries {
+		return false
+	}
+	done := c.l1d.Access(e.d.MemAddr, true, cycle)
+	c.storeBuf = append(c.storeBuf, done)
+	return true
+}
+
+// observeFrontEnd fills the dispatch-stage and youngest-in-flight fields.
+func (c *Core) observeFrontEnd(cycle uint64, rec *trace.Record) {
+	if c.fbLen() > 0 {
+		f := c.fbPeek()
+		if f.readyAt <= cycle {
+			rec.DispatchValid = true
+			rec.DispatchPC = f.d.PC()
+			rec.DispatchFID = f.fid
+			rec.DispatchInstIndex = int32(f.d.SI.Index)
+		}
+	}
+	switch {
+	case c.fbLen() > 0:
+		rec.AnyInFlight = true
+		rec.YoungestFID = c.fetchBuf[len(c.fetchBuf)-1].fid
+	case c.robCount > 0:
+		rec.AnyInFlight = true
+		tail := (c.robHead + c.robCount - 1) % c.cfg.ROBEntries
+		rec.YoungestFID = c.rob[tail].fid
+	}
+}
+
+// raiseInterrupt squashes all in-flight instructions and redirects fetch to
+// the OS handler; the squashed instructions replay afterwards. This is the
+// PMU sampling interrupt (the handler stands in for perf copying TIP's six
+// CSRs into its memory buffer).
+func (c *Core) raiseInterrupt(cycle uint64) {
+	var handlerInsts []program.DynInst
+	if hf := c.prog.Handler(); hf != nil {
+		it := program.NewInterpFunc(c.prog, hf, c.handlerSeed)
+		c.handlerSeed = c.handlerSeed*6364136223846793005 + 1
+		for {
+			d, ok := it.Next()
+			if !ok {
+				break
+			}
+			handlerInsts = append(handlerInsts, d)
+			if len(handlerInsts) > 100000 {
+				panic("cpu: runaway interrupt handler")
+			}
+		}
+	}
+	c.flushPipeline(cycle, handlerInsts)
+}
+
+// raiseException squashes everything (the excepting instruction included),
+// installs the missing page, and redirects fetch to the OS handler followed
+// by replay of the squashed instructions.
+func (c *Core) raiseException(cycle uint64, h *robEntry) {
+	c.stats.Exceptions++
+	c.mmu.InstallPage(h.faultPage)
+
+	var handlerInsts []program.DynInst
+	if hf := c.prog.Handler(); hf != nil {
+		it := program.NewInterpFunc(c.prog, hf, c.handlerSeed)
+		c.handlerSeed = c.handlerSeed*6364136223846793005 + 1
+		for {
+			d, ok := it.Next()
+			if !ok {
+				break
+			}
+			handlerInsts = append(handlerInsts, d)
+			if len(handlerInsts) > 100000 {
+				panic("cpu: runaway exception handler")
+			}
+		}
+	}
+	c.flushPipeline(cycle, handlerInsts)
+}
+
+// flushPipeline squashes all in-flight instructions (ROB and front end) and
+// queues prefix + squashed instructions for refetch. The ROB entries that
+// remain are all younger than the flush point because the caller has already
+// retired everything older.
+func (c *Core) flushPipeline(cycle uint64, prefix []program.DynInst) {
+	replay := make([]program.DynInst, 0,
+		len(prefix)+c.robCount+c.fbLen()+2+len(c.pending)-c.pi)
+	replay = append(replay, prefix...)
+	for i := 0; i < c.robCount; i++ {
+		slot := (c.robHead + i) % c.cfg.ROBEntries
+		replay = append(replay, c.rob[slot].d)
+		c.rob[slot].uop = 0
+	}
+	for i := c.fbHead; i < len(c.fetchBuf); i++ {
+		replay = append(replay, c.fetchBuf[i].d)
+	}
+	if c.la.valid {
+		replay = append(replay, c.la.d)
+		c.la.valid = false
+	}
+	replay = append(replay, c.pending[c.pi:]...)
+
+	c.pending = replay
+	c.pi = 0
+	c.robCount = 0
+	c.robHead = 0
+	c.fetchBuf = c.fetchBuf[:0]
+	c.fbHead = 0
+	for i := range c.renameRob {
+		c.renameRob[i] = -1
+	}
+	for i := range c.iqs {
+		c.iqs[i] = c.iqs[i][:0]
+	}
+	c.lsqCount = 0
+	c.branchResolve = c.branchResolve[:0]
+	c.serializeActive = false
+	c.waitBranchFID = invalidFID
+	c.lastFetchLine = ^uint64(0)
+	c.ras.CopyFrom(c.archRAS)
+	c.fetchBlockedUntil = cycle + c.cfg.RedirectPenalty
+}
+
+// ---------------------------------------------------------------------------
+// Issue/execute
+
+// issue selects ready instructions from each queue, oldest first, and
+// computes their completion times.
+func (c *Core) issue(cycle uint64) {
+	for class := 0; class < isa.NumIssueClasses; class++ {
+		width := c.iqWidth(isa.IssueClass(class))
+		iq := c.iqs[class]
+		issued := 0
+		w := 0
+		for r := 0; r < len(iq); r++ {
+			idx := iq[r]
+			e := &c.rob[idx]
+			if issued >= width || !c.depsReady(e, cycle) || !c.unitFree(e, cycle) {
+				iq[w] = idx
+				w++
+				continue
+			}
+			c.execute(e, cycle)
+			issued++
+		}
+		c.iqs[class] = iq[:w]
+	}
+}
+
+func (c *Core) iqWidth(class isa.IssueClass) int {
+	switch class {
+	case isa.IssueInt:
+		return c.cfg.IntIQ.Width
+	case isa.IssueMem:
+		return c.cfg.MemIQ.Width
+	default:
+		return c.cfg.FPIQ.Width
+	}
+}
+
+func (c *Core) iqCap(class isa.IssueClass) int {
+	switch class {
+	case isa.IssueInt:
+		return c.cfg.IntIQ.Entries
+	case isa.IssueMem:
+		return c.cfg.MemIQ.Entries
+	default:
+		return c.cfg.FPIQ.Entries
+	}
+}
+
+func (c *Core) depsReady(e *robEntry, cycle uint64) bool {
+	for i := 0; i < e.ndeps; i++ {
+		d := e.deps[i]
+		p := &c.rob[d.robIdx]
+		if p.uop != d.uop {
+			continue // producer retired or squashed: value in regfile
+		}
+		if !p.issued || p.doneCycle > cycle {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) unitFree(e *robEntry, cycle uint64) bool {
+	switch e.d.SI.Kind {
+	case isa.KindIntDiv:
+		return c.intDivBusyUntil <= cycle
+	case isa.KindFPDiv:
+		return c.fpDivBusyUntil <= cycle
+	}
+	return true
+}
+
+// execute computes e's completion time, accessing the memory system for
+// loads/stores and resolving control flow.
+func (c *Core) execute(e *robEntry, cycle uint64) {
+	e.issued = true
+	e.inIQ = false
+	kind := e.d.SI.Kind
+	lat := uint64(isa.Latency(kind))
+
+	switch kind {
+	case isa.KindLoad:
+		tr := c.mmu.TranslateData(e.d.MemAddr, cycle+1)
+		if tr.Fault {
+			e.exceptionPending = true
+			e.faultPage = tlb.PageOf(e.d.MemAddr)
+			e.doneCycle = tr.Done
+		} else {
+			e.doneCycle = c.l1d.Access(e.d.MemAddr, false, tr.Done)
+		}
+	case isa.KindStore:
+		tr := c.mmu.TranslateData(e.d.MemAddr, cycle+1)
+		if tr.Fault {
+			e.exceptionPending = true
+			e.faultPage = tlb.PageOf(e.d.MemAddr)
+			e.doneCycle = tr.Done
+		} else {
+			// Address+data resolved; the write happens at commit.
+			e.doneCycle = tr.Done + 1
+		}
+	case isa.KindAtomic:
+		tr := c.mmu.TranslateData(e.d.MemAddr, cycle+1)
+		if tr.Fault {
+			e.exceptionPending = true
+			e.faultPage = tlb.PageOf(e.d.MemAddr)
+			e.doneCycle = tr.Done
+		} else {
+			e.doneCycle = c.l1d.Access(e.d.MemAddr, true, tr.Done) + lat
+		}
+	case isa.KindIntDiv:
+		e.doneCycle = cycle + lat
+		c.intDivBusyUntil = e.doneCycle
+	case isa.KindFPDiv:
+		e.doneCycle = cycle + lat
+		c.fpDivBusyUntil = e.doneCycle
+	default:
+		e.doneCycle = cycle + lat
+	}
+
+	if kind.IsControlFlow() {
+		c.branchResolve = append(c.branchResolve, e.doneCycle)
+		if e.fid == c.waitBranchFID {
+			// Mispredict resolved: fetch restarts on the correct path.
+			c.waitBranchFID = invalidFID
+			c.fetchBlockedUntil = maxU64(c.fetchBlockedUntil, e.doneCycle+c.cfg.RedirectPenalty)
+			c.lastFetchLine = ^uint64(0)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+// dispatch moves up to DispatchWidth instructions from the fetch buffer
+// into the ROB and issue queues, enforcing resource limits and serialization.
+func (c *Core) dispatch(cycle uint64) {
+	if c.serializeActive {
+		return
+	}
+	for n := 0; n < c.cfg.DispatchWidth; n++ {
+		if c.fbLen() == 0 {
+			return
+		}
+		f := c.fbPeek()
+		if f.readyAt > cycle {
+			return
+		}
+		in := f.d.SI
+		if in.Kind.IsSerializing() && c.robCount != 0 {
+			return // drain before dispatching a serialized instruction
+		}
+		if c.robCount == c.cfg.ROBEntries {
+			return
+		}
+		class := isa.IssueClassOf(in.Kind)
+		if len(c.iqs[class]) >= c.iqCap(class) {
+			return
+		}
+		if in.Kind.IsMem() && c.lsqCount >= c.cfg.LSQEntries {
+			return
+		}
+		if in.Kind.IsControlFlow() && len(c.branchResolve) >= c.cfg.MaxBranches {
+			return
+		}
+
+		c.fbPop()
+		slot := (c.robHead + c.robCount) % c.cfg.ROBEntries
+		c.robCount++
+		c.nextUop++
+		e := &c.rob[slot]
+		*e = robEntry{
+			d:             f.d,
+			fid:           f.fid,
+			uop:           c.nextUop,
+			iq:            class,
+			inIQ:          true,
+			mispredicted:  f.mispredicted,
+			flushAtCommit: in.FlushAtCommit,
+			serialized:    in.Kind.IsSerializing(),
+		}
+		for _, src := range in.Srcs {
+			if src == isa.RegZero {
+				continue
+			}
+			if p := c.renameRob[src]; p >= 0 {
+				e.deps[e.ndeps] = dep{robIdx: p, uop: c.renameUop[src]}
+				e.ndeps++
+			}
+		}
+		if dst := in.Dst; dst != isa.RegZero {
+			c.renameRob[dst] = int32(slot)
+			c.renameUop[dst] = c.nextUop
+		}
+		if in.Kind.IsMem() {
+			c.lsqCount++
+		}
+		c.iqs[class] = append(c.iqs[class], int32(slot))
+		if e.serialized {
+			c.serializeActive = true
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+
+// fetch fills the fetch buffer with correct-path instructions, modelling
+// I-cache/I-TLB latency per line, branch prediction, BTB bubbles, and
+// blocking on unresolved mispredictions.
+func (c *Core) fetch(cycle uint64) {
+	if cycle < c.fetchBlockedUntil || c.waitBranchFID != invalidFID {
+		return
+	}
+	for delivered := 0; delivered < c.cfg.FetchWidth; delivered++ {
+		if c.fbLen() >= c.cfg.FetchBufEntries {
+			return
+		}
+		d, ok := c.supplyNext()
+		if !ok {
+			return
+		}
+		pc := d.PC()
+		line := pc >> 6
+		if line != c.lastFetchLine {
+			tr := c.mmu.TranslateFetch(pc, cycle)
+			if tr.Fault {
+				// Code pages are prefaulted; an I-side fault means a
+				// workload bug.
+				panic(fmt.Sprintf("cpu: instruction fetch fault at %#x", pc))
+			}
+			done := c.l1i.Access(pc, false, tr.Done)
+			c.lastFetchLine = line
+			if done > cycle+1 {
+				c.fetchBlockedUntil = done
+				c.unread(d)
+				return
+			}
+		}
+
+		fid := c.nextFID
+		c.nextFID++
+		c.stats.Fetched++
+		mispred := false
+		bubble := false
+		switch d.SI.Kind {
+		case isa.KindBranch:
+			pred := c.tage.Predict(pc)
+			c.tage.Update(pc, d.Taken)
+			if pred != d.Taken {
+				mispred = true
+			} else if d.Taken {
+				if _, ok := c.btb.Lookup(pc); !ok {
+					c.btb.Insert(pc, d.NextPC)
+					bubble = true
+				}
+			}
+		case isa.KindJump:
+			if _, ok := c.btb.Lookup(pc); !ok {
+				c.btb.Insert(pc, d.NextPC)
+				bubble = true
+			}
+		case isa.KindCall:
+			c.ras.Push(pc + isa.InstBytes)
+			if _, ok := c.btb.Lookup(pc); !ok {
+				c.btb.Insert(pc, d.NextPC)
+				bubble = true
+			}
+		case isa.KindRet:
+			if d.NextPC != 0 { // 0 = end of program
+				if _, correct := c.ras.Pop(d.NextPC); !correct {
+					mispred = true
+				}
+			}
+		}
+
+		c.fbPush(fetchedInst{d: d, fid: fid, readyAt: cycle + c.cfg.FetchToDispatch, mispredicted: mispred})
+
+		if mispred {
+			c.stats.Mispredicts++
+			// Fetch stalls until the mispredicted instruction
+			// resolves at execute.
+			c.waitBranchFID = fid
+			return
+		}
+		if bubble {
+			c.stats.BTBBubbles++
+			c.fetchBlockedUntil = cycle + c.cfg.BTBMissBubble
+			c.lastFetchLine = ^uint64(0)
+			return
+		}
+		if d.SI.Kind.IsControlFlow() && d.Taken {
+			// A taken redirect ends the fetch group.
+			c.lastFetchLine = ^uint64(0)
+			return
+		}
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/isa"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/xrand"
+)
+
+// randomProgram builds a structurally random but valid program: random
+// block counts, instruction mixes, control flow (branches, jumps, calls,
+// loops), memory behaviours, CSRs and fences.
+func randomProgram(seed uint64) *program.Program {
+	rng := xrand.New(seed)
+	b := program.NewBuilder("fuzz")
+
+	handler := b.Func("os_handler")
+	hb := handler.NewBlock()
+	for i := 0; i < 4+rng.Intn(8); i++ {
+		hb.Op(isa.KindIntALU, isa.IntReg(1+rng.Intn(6)))
+	}
+	hb.Ret()
+
+	// A few leaf functions.
+	nLeaves := 1 + rng.Intn(3)
+	leaves := make([]*program.FuncBuilder, nLeaves)
+	for li := range leaves {
+		f := b.Func("leaf")
+		nb := 1 + rng.Intn(3)
+		blocks := make([]*program.BlockBuilder, nb+1)
+		for i := range blocks {
+			blocks[i] = f.NewBlock()
+		}
+		for i := 0; i < nb; i++ {
+			emitRandomWork(rng, blocks[i], 1+rng.Intn(8))
+			if i < nb-1 && rng.Bool(0.5) {
+				mode := program.BranchBehavior{Mode: program.BrRandom, P: rng.Float64()}
+				if rng.Bool(0.5) {
+					mode = program.BranchBehavior{Mode: program.BrLoop, Trip: 1 + rng.Intn(5)}
+				}
+				blocks[i].Branch(i+1, mode, isa.IntReg(1+rng.Intn(6)))
+			}
+		}
+		blocks[nb].Ret()
+		leaves[li] = f
+	}
+
+	main := b.Func("main")
+	nb := 2 + rng.Intn(4)
+	blocks := make([]*program.BlockBuilder, nb+2)
+	for i := range blocks {
+		blocks[i] = main.NewBlock()
+	}
+	for i := 0; i < nb; i++ {
+		emitRandomWork(rng, blocks[i], 1+rng.Intn(10))
+		if rng.Bool(0.3) {
+			blocks[i].Call(leaves[rng.Intn(nLeaves)])
+			continue
+		}
+		if rng.Bool(0.3) && i < nb-1 {
+			blocks[i].Branch(i+1, program.BranchBehavior{Mode: program.BrPattern,
+				Pattern: []bool{rng.Bool(0.5), rng.Bool(0.5), true}}, isa.IntReg(2))
+		}
+	}
+	blocks[nb].LoopBack(0, 2+rng.Intn(30))
+	blocks[nb+1].Ret()
+
+	b.SetEntry(main)
+	b.SetHandler(handler)
+	return b.MustBuild(0)
+}
+
+func emitRandomWork(rng *xrand.Source, blk *program.BlockBuilder, n int) {
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			blk.Load(isa.IntReg(1+rng.Intn(6)), isa.IntReg(7), program.MemBehavior{
+				Base: 1 << 30, Size: 1 << (10 + rng.Intn(12)),
+				Pattern: program.MemPattern(rng.Intn(3)),
+			})
+		case 1:
+			blk.Store(isa.IntReg(1+rng.Intn(6)), isa.IntReg(7), program.MemBehavior{
+				Base: 2 << 30, Size: 1 << (10 + rng.Intn(10)),
+			})
+		case 2:
+			blk.Op(isa.KindFPALU, isa.FPReg(1+rng.Intn(6)), isa.FPReg(1+rng.Intn(6)))
+		case 3:
+			blk.Op(isa.KindIntMul, isa.IntReg(1+rng.Intn(6)), isa.IntReg(1+rng.Intn(6)))
+		case 4:
+			if rng.Bool(0.3) {
+				blk.CSR("fsflags", isa.IntReg(1), rng.Bool(0.5))
+			} else {
+				blk.Op(isa.KindIntALU, isa.IntReg(1+rng.Intn(6)))
+			}
+		case 5:
+			if rng.Bool(0.2) {
+				blk.Fence()
+			} else {
+				blk.Op(isa.KindIntALU, isa.IntReg(1+rng.Intn(6)))
+			}
+		case 6:
+			if rng.Bool(0.2) {
+				blk.Atomic(isa.IntReg(1+rng.Intn(6)), isa.IntReg(7), program.MemBehavior{
+					Base: 3 << 30, Size: 4096,
+				})
+			} else {
+				blk.Op(isa.KindIntDiv, isa.IntReg(1+rng.Intn(6)), isa.IntReg(1+rng.Intn(6)))
+			}
+		default:
+			blk.Op(isa.KindIntALU, isa.IntReg(1+rng.Intn(6)), isa.IntReg(1+rng.Intn(6)))
+		}
+	}
+}
+
+// TestFuzzRandomPrograms runs dozens of structurally random programs and
+// checks the machine-level invariants on every one: the run terminates,
+// every dynamic instruction commits exactly once, the trace is consistent,
+// and no cycle is lost.
+func TestFuzzRandomPrograms(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		p := randomProgram(seed)
+
+		// Count the dynamic stream length independently.
+		it := program.NewInterp(p, seed)
+		want := uint64(0)
+		capped := &program.CappedStream{S: it, Max: 300_000}
+		for {
+			if _, ok := capped.Next(); !ok {
+				break
+			}
+			want++
+		}
+
+		cfg := DefaultConfig()
+		cfg.MaxCycles = 20_000_000
+		core := New(cfg, p, &program.CappedStream{S: program.NewInterp(p, seed), Max: 300_000})
+		// Half the programs run with demand paging active.
+		if seed%2 == 0 {
+			core.MMU().PrefaultAll()
+		}
+		v := newValidator(t)
+		stats, err := core.Run(v)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// With demand paging, handler instructions add commits.
+		if seed%2 == 0 && stats.Committed != want {
+			t.Fatalf("seed %d: committed %d, stream had %d", seed, stats.Committed, want)
+		}
+		if seed%2 == 1 && stats.Committed < want {
+			t.Fatalf("seed %d: committed %d < stream %d", seed, stats.Committed, want)
+		}
+		if v.total != stats.Cycles {
+			t.Fatalf("seed %d: trace total %d != cycles %d", seed, v.total, stats.Cycles)
+		}
+	}
+}

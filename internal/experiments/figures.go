@@ -1,0 +1,491 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/profiler"
+	"github.com/tipprof/tip/internal/stats"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// figureOrder is the profiler order used across the paper's figures.
+var figureOrder = []profiler.Kind{
+	profiler.KindSoftware, profiler.KindDispatch, profiler.KindLCI,
+	profiler.KindNCI, profiler.KindNCIILP, profiler.KindTIPILP, profiler.KindTIP,
+}
+
+// fig8Kinds drops NCI+ILP (a Fig. 11c-only variant).
+var fig8Kinds = []profiler.Kind{
+	profiler.KindSoftware, profiler.KindDispatch, profiler.KindLCI,
+	profiler.KindNCI, profiler.KindTIPILP, profiler.KindTIP,
+}
+
+func baseErrors(ev *BenchmarkEval, k profiler.Kind) GranErrors {
+	return ev.Periodic[BaseFrequency][k]
+}
+
+// suiteAverage averages an extractor across the evals.
+func suiteAverage(evals []*BenchmarkEval, f func(*BenchmarkEval) float64) float64 {
+	xs := make([]float64, len(evals))
+	for i, ev := range evals {
+		xs[i] = f(ev)
+	}
+	return stats.Mean(xs)
+}
+
+func classAverage(evals []*BenchmarkEval, class string, f func(*BenchmarkEval) float64) float64 {
+	var xs []float64
+	for _, ev := range evals {
+		if ev.Class == class {
+			xs = append(xs, f(ev))
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// Fig01 builds Figure 1: average instruction-level profile error per
+// profiler across the suite (a), and for imagick alone (b).
+func Fig01(evals []*BenchmarkEval) *Table {
+	t := &Table{
+		Title:  "Figure 1: instruction-level profile error (average / imagick)",
+		Header: []string{"Profiler", "Average", "Imagick", "Paper avg"},
+		Notes: []string{
+			"paper averages: Software 61.8%, Dispatch 53.1%, LCI 55.4%, NCI 9.3%, TIP 1.6%; imagick NCI 21.0%",
+		},
+	}
+	paper := map[profiler.Kind]string{
+		profiler.KindSoftware: "61.8%", profiler.KindDispatch: "53.1%",
+		profiler.KindLCI: "55.4%", profiler.KindNCI: "9.3%",
+		profiler.KindNCIILP: "19.3%", profiler.KindTIPILP: "7.2%",
+		profiler.KindTIP: "1.6%",
+	}
+	var imagick *BenchmarkEval
+	for _, ev := range evals {
+		if ev.Name == "imagick" {
+			imagick = ev
+		}
+	}
+	for _, k := range figureOrder {
+		avg := suiteAverage(evals, func(ev *BenchmarkEval) float64 { return baseErrors(ev, k).Inst })
+		im := "-"
+		if imagick != nil {
+			im = pct(baseErrors(imagick, k).Inst)
+		}
+		t.AddRow(k.String(), pct(avg), im, paper[k])
+	}
+	return t
+}
+
+// Fig07 builds Figure 7: normalized commit cycle stacks per benchmark.
+func Fig07(evals []*BenchmarkEval) *Table {
+	t := &Table{
+		Title: "Figure 7: normalized cycle stacks collected at commit",
+		Header: []string{"Benchmark", "Class", "IPC",
+			"Execution", "ALU stall", "Load stall", "Store stall",
+			"Front-end", "Mispredict", "Misc. flush"},
+		Notes: []string{
+			"classes per the paper's rule: >50% execution = Compute; else >3% flush = Flush; else Stall",
+		},
+	}
+	for _, ev := range evals {
+		n := ev.Stack.Normalized()
+		row := []string{ev.Name, ev.Stack.Class(), fmt.Sprintf("%.2f", ev.IPC)}
+		for c := 0; c < profile.NumCategories; c++ {
+			row = append(row, pct(n[c]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// errorFigure builds the common Fig. 8/9/10 shape: per-benchmark errors per
+// profiler at one granularity, plus class and overall averages.
+func errorFigure(evals []*BenchmarkEval, title string, gran profile.Granularity,
+	kinds []profiler.Kind, notes ...string) *Table {
+	header := []string{"Benchmark", "Class"}
+	for _, k := range kinds {
+		header = append(header, k.String())
+	}
+	t := &Table{Title: title, Header: header, Notes: notes}
+	for _, ev := range evals {
+		row := []string{ev.Name, ev.Class}
+		for _, k := range kinds {
+			row = append(row, pct(baseErrors(ev, k).At(gran)))
+		}
+		t.AddRow(row...)
+	}
+	for _, class := range []string{"Compute", "Flush", "Stall"} {
+		row := []string{"avg:" + class, ""}
+		for _, k := range kinds {
+			row = append(row, pct(classAverage(evals, class, func(ev *BenchmarkEval) float64 {
+				return baseErrors(ev, k).At(gran)
+			})))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"avg:All", ""}
+	for _, k := range kinds {
+		row = append(row, pct(suiteAverage(evals, func(ev *BenchmarkEval) float64 {
+			return baseErrors(ev, k).At(gran)
+		})))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// Fig08 builds Figure 8: function-level errors for all profilers.
+func Fig08(evals []*BenchmarkEval) *Table {
+	return errorFigure(evals, "Figure 8: function-level profile error",
+		profile.GranFunction, fig8Kinds,
+		"paper averages: Software 9.1%, Dispatch 5.8%, LCI 1.6%, NCI 0.6%, TIP-ILP 0.4%, TIP 0.3%")
+}
+
+// Fig09 builds Figure 9: basic-block-level errors (accurate profilers).
+func Fig09(evals []*BenchmarkEval) *Table {
+	return errorFigure(evals, "Figure 9: basic-block-level profile error",
+		profile.GranBlock,
+		[]profiler.Kind{profiler.KindLCI, profiler.KindNCI, profiler.KindTIPILP, profiler.KindTIP},
+		"paper averages: LCI 11.9% (lbm 56.1%), NCI 2.3%, TIP-ILP 1.2%, TIP 0.7%")
+}
+
+// Fig10 builds Figure 10: instruction-level errors (accurate profilers).
+func Fig10(evals []*BenchmarkEval) *Table {
+	return errorFigure(evals, "Figure 10: instruction-level profile error",
+		profile.GranInstruction,
+		[]profiler.Kind{profiler.KindNCI, profiler.KindTIPILP, profiler.KindTIP},
+		"paper averages: NCI 9.3% (imagick 21.0%), TIP-ILP 7.2%, TIP 1.6% (gcc 5.0%)")
+}
+
+// Fig11a builds the sampling-frequency sensitivity sweep.
+func Fig11a(evals []*BenchmarkEval, freqs []uint64) *Table {
+	if freqs == nil {
+		freqs = DefaultFrequencies
+	}
+	header := []string{"Profiler"}
+	for _, f := range freqs {
+		header = append(header, fmt.Sprintf("%d Hz", f))
+	}
+	t := &Table{
+		Title:  "Figure 11a: average instruction-level error vs sampling frequency",
+		Header: header,
+		Notes: []string{
+			"paper: errors fall with frequency for all profilers; only TIP keeps improving beyond 4 kHz",
+		},
+	}
+	for _, k := range sweepKinds() {
+		row := []string{k.String()}
+		for _, f := range freqs {
+			row = append(row, pct(suiteAverage(evals, func(ev *BenchmarkEval) float64 {
+				return ev.Periodic[f][k].Inst
+			})))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig11b compares periodic and random sampling for TIP.
+func Fig11b(evals []*BenchmarkEval) *Table {
+	t := &Table{
+		Title:  "Figure 11b: TIP instruction-level error, periodic vs random sampling",
+		Header: []string{"Benchmark", "Class", "Periodic", "Periodic(primed)", "Random"},
+		Notes: []string{
+			"paper: average falls from 1.6% (periodic) to 1.1% (random); repetitive benchmarks benefit most",
+			"Periodic = raw interval (alias-prone, like the paper's); Periodic(primed) = prime interval (used everywhere else); Random = random cycle within each interval",
+		},
+	}
+	for _, ev := range evals {
+		t.AddRow(ev.Name, ev.Class,
+			pct(ev.PeriodicRaw[profiler.KindTIP].Inst),
+			pct(baseErrors(ev, profiler.KindTIP).Inst),
+			pct(ev.Random[profiler.KindTIP].Inst))
+	}
+	t.AddRow("avg:All", "",
+		pct(suiteAverage(evals, func(ev *BenchmarkEval) float64 {
+			return ev.PeriodicRaw[profiler.KindTIP].Inst
+		})),
+		pct(suiteAverage(evals, func(ev *BenchmarkEval) float64 {
+			return baseErrors(ev, profiler.KindTIP).Inst
+		})),
+		pct(suiteAverage(evals, func(ev *BenchmarkEval) float64 {
+			return ev.Random[profiler.KindTIP].Inst
+		})))
+	return t
+}
+
+// Fig11c builds the NCI+ILP box plots: making NCI commit-parallelism-aware
+// hurts (error rises), unlike TIP.
+func Fig11c(evals []*BenchmarkEval) *Table {
+	t := &Table{
+		Title:  "Figure 11c: instruction-level error distribution (box plots)",
+		Header: []string{"Profiler", "Min", "Q1", "Median", "Q3", "Max", "Mean"},
+		Notes: []string{
+			"paper: NCI+ILP average error rises to 19.3% vs NCI 9.3%; TIP stays at 1.6%",
+		},
+	}
+	for _, k := range []profiler.Kind{profiler.KindNCIILP, profiler.KindNCI, profiler.KindTIPILP, profiler.KindTIP} {
+		xs := make([]float64, len(evals))
+		for i, ev := range evals {
+			xs[i] = baseErrors(ev, k).Inst
+		}
+		b := stats.Summarize(xs)
+		t.AddRow(k.String(), pct(b.Min), pct(b.Q1), pct(b.Median), pct(b.Q3), pct(b.Max), pct(stats.Mean(xs)))
+	}
+	return t
+}
+
+// Fig12 runs the Imagick case study and renders the function- and
+// instruction-level profiles of Oracle, TIP and NCI for ceil (§6).
+func Fig12(opt Options) (*Table, error) {
+	opt.fill()
+	w, err := workload.LoadScaled("imagick", opt.Seed, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rc := tip.DefaultRunConfig()
+	rc.TargetSamples = opt.TargetSamples
+	rc.WithBreakdown = true
+	res, err := tip.Run(w, rc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 12: Imagick profiles — Oracle vs TIP vs NCI",
+		Header: []string{"Symbol", "Oracle", "TIP", "NCI"},
+		Notes: []string{
+			"paper: TIP attributes ceil's time to frflags/fsflags; NCI blames feq.d and ret",
+		},
+	}
+	orP := res.Oracle.Profile
+	tipP := res.Sampled[profiler.KindTIP].Profile
+	nciP := res.Sampled[profiler.KindNCI].Profile
+
+	// Function-level shares.
+	or := orP.TopFunctions(0, true)
+	shareOf := func(p *profile.Profile, name string) float64 {
+		for _, r := range p.TopFunctions(0, true) {
+			if r.Name == name {
+				return r.Share
+			}
+		}
+		return 0
+	}
+	sort.Slice(or, func(i, j int) bool { return or[i].Share > or[j].Share })
+	for _, r := range or {
+		if r.Share < 0.005 {
+			continue
+		}
+		t.AddRow("fn "+r.Name, pct(r.Share), pct(shareOf(tipP, r.Name)), pct(shareOf(nciP, r.Name)))
+	}
+	// ceil instruction-level shares.
+	rows := orP.FunctionInstProfile("ceil")
+	tipRows := tipP.FunctionInstProfile("ceil")
+	nciRows := nciP.FunctionInstProfile("ceil")
+	for i, r := range rows {
+		tv, nv := 0.0, 0.0
+		if i < len(tipRows) {
+			tv = tipRows[i].Share
+		}
+		if i < len(nciRows) {
+			nv = nciRows[i].Share
+		}
+		t.AddRow("ceil "+r.Name, pct(r.Share), pct(tv), pct(nv))
+	}
+	return t, nil
+}
+
+// Fig13Result carries the optimization-comparison outcomes for tests.
+type Fig13Result struct {
+	Table      *Table
+	Speedup    float64
+	OrigIPC    float64
+	OptIPC     float64
+	OrigStacks map[string]profile.CycleStack
+	OptStacks  map[string]profile.CycleStack
+	OrigCycles uint64
+	OptCycles  uint64
+}
+
+// Fig13 compares original and optimized Imagick: per-function cycle stacks
+// and the overall speedup (§6, Fig. 13).
+func Fig13(opt Options) (*Fig13Result, error) {
+	opt.fill()
+	run := func(name string) (*tip.Result, error) {
+		w, err := workload.LoadScaled(name, opt.Seed, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		rc := tip.DefaultRunConfig()
+		rc.TargetSamples = opt.TargetSamples
+		rc.WithBreakdown = true
+		rc.Profilers = []profiler.Kind{profiler.KindTIP}
+		return tip.Run(w, rc)
+	}
+	orig, err := run("imagick")
+	if err != nil {
+		return nil, err
+	}
+	optRes, err := run("imagick-opt")
+	if err != nil {
+		return nil, err
+	}
+	fns := []string{"MeanShiftImage", "floor", "ceil", "MorphologyApply"}
+	out := &Fig13Result{
+		Table: &Table{
+			Title: "Figure 13: Imagick original vs optimized — per-function cycle breakdown",
+			Header: []string{"Function", "Variant", "Cycles",
+				"Execution", "ALU stall", "Load stall", "Store stall",
+				"Front-end", "Mispredict", "Misc. flush"},
+		},
+		Speedup:    float64(orig.Stats.Cycles) / float64(optRes.Stats.Cycles),
+		OrigIPC:    orig.Stats.IPC(),
+		OptIPC:     optRes.Stats.IPC(),
+		OrigCycles: orig.Stats.Cycles,
+		OptCycles:  optRes.Stats.Cycles,
+		OrigStacks: map[string]profile.CycleStack{},
+		OptStacks:  map[string]profile.CycleStack{},
+	}
+	for _, fn := range fns {
+		for _, v := range []struct {
+			label string
+			res   *tip.Result
+			dst   map[string]profile.CycleStack
+		}{{"orig", orig, out.OrigStacks}, {"opt", optRes, out.OptStacks}} {
+			st := v.res.Oracle.FunctionStack(fn)
+			v.dst[fn] = st
+			row := []string{fn, v.label, fmt.Sprintf("%.0f", st.Total)}
+			for c := 0; c < profile.NumCategories; c++ {
+				row = append(row, fmt.Sprintf("%.0f", st.Cycles[c]))
+			}
+			out.Table.AddRow(row...)
+		}
+	}
+	out.Table.Notes = append(out.Table.Notes,
+		fmt.Sprintf("speedup %.2fx (paper 1.93x); IPC %.2f -> %.2f (paper 1.2 -> 2.3)",
+			out.Speedup, out.OrigIPC, out.OptIPC))
+	return out, nil
+}
+
+// Table1 renders the simulated configuration.
+func Table1() *Table {
+	cfg := tip.DefaultCoreConfig()
+	t := &Table{
+		Title:  "Table 1: simulated configuration",
+		Header: []string{"Part", "Configuration"},
+	}
+	t.AddRow("Core", fmt.Sprintf("OoO BOOM-style model @ %.1f GHz", float64(cfg.ClockHz)/1e9))
+	t.AddRow("Front-end", fmt.Sprintf("%d-wide fetch, %d-entry fetch buffer, %d-wide decode, TAGE predictor, max %d outstanding branches",
+		cfg.FetchWidth, cfg.FetchBufEntries, cfg.DispatchWidth, cfg.MaxBranches))
+	t.AddRow("Execute", fmt.Sprintf("%d-entry ROB (%d banks), %d-entry %d-issue INT queue, %d-entry %d-issue MEM queue, %d-entry %d-issue FP queue",
+		cfg.ROBEntries, cfg.CommitWidth,
+		cfg.IntIQ.Entries, cfg.IntIQ.Width, cfg.MemIQ.Entries, cfg.MemIQ.Width, cfg.FPIQ.Entries, cfg.FPIQ.Width))
+	t.AddRow("LSU", fmt.Sprintf("%d-entry load/store queue, %d-entry store buffer", cfg.LSQEntries, cfg.StoreBufEntries))
+	h := cfg.Hierarchy
+	t.AddRow("L1", fmt.Sprintf("%d KB %d-way I-cache, %d KB %d-way D-cache w/ %d MSHRs, next-line prefetcher from L2",
+		h.L1I.SizeBytes>>10, h.L1I.Ways, h.L1D.SizeBytes>>10, h.L1D.Ways, h.L1D.MSHRs))
+	t.AddRow("L2/LLC", fmt.Sprintf("%d KB %d-way L2 w/ %d MSHRs, %d MB %d-way LLC w/ %d MSHRs",
+		h.L2.SizeBytes>>10, h.L2.Ways, h.L2.MSHRs, h.LLC.SizeBytes>>20, h.LLC.Ways, h.LLC.MSHRs))
+	t.AddRow("TLB", fmt.Sprintf("page-table walker, %d-entry fully-assoc L1 I/D-TLBs, %d-entry direct-mapped L2 TLB",
+		cfg.TLB.L1Entries, cfg.TLB.L2Entries))
+	t.AddRow("Memory", fmt.Sprintf("banked DRAM: %d banks, %d B rows, row hit/miss %d/%d cycles, queue depth %d",
+		h.DRAM.Banks, h.DRAM.RowBytes, h.DRAM.RowHit, h.DRAM.RowMiss, h.DRAM.QueueDepth))
+	t.AddRow("OS", "synthetic demand-paging fault handler (no full OS)")
+	return t
+}
+
+// OverheadTable renders the §3.2 overhead analysis.
+func OverheadTable() *Table {
+	o := profiler.Overhead{CommitWidth: 4, ClockHz: 3_200_000_000, SampleHz: 4000}
+	t := &Table{
+		Title:  "Section 3.2: TIP overhead analysis",
+		Header: []string{"Quantity", "Value", "Paper"},
+	}
+	t.AddRow("TIP storage", fmt.Sprintf("%d B", o.StorageBytes()), "57 B")
+	t.AddRow("Oracle data rate", fmt.Sprintf("%.0f GB/s", float64(o.OracleBytesPerSecond())/1e9), "179 GB/s")
+	t.AddRow("TIP sample size", fmt.Sprintf("%d B", o.TIPSampleBytes()), "88 B")
+	t.AddRow("non-ILP sample size", fmt.Sprintf("%d B", o.NonILPSampleBytes()), "56 B")
+	t.AddRow("TIP data rate", fmt.Sprintf("%d KB/s", o.TIPBytesPerSecond()/1000), "352 KB/s")
+	t.AddRow("TIP CSR payload rate", fmt.Sprintf("%d KB/s", o.TIPCSRBytesPerSecond()/1000), "192 KB/s")
+	t.AddRow("non-ILP data rate", fmt.Sprintf("%d KB/s", o.NonILPBytesPerSecond()/1000), "224 KB/s")
+	t.AddRow("reduction vs Oracle", fmt.Sprintf("%.0fx", o.ReductionVsOracle()), "several orders of magnitude")
+	return t
+}
+
+// Validation renders the §5.2-style validation: the relative difference
+// between Software and NCI profiles (the paper compared perf vs PEBS on an
+// i7-4770 — 69% — against Software vs NCI on FireSim — 57%).
+func Validation(evals []*BenchmarkEval) *Table {
+	t := &Table{
+		Title:  "Validation: Software vs NCI relative profile difference",
+		Header: []string{"Granularity", "Average difference", "Paper (FireSim)", "Paper (Intel)"},
+	}
+	instAvg := suiteAverage(evals, func(ev *BenchmarkEval) float64 {
+		return ev.CrossProfiler[profiler.KindSoftware][profiler.KindNCI]
+	})
+	t.AddRow("instruction", pct(instAvg), "57%", "69%")
+	funcAvg := suiteAverage(evals, func(ev *BenchmarkEval) float64 {
+		// Function-level gap approximated by |err_sw - err_nci|.
+		d := baseErrors(ev, profiler.KindSoftware).Func - baseErrors(ev, profiler.KindNCI).Func
+		if d < 0 {
+			d = -d
+		}
+		return d
+	})
+	t.AddRow("function", pct(funcAvg), "7%", "4%")
+	return t
+}
+
+// SamplingOverhead measures the §3.2 sampling-runtime overhead by actually
+// injecting the PMU interrupt (pipeline drain + handler + replay) at a
+// range of sampling intervals. The paper measures 1.0-1.1% on an i7-4770 at
+// 4 kHz (one interrupt per 800,000 cycles at 3.2 GHz); the sweep shows our
+// per-interrupt cost and the overhead it implies at the paper's interval.
+func SamplingOverhead(opt Options) (*Table, error) {
+	opt.fill()
+	w, err := workload.LoadScaled("imagick", opt.Seed, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	base, err := tip.MeasureStats(w, tip.DefaultCoreConfig())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Section 3.2: sampling-interrupt runtime overhead (imagick)",
+		Header: []string{"Interval (cycles)", "Interrupts", "Overhead", "Cycles/interrupt"},
+		Notes: []string{
+			"paper: 1.1% runtime overhead at 4 kHz = one interrupt per 800,000 cycles on an i7-4770",
+		},
+	}
+	var perInterrupt float64
+	for _, interval := range []uint64{100_000, 20_000, 5_000, 1_000} {
+		w2, err := workload.LoadScaled("imagick", opt.Seed, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		cfg := tip.DefaultCoreConfig()
+		cfg.SampleInterruptEvery = interval
+		stats, err := tip.MeasureStats(w2, cfg)
+		if err != nil {
+			return nil, err
+		}
+		over := float64(stats.Cycles)/float64(base.Cycles) - 1
+		cpi := 0.0
+		if stats.PMUInterrupts > 0 {
+			cpi = float64(stats.Cycles-base.Cycles) / float64(stats.PMUInterrupts)
+			perInterrupt = cpi
+		}
+		t.AddRow(fmt.Sprintf("%d", interval),
+			fmt.Sprintf("%d", stats.PMUInterrupts),
+			pct2(over), fmt.Sprintf("%.0f", cpi))
+	}
+	implied := perInterrupt / 800_000
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"implied overhead at the paper's 800k-cycle interval: %s with our ~20-cycle CSR-copy handler; "+
+			"perf's real interrupt path (context save, kernel entry, buffer management) costs thousands of "+
+			"cycles per sample, which is how the paper reaches ~1.1%%", pct2(implied)))
+	return t, nil
+}

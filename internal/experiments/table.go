@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4-§6): the profiler-error comparisons (Figs. 1, 8, 9, 10),
+// the cycle stacks (Fig. 7), the sensitivity analyses (Fig. 11), the
+// Imagick case study (Figs. 12, 13), the simulated configuration (Table 1),
+// the §3.2 overhead analysis, and the §5.2 validation experiment.
+//
+// Every experiment renders into a Table so cmd/tipbench can print the same
+// rows/series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// Title identifies the experiment ("Figure 10: ...").
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows hold the data, already formatted.
+	Rows [][]string
+	// Notes carry free-form commentary (paper targets, caveats).
+	Notes []string
+}
+
+// AddRow appends a row of stringable cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// pct2 formats a fraction as a percentage with two decimals.
+func pct2(x float64) string { return fmt.Sprintf("%.2f%%", x*100) }

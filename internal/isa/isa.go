@@ -1,0 +1,210 @@
+// Package isa defines the instruction vocabulary of the simulated machine.
+//
+// The simulator models a RISC-V-flavoured RV64-class core (the paper's BOOM
+// runs RV64IMAFDCSUX). We do not encode or decode real machine code — the
+// workloads are synthetic — but every instruction carries a Kind that mirrors
+// a RISC-V instruction class, so the profiler post-processing step that the
+// paper performs on the application binary ("determine the instruction type")
+// has the same information available.
+package isa
+
+import "fmt"
+
+// Kind classifies an instruction by its functional unit and commit behaviour.
+type Kind uint8
+
+const (
+	// KindNop is an architectural no-op (single-cycle int ALU slot).
+	KindNop Kind = iota
+	// KindIntALU covers single-cycle integer arithmetic and logic.
+	KindIntALU
+	// KindIntMul is a pipelined integer multiply.
+	KindIntMul
+	// KindIntDiv is an unpipelined integer divide.
+	KindIntDiv
+	// KindFPALU covers pipelined FP add/sub/compare/convert.
+	KindFPALU
+	// KindFPMul is a pipelined FP multiply (and fused multiply-add).
+	KindFPMul
+	// KindFPDiv is an unpipelined FP divide/sqrt.
+	KindFPDiv
+	// KindLoad is a memory load through the D-TLB and D-cache.
+	KindLoad
+	// KindStore is a memory store; address/data generated at execute,
+	// written to the memory system at commit.
+	KindStore
+	// KindBranch is a conditional branch resolved at execute.
+	KindBranch
+	// KindJump is an unconditional direct jump.
+	KindJump
+	// KindCall is a direct call (pushes the return-address stack).
+	KindCall
+	// KindRet is a return through the return-address stack.
+	KindRet
+	// KindCSR is a control/status register access. On the modelled BOOM
+	// core, writes to unrenamed status registers (e.g. fsflags/frflags)
+	// flush the pipeline when they commit (paper §6).
+	KindCSR
+	// KindFence is a serializing instruction: all older instructions must
+	// commit before it dispatches and nothing younger dispatches until it
+	// commits (paper §2.2, "Putting-it-all-together").
+	KindFence
+	// KindAtomic is an AMO; modelled as a serialized memory operation.
+	KindAtomic
+
+	numKinds
+)
+
+// NumKinds is the number of distinct instruction kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [NumKinds]string{
+	"nop", "int.alu", "int.mul", "int.div",
+	"fp.alu", "fp.mul", "fp.div",
+	"load", "store",
+	"branch", "jump", "call", "ret",
+	"csr", "fence", "atomic",
+}
+
+// String returns the mnemonic class name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k names a defined instruction kind.
+func (k Kind) Valid() bool { return int(k) < NumKinds }
+
+// IsMem reports whether the instruction accesses data memory.
+func (k Kind) IsMem() bool {
+	return k == KindLoad || k == KindStore || k == KindAtomic
+}
+
+// IsControlFlow reports whether the instruction can redirect fetch.
+func (k Kind) IsControlFlow() bool {
+	switch k {
+	case KindBranch, KindJump, KindCall, KindRet:
+		return true
+	}
+	return false
+}
+
+// IsSerializing reports whether dispatch must drain the ROB first.
+func (k Kind) IsSerializing() bool {
+	return k == KindFence || k == KindAtomic || k == KindCSR
+}
+
+// IsFP reports whether the instruction executes on the FP pipeline.
+func (k Kind) IsFP() bool {
+	return k == KindFPALU || k == KindFPMul || k == KindFPDiv
+}
+
+// IssueClass selects which issue queue an instruction dispatches to.
+type IssueClass uint8
+
+const (
+	// IssueInt is the integer queue (Table 1: 40-entry, 4-issue).
+	IssueInt IssueClass = iota
+	// IssueMem is the memory queue (Table 1: 24-entry, dual-issue).
+	IssueMem
+	// IssueFP is the floating-point queue (Table 1: 32-entry, dual-issue).
+	IssueFP
+
+	numIssueClasses
+)
+
+// NumIssueClasses is the number of issue queues.
+const NumIssueClasses = int(numIssueClasses)
+
+// String names the issue class.
+func (c IssueClass) String() string {
+	switch c {
+	case IssueInt:
+		return "int"
+	case IssueMem:
+		return "mem"
+	case IssueFP:
+		return "fp"
+	}
+	return fmt.Sprintf("issue(%d)", uint8(c))
+}
+
+// IssueClassOf returns the issue queue the kind dispatches to.
+func IssueClassOf(k Kind) IssueClass {
+	switch k {
+	case KindLoad, KindStore, KindAtomic:
+		return IssueMem
+	case KindFPALU, KindFPMul, KindFPDiv:
+		return IssueFP
+	default:
+		return IssueInt
+	}
+}
+
+// Latency returns the execution latency in cycles of kind k, excluding any
+// memory-system time (loads add cache latency on top of their pipe latency).
+// The values model the BOOM configuration in Table 1.
+func Latency(k Kind) int {
+	switch k {
+	case KindNop, KindIntALU, KindBranch, KindJump, KindCall, KindRet, KindCSR:
+		return 1
+	case KindIntMul:
+		return 3
+	case KindIntDiv:
+		return 16
+	case KindFPALU:
+		return 4
+	case KindFPMul:
+		return 4
+	case KindFPDiv:
+		return 20
+	case KindLoad, KindStore:
+		return 1 // address generation; memory time added by the LSU
+	case KindFence:
+		return 1
+	case KindAtomic:
+		return 4
+	}
+	return 1
+}
+
+// Pipelined reports whether the functional unit for k accepts a new
+// instruction every cycle. Divides occupy their unit for the full latency.
+func Pipelined(k Kind) bool {
+	return k != KindIntDiv && k != KindFPDiv
+}
+
+// InstBytes is the size of one instruction in the synthetic address layout.
+// We lay instructions out uncompressed (4 bytes) so PC arithmetic matches a
+// plain RV64 binary.
+const InstBytes = 4
+
+// Reg identifies an architectural register. The simulator uses an abstract
+// unified namespace: integer registers [0,32) and FP registers [32,64).
+// Reg 0 is the hardwired zero register (never a real dependence).
+type Reg uint8
+
+// NumRegs is the size of the architectural register namespace.
+const NumRegs = 64
+
+// RegZero is the hardwired zero register.
+const RegZero Reg = 0
+
+// IntReg returns the i'th integer register (i in [0,32)).
+func IntReg(i int) Reg { return Reg(i & 31) }
+
+// FPReg returns the i'th floating-point register (i in [0,32)).
+func FPReg(i int) Reg { return Reg(32 + (i & 31)) }
+
+// IsFPReg reports whether r names an FP register.
+func (r Reg) IsFPReg() bool { return r >= 32 }
+
+// String returns the RISC-V-style register name.
+func (r Reg) String() string {
+	if r.IsFPReg() {
+		return fmt.Sprintf("f%d", int(r)-32)
+	}
+	return fmt.Sprintf("x%d", int(r))
+}

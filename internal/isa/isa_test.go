@@ -1,0 +1,154 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func allKinds() []Kind {
+	kinds := make([]Kind, NumKinds)
+	for i := range kinds {
+		kinds[i] = Kind(i)
+	}
+	return kinds
+}
+
+func TestKindStringsUnique(t *testing.T) {
+	seen := make(map[string]Kind)
+	for _, k := range allKinds() {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %v and %v share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestInvalidKindString(t *testing.T) {
+	k := Kind(200)
+	if k.Valid() {
+		t.Fatal("Kind(200) reported valid")
+	}
+	if got := k.String(); got != "kind(200)" {
+		t.Fatalf("invalid kind string = %q", got)
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	want := map[Kind]bool{KindLoad: true, KindStore: true, KindAtomic: true}
+	for _, k := range allKinds() {
+		if got := k.IsMem(); got != want[k] {
+			t.Errorf("%v.IsMem() = %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestIsControlFlow(t *testing.T) {
+	want := map[Kind]bool{KindBranch: true, KindJump: true, KindCall: true, KindRet: true}
+	for _, k := range allKinds() {
+		if got := k.IsControlFlow(); got != want[k] {
+			t.Errorf("%v.IsControlFlow() = %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestIsSerializing(t *testing.T) {
+	want := map[Kind]bool{KindFence: true, KindAtomic: true, KindCSR: true}
+	for _, k := range allKinds() {
+		if got := k.IsSerializing(); got != want[k] {
+			t.Errorf("%v.IsSerializing() = %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+func TestIssueClassCoversAllKinds(t *testing.T) {
+	for _, k := range allKinds() {
+		c := IssueClassOf(k)
+		if int(c) >= NumIssueClasses {
+			t.Fatalf("%v maps to invalid issue class %d", k, c)
+		}
+	}
+}
+
+func TestIssueClassAgreement(t *testing.T) {
+	for _, k := range allKinds() {
+		c := IssueClassOf(k)
+		if k.IsFP() && c != IssueFP {
+			t.Errorf("FP kind %v in queue %v", k, c)
+		}
+		if k.IsMem() && c != IssueMem {
+			t.Errorf("mem kind %v in queue %v", k, c)
+		}
+		if !k.IsFP() && !k.IsMem() && c != IssueInt {
+			t.Errorf("kind %v in queue %v, want int", k, c)
+		}
+	}
+}
+
+func TestIssueClassString(t *testing.T) {
+	if IssueInt.String() != "int" || IssueMem.String() != "mem" || IssueFP.String() != "fp" {
+		t.Fatal("issue class names wrong")
+	}
+	if got := IssueClass(9).String(); got != "issue(9)" {
+		t.Fatalf("invalid issue class string = %q", got)
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for _, k := range allKinds() {
+		if Latency(k) < 1 {
+			t.Errorf("%v latency %d < 1", k, Latency(k))
+		}
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	if !(Latency(KindIntALU) < Latency(KindIntMul)) {
+		t.Error("ALU should be faster than multiply")
+	}
+	if !(Latency(KindIntMul) < Latency(KindIntDiv)) {
+		t.Error("multiply should be faster than divide")
+	}
+	if !(Latency(KindFPMul) < Latency(KindFPDiv)) {
+		t.Error("FP multiply should be faster than FP divide")
+	}
+}
+
+func TestDividesUnpipelined(t *testing.T) {
+	for _, k := range allKinds() {
+		want := k != KindIntDiv && k != KindFPDiv
+		if got := Pipelined(k); got != want {
+			t.Errorf("Pipelined(%v) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	if IntReg(0) != RegZero {
+		t.Fatal("IntReg(0) is not the zero register")
+	}
+	if IntReg(5).IsFPReg() {
+		t.Fatal("x5 reported as FP")
+	}
+	if !FPReg(5).IsFPReg() {
+		t.Fatal("f5 not reported as FP")
+	}
+	if got := IntReg(5).String(); got != "x5" {
+		t.Fatalf("IntReg(5) = %q", got)
+	}
+	if got := FPReg(7).String(); got != "f7" {
+		t.Fatalf("FPReg(7) = %q", got)
+	}
+}
+
+func TestRegWraparound(t *testing.T) {
+	if IntReg(32) != IntReg(0) {
+		t.Fatal("IntReg should wrap mod 32")
+	}
+	if FPReg(33) != FPReg(1) {
+		t.Fatal("FPReg should wrap mod 32")
+	}
+}

@@ -1,0 +1,157 @@
+// Package mem models the main-memory substrate: a banked DRAM with
+// row-buffer locality and FR-FCFS-flavoured contention, corresponding to the
+// Table 1 configuration (16 GB DDR3 quad-rank, 25.6 GB/s, 14-14-14 @ 1 GHz,
+// queue depth 8).
+//
+// The model is deliberately latency-oriented: callers ask "when will the
+// data for this line be available?" and the DRAM answers with an absolute
+// core-clock cycle, accounting for bank busy time, row hits/misses, and a
+// bounded per-bank queue. Absolute timings are expressed in core cycles
+// (3.2 GHz), so a 14-cycle DRAM CAS at 1 GHz is ~45 core cycles.
+package mem
+
+import "fmt"
+
+// Config parameterises the DRAM model. All latencies are in core cycles.
+type Config struct {
+	// Banks is the number of independent banks (ranks x banks).
+	Banks int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes uint64
+	// RowHit is the access latency when the row buffer hits (CAS).
+	RowHit uint64
+	// RowMiss is the access latency on a row-buffer conflict
+	// (precharge + activate + CAS).
+	RowMiss uint64
+	// BusOccupancy is how long a bank stays busy per access (data burst
+	// plus command overhead) — this is what creates bandwidth pressure.
+	BusOccupancy uint64
+	// QueueDepth bounds per-bank outstanding requests; a full queue
+	// pushes the request's start time back.
+	QueueDepth int
+}
+
+// DefaultConfig mirrors Table 1 translated to 3.2 GHz core cycles.
+func DefaultConfig() Config {
+	return Config{
+		Banks:        32, // quad-rank x 8 banks
+		RowBytes:     2048,
+		RowHit:       45, // ~14 ns CAS
+		RowMiss:      90, // precharge + activate + CAS
+		BusOccupancy: 8,  // 64 B burst at 25.6 GB/s ≈ 2.5 ns
+		QueueDepth:   8,
+	}
+}
+
+// DRAM is the main-memory timing model.
+type DRAM struct {
+	cfg Config
+	// Per-bank state.
+	openRow  []uint64
+	rowValid []bool
+	// queue[b] holds completion times of in-flight requests (unsorted,
+	// bounded by QueueDepth).
+	queue [][]uint64
+	// busyUntil[b] is when the bank can accept the next request.
+	busyUntil []uint64
+
+	// Stats.
+	Accesses    uint64
+	RowHits     uint64
+	RowMisses   uint64
+	QueueStalls uint64
+}
+
+// New returns a DRAM with the given configuration.
+func New(cfg Config) *DRAM {
+	if cfg.Banks <= 0 {
+		panic(fmt.Sprintf("mem: invalid bank count %d", cfg.Banks))
+	}
+	if cfg.RowBytes == 0 || cfg.QueueDepth <= 0 {
+		panic("mem: invalid DRAM config")
+	}
+	return &DRAM{
+		cfg:       cfg,
+		openRow:   make([]uint64, cfg.Banks),
+		rowValid:  make([]bool, cfg.Banks),
+		queue:     make([][]uint64, cfg.Banks),
+		busyUntil: make([]uint64, cfg.Banks),
+	}
+}
+
+// Access requests the cache line at addr at core cycle now and returns the
+// absolute cycle at which the data is available. Writes have the same bank
+// timing as reads in this model (write buffering is folded into the cache
+// hierarchy's write-back behaviour).
+func (d *DRAM) Access(addr uint64, write bool, now uint64) uint64 {
+	d.Accesses++
+	row := addr / d.cfg.RowBytes
+	bank := int(row) % d.cfg.Banks
+
+	start := now
+	if d.busyUntil[bank] > start {
+		start = d.busyUntil[bank]
+	}
+	// Queue pressure: drop completed entries, and if still at depth, wait
+	// for the oldest to finish.
+	q := d.queue[bank][:0]
+	for _, done := range d.queue[bank] {
+		if done > now {
+			q = append(q, done)
+		}
+	}
+	d.queue[bank] = q
+	if len(q) >= d.cfg.QueueDepth {
+		d.QueueStalls++
+		oldest := q[0]
+		for _, v := range q {
+			if v < oldest {
+				oldest = v
+			}
+		}
+		if oldest > start {
+			start = oldest
+		}
+		// Time advanced: requests that completed by start have drained.
+		q2 := d.queue[bank][:0]
+		for _, done := range d.queue[bank] {
+			if done > start {
+				q2 = append(q2, done)
+			}
+		}
+		d.queue[bank] = q2
+	}
+
+	var lat uint64
+	if d.rowValid[bank] && d.openRow[bank] == row {
+		d.RowHits++
+		lat = d.cfg.RowHit
+	} else {
+		d.RowMisses++
+		lat = d.cfg.RowMiss
+		d.openRow[bank] = row
+		d.rowValid[bank] = true
+	}
+	done := start + lat
+	d.busyUntil[bank] = start + d.cfg.BusOccupancy
+	d.queue[bank] = append(d.queue[bank], done)
+	return done
+}
+
+// Reset clears all bank state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.rowValid {
+		d.rowValid[i] = false
+		d.busyUntil[i] = 0
+		d.queue[i] = d.queue[i][:0]
+	}
+	d.Accesses, d.RowHits, d.RowMisses, d.QueueStalls = 0, 0, 0, 0
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (d *DRAM) RowHitRate() float64 {
+	if d.Accesses == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(d.Accesses)
+}

@@ -1,0 +1,158 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	d := New(DefaultConfig())
+	first := d.Access(0, false, 0)       // row miss (cold)
+	second := d.Access(64, false, first) // same row: hit
+	missLat := first - 0
+	hitLat := second - first
+	if hitLat >= missLat {
+		t.Fatalf("row hit latency %d >= miss latency %d", hitLat, missLat)
+	}
+}
+
+func TestRowConflictReopens(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	now := d.Access(0, false, 0)
+	// Different row, same bank: banks = row % Banks, so row+Banks rows
+	// later maps to the same bank with a different row.
+	conflictAddr := cfg.RowBytes * uint64(cfg.Banks)
+	done := d.Access(conflictAddr, false, now+1000)
+	if lat := done - (now + 1000); lat != cfg.RowMiss {
+		t.Fatalf("row conflict latency %d, want %d", lat, cfg.RowMiss)
+	}
+	if d.RowMisses != 2 {
+		t.Fatalf("RowMisses = %d, want 2", d.RowMisses)
+	}
+}
+
+func TestBankContentionSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	// Two simultaneous accesses to the same bank, different rows.
+	a := d.Access(0, false, 0)
+	b := d.Access(cfg.RowBytes*uint64(cfg.Banks), false, 0)
+	if b <= a-cfg.RowMiss+cfg.BusOccupancy-1 {
+		t.Fatalf("second access (%d) did not wait for bank occupancy (first done %d)", b, a)
+	}
+	if b <= a {
+		// Second access must finish after the first started + occupancy.
+		t.Fatalf("contended access finished too early: %d <= %d", b, a)
+	}
+}
+
+func TestDifferentBanksParallel(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	a := d.Access(0, false, 0)
+	b := d.Access(cfg.RowBytes, false, 0) // next row -> next bank
+	if a != b {
+		t.Fatalf("independent banks should have equal cold latency: %d vs %d", a, b)
+	}
+}
+
+func TestQueueDepthPushback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 2
+	d := New(cfg)
+	// Saturate one bank at time 0.
+	last := uint64(0)
+	for i := 0; i < 6; i++ {
+		last = d.Access(0, false, 0)
+	}
+	if d.QueueStalls == 0 {
+		t.Fatal("expected queue stalls when exceeding depth")
+	}
+	if last < cfg.RowMiss+2*cfg.RowHit {
+		t.Fatalf("saturated bank completed too fast: %d", last)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0, false, 0)
+	d.Access(64, false, 100)
+	d.Reset()
+	if d.Accesses != 0 || d.RowHits != 0 || d.RowMisses != 0 {
+		t.Fatal("stats not cleared")
+	}
+	done := d.Access(64, false, 0)
+	if done != DefaultConfig().RowMiss {
+		t.Fatalf("post-reset access latency %d, want cold miss %d", done, DefaultConfig().RowMiss)
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	d := New(DefaultConfig())
+	if d.RowHitRate() != 0 {
+		t.Fatal("empty DRAM hit rate should be 0")
+	}
+	now := uint64(0)
+	for i := 0; i < 10; i++ {
+		now = d.Access(uint64(i*64), false, now)
+	}
+	if r := d.RowHitRate(); r != 0.9 {
+		t.Fatalf("sequential hit rate = %v, want 0.9", r)
+	}
+}
+
+func TestWritesSameTiming(t *testing.T) {
+	dr := New(DefaultConfig())
+	dw := New(DefaultConfig())
+	r := dr.Access(0, false, 0)
+	w := dw.Access(0, true, 0)
+	if r != w {
+		t.Fatalf("read %d vs write %d timing differ", r, w)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Banks: 0, RowBytes: 1024, QueueDepth: 8},
+		{Banks: 8, RowBytes: 0, QueueDepth: 8},
+		{Banks: 8, RowBytes: 1024, QueueDepth: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: completion time is never before the request time plus the
+// minimum latency, and never retreats for back-to-back same-bank requests.
+func TestQuickMonotoneCompletion(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		d := New(DefaultConfig())
+		now := uint64(0)
+		for _, a := range addrs {
+			done := d.Access(a%(1<<30), false, now)
+			if done < now+DefaultConfig().RowHit {
+				return false
+			}
+			now = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := New(DefaultConfig())
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		now = d.Access(uint64(i)*64, false, now)
+	}
+}

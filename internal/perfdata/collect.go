@@ -1,0 +1,203 @@
+package perfdata
+
+import (
+	"errors"
+	"io"
+
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/profiler"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/sampling"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// Collector models the TIP hardware registers plus the PMU interrupt path:
+// at each sample trigger it snapshots the address/flags/cycle CSRs exactly
+// as the Fig. 6 sample-selection logic populates them and hands the record
+// to the Writer — the role perf's interrupt handler plays on a real system.
+//
+// It is deliberately independent of profiler.Sampled: Sampled is the
+// analytical model used for error evaluation, Collector is the
+// record-and-post-process deployment path, and tests cross-validate that
+// both produce identical profiles.
+type Collector struct {
+	w     *Writer
+	sched sampling.Schedule
+	next  uint64
+
+	core, pid, tid uint32
+
+	// oirPC/flags mirror the hardware OIR.
+	oirValid   bool
+	oirPC      uint64
+	oirMispred bool
+	oirFlush   bool
+	oirExcept  bool
+
+	// pending holds a drained-state sample whose address CSR keeps its
+	// write-enable asserted until the first instruction dispatches
+	// (§3.1, step 8 in Fig. 6).
+	pending    *Sample
+	hasPending bool
+	pendSample Sample
+
+	// Samples counts captured samples (including pending ones).
+	Samples uint64
+}
+
+// NewCollector builds a collector writing to w, sampling on sched.
+func NewCollector(w *Writer, sched sampling.Schedule, core, pid, tid uint32) *Collector {
+	return &Collector{
+		w: w, sched: sched, next: sched.Next(0),
+		core: core, pid: pid, tid: tid,
+	}
+}
+
+// OnCycle implements trace.Consumer.
+func (c *Collector) OnCycle(r *trace.Record) {
+	// Resolve a pending drained sample: when the first instruction's
+	// ROB entry becomes valid, its address latches into Address 0.
+	if c.hasPending && !r.ROBEmpty {
+		if old := r.Oldest(); old != nil {
+			c.pendSample.Addrs[0] = old.PC
+			c.pendSample.ValidMask = 1
+			c.pendSample.OldestID = 0
+			c.w.Write(&c.pendSample)
+			c.hasPending = false
+		}
+	}
+
+	if r.Cycle == c.next {
+		c.capture(r)
+		c.next = c.sched.Next(r.Cycle)
+	}
+
+	// OIR update (youngest committing entry, or the excepting
+	// instruction).
+	if y := r.YoungestCommitting(); y != nil {
+		c.oirValid = true
+		c.oirPC = y.PC
+		c.oirMispred = y.Mispredicted
+		c.oirFlush = y.Flush
+		c.oirExcept = false
+	}
+	if r.ExceptionRaised {
+		c.oirValid = true
+		c.oirPC = r.ExceptionPC
+		c.oirMispred, c.oirFlush, c.oirExcept = false, false, true
+	}
+}
+
+// capture fills the CSR snapshot for the sampled cycle.
+func (c *Collector) capture(r *trace.Record) {
+	c.Samples++
+	s := Sample{
+		Core: c.core, PID: c.pid, TID: c.tid,
+		Time:  r.Cycle,
+		Cycle: r.Cycle,
+	}
+	if r.CommitCount == 0 {
+		s.Flags |= profiler.FlagStalled
+	}
+	if !r.ROBEmpty {
+		if r.CommitCount > 0 {
+			// Computing: valid bits from the commit signals.
+			for i := 0; i < r.NumBanks && i < AddrCSRs; i++ {
+				e := &r.Banks[i]
+				if e.Valid && e.Committing {
+					s.Addrs[i] = e.PC
+					s.ValidMask |= 1 << i
+				}
+			}
+			s.OldestID = r.HeadBank
+		} else if old := r.Oldest(); old != nil {
+			// Stalled: the oldest valid entry.
+			bank := oldestBank(r)
+			s.Addrs[bank] = old.PC
+			s.ValidMask = 1 << bank
+			s.OldestID = bank
+		}
+		c.w.Write(&s)
+		return
+	}
+	// ROB empty: flush (OIR) or drain (wait for the first dispatch).
+	if c.oirValid && (c.oirMispred || c.oirFlush || c.oirExcept) {
+		switch {
+		case c.oirMispred:
+			s.Flags |= profiler.FlagMispredicted
+		case c.oirFlush:
+			s.Flags |= profiler.FlagFlush
+		default:
+			s.Flags |= profiler.FlagException
+		}
+		s.Addrs[0] = c.oirPC
+		s.ValidMask = 1
+		s.OldestID = 0
+		c.w.Write(&s)
+		return
+	}
+	// Drained: hold the record open until an instruction dispatches.
+	s.Flags |= profiler.FlagFrontend
+	c.pendSample = s
+	c.hasPending = true
+}
+
+// Finish implements trace.Consumer; an unresolved drained sample at the end
+// of the run is dropped (no instruction ever arrived).
+func (c *Collector) Finish(totalCycles uint64) {
+	c.hasPending = false
+}
+
+func oldestBank(r *trace.Record) uint8 {
+	for i := 0; i < r.NumBanks; i++ {
+		b := (int(r.HeadBank) + i) % r.NumBanks
+		if r.Banks[b].Valid {
+			return uint8(b)
+		}
+	}
+	return 0
+}
+
+// Postprocess replays a raw-sample stream against the application binary
+// and rebuilds the instruction-level profile and cycle categorization —
+// the offline step perf performs after the run (§3.1): "for each sample,
+// add 1/n of the value in the cycles register to each instruction's
+// counter".
+func Postprocess(r *Reader, prog *program.Program) (*profile.Profile, *profiler.CategoryProfile, error) {
+	prof := profile.New(prog)
+	cats := profiler.NewCategoryProfile(prog, true)
+	var s Sample
+	last := uint64(0)
+	for {
+		if err := r.Next(&s); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, err
+		}
+		period := float64(s.Cycle + 1 - last)
+		last = s.Cycle + 1
+		n := 0
+		for i := 0; i < AddrCSRs; i++ {
+			if s.ValidMask&(1<<i) != 0 {
+				n++
+			}
+		}
+		if n == 0 {
+			continue // dropped/unresolved sample
+		}
+		split := period / float64(n)
+		for i := 0; i < AddrCSRs; i++ {
+			if s.ValidMask&(1<<i) == 0 {
+				continue
+			}
+			idx := int32(-1)
+			if in := prog.InstAt(s.Addrs[i]); in != nil {
+				idx = int32(in.Index)
+			}
+			prof.Add(idx, split)
+			cats.Add(s.Flags, idx, split)
+		}
+	}
+	return prof, cats, nil
+}

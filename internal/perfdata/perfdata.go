@@ -1,0 +1,164 @@
+// Package perfdata models the software half of TIP's deployment (§3.1):
+// the PMU interrupt handler that copies TIP's CSRs into a perf-style buffer
+// at each sample, the on-disk raw-sample format, and the offline
+// post-processing
+// step that turns raw samples plus the application binary into a profile.
+//
+// Each on-disk record is exactly the 88 bytes the paper's overhead analysis
+// counts (§3.2): 40 B of kernel metadata (core/process/thread identifiers
+// and a timestamp) plus TIP's six CSRs — the cycle counter, the merged
+// flags register, and the four per-bank instruction-address registers.
+// Non-ILP profilers would write 56 B (one address); TIP's extra 32 B buys
+// the ILP-aware sample.
+package perfdata
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/tipprof/tip/internal/profiler"
+)
+
+// Magic identifies a TIP raw-sample file.
+const Magic = "TIPPERF1"
+
+// AddrCSRs is the number of per-bank address CSRs (the commit width of the
+// 4-wide BOOM).
+const AddrCSRs = 4
+
+// RecordBytes is the on-disk size of one sample (88 B, §3.2).
+const RecordBytes = metadataBytes + 8 /*cycle*/ + 8 /*flags*/ + AddrCSRs*8
+
+const metadataBytes = 40
+
+// Sample is one raw TIP sample: the CSR snapshot plus perf metadata.
+type Sample struct {
+	// Core, PID, TID identify where the sample was taken (perf reads
+	// these from kernel structures; 40 B per sample with the timestamp
+	// and header).
+	Core uint32
+	PID  uint32
+	TID  uint32
+	// Time is the sample's timestamp; the simulator uses the cycle.
+	Time uint64
+
+	// Cycle is the cycle-counter CSR.
+	Cycle uint64
+	// Flags is the merged flags CSR (§3.1): sample-selection flags in
+	// the low byte, the address-valid bits, and the Oldest ID.
+	Flags profiler.SampleFlags
+	// ValidMask marks which address CSRs hold live instruction
+	// addresses (bit i = Addrs[i]).
+	ValidMask uint8
+	// OldestID is the bank holding the oldest instruction.
+	OldestID uint8
+	// Addrs are the per-bank instruction-address CSRs.
+	Addrs [AddrCSRs]uint64
+}
+
+// packFlags merges the flag fields into the 64-bit flags CSR.
+func (s *Sample) packFlags() uint64 {
+	return uint64(s.Flags) | uint64(s.ValidMask)<<8 | uint64(s.OldestID)<<16
+}
+
+func (s *Sample) unpackFlags(v uint64) {
+	s.Flags = profiler.SampleFlags(v & 0xff)
+	s.ValidMask = uint8(v >> 8)
+	s.OldestID = uint8(v >> 16)
+}
+
+// Writer streams samples in the binary format.
+type Writer struct {
+	w     io.Writer
+	buf   [RecordBytes]byte
+	n     uint64
+	wrote bool
+	err   error
+}
+
+// NewWriter returns a sample writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write appends one sample.
+func (w *Writer) Write(s *Sample) {
+	if w.err != nil {
+		return
+	}
+	if !w.wrote {
+		if _, err := io.WriteString(w.w, Magic); err != nil {
+			w.err = err
+			return
+		}
+		w.wrote = true
+	}
+	b := w.buf[:]
+	le := binary.LittleEndian
+	// 40 B metadata block.
+	le.PutUint32(b[0:], s.Core)
+	le.PutUint32(b[4:], s.PID)
+	le.PutUint32(b[8:], s.TID)
+	le.PutUint32(b[12:], 0) // reserved
+	le.PutUint64(b[16:], s.Time)
+	le.PutUint64(b[24:], 0) // stream id (unused)
+	le.PutUint64(b[32:], 0) // period hint (readers recompute)
+	// CSR block.
+	le.PutUint64(b[40:], s.Cycle)
+	le.PutUint64(b[48:], s.packFlags())
+	for i := 0; i < AddrCSRs; i++ {
+		le.PutUint64(b[56+8*i:], s.Addrs[i])
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// Count returns samples written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Err returns the first write error.
+func (w *Writer) Err() error { return w.err }
+
+// Reader decodes a sample file.
+type Reader struct {
+	r       io.Reader
+	buf     [RecordBytes]byte
+	readHdr bool
+}
+
+// NewReader returns a sample reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads the next sample; io.EOF at end of file.
+func (r *Reader) Next(s *Sample) error {
+	if !r.readHdr {
+		hdr := make([]byte, len(Magic))
+		if _, err := io.ReadFull(r.r, hdr); err != nil {
+			return err
+		}
+		if string(hdr) != Magic {
+			return fmt.Errorf("perfdata: bad magic %q", hdr)
+		}
+		r.readHdr = true
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	le := binary.LittleEndian
+	b := r.buf[:]
+	s.Core = le.Uint32(b[0:])
+	s.PID = le.Uint32(b[4:])
+	s.TID = le.Uint32(b[8:])
+	s.Time = le.Uint64(b[16:])
+	s.Cycle = le.Uint64(b[40:])
+	s.unpackFlags(le.Uint64(b[48:]))
+	for i := 0; i < AddrCSRs; i++ {
+		s.Addrs[i] = le.Uint64(b[56+8*i:])
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package perfdata
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/isa"
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/profiler"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/sampling"
+	"github.com/tipprof/tip/internal/trace"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+func TestRecordSize(t *testing.T) {
+	// The paper's §3.2 counts 88 B per TIP sample: 40 B metadata + six
+	// 64-bit CSRs.
+	if RecordBytes != 88 {
+		t.Fatalf("record size = %d B, want 88", RecordBytes)
+	}
+}
+
+func TestSampleRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []Sample{
+		{Core: 1, PID: 42, TID: 43, Time: 100, Cycle: 100,
+			Flags: profiler.FlagStalled, ValidMask: 0b0100, OldestID: 2,
+			Addrs: [AddrCSRs]uint64{0, 0, 0x10040, 0}},
+		{Core: 1, PID: 42, TID: 43, Time: 300, Cycle: 300,
+			ValidMask: 0b1111, OldestID: 1,
+			Addrs: [AddrCSRs]uint64{0x10000, 0x10004, 0x10008, 0x1000c}},
+	}
+	for i := range in {
+		w.Write(&in[i])
+	}
+	if w.Err() != nil || w.Count() != 2 {
+		t.Fatalf("write: err=%v count=%d", w.Err(), w.Count())
+	}
+	// File size: magic + 2 records.
+	if buf.Len() != len(Magic)+2*RecordBytes {
+		t.Fatalf("file size %d", buf.Len())
+	}
+
+	r := NewReader(&buf)
+	for i := range in {
+		var got Sample
+		if err := r.Next(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got != in[i] {
+			t.Fatalf("sample %d mismatch:\n got %+v\nwant %+v", i, got, in[i])
+		}
+	}
+	var extra Sample
+	if err := r.Next(&extra); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewBufferString("NOTMAGIC" + string(make([]byte, 200))))
+	var s Sample
+	if err := r.Next(&s); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	s := Sample{Cycle: 5, ValidMask: 1}
+	w.Write(&s)
+	data := buf.Bytes()[:buf.Len()-10]
+	r := NewReader(bytes.NewReader(data))
+	var got Sample
+	if err := r.Next(&got); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+}
+
+// runWithCollectorAndSampled runs a workload with both the perfdata
+// Collector and the analytical TIP model on the same trace.
+func runWithCollectorAndSampled(t *testing.T, name string, interval uint64) (
+	*bytes.Buffer, *profiler.Sampled, *program.Program) {
+	t.Helper()
+	w, err := workload.LoadScaled(name, 1, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	coll := NewCollector(pw, sampling.NewPeriodic(interval), 0, 1234, 1234)
+	sampled := profiler.NewSampled(profiler.KindTIP, w.Prog, sampling.NewPeriodic(interval))
+	sampled.EnableCategories(true)
+
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 50_000_000
+	core := cpu.New(cfg, w.Prog, w.Stream())
+	for _, reg := range w.Prefault {
+		core.MMU().PrefaultRange(reg.Base, reg.Size)
+	}
+	if _, err := core.Run(&trace.Tee{Consumers: []trace.Consumer{coll, sampled}}); err != nil {
+		t.Fatal(err)
+	}
+	if pw.Err() != nil {
+		t.Fatal(pw.Err())
+	}
+	return &buf, sampled, w.Prog
+}
+
+// TestPostprocessMatchesAnalyticalTIP: recording CSR snapshots to a file
+// and post-processing them offline reproduces the in-band TIP profile.
+func TestPostprocessMatchesAnalyticalTIP(t *testing.T) {
+	buf, sampled, prog := runWithCollectorAndSampled(t, "imagick", 101)
+	prof, cats, err := Postprocess(NewReader(buf), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := profile.DistributionError(prof.InstCycles, sampled.Profile.InstCycles); e > 1e-9 {
+		t.Fatalf("post-processed profile differs from analytical TIP: TV=%v", e)
+	}
+	for c := 0; c < profile.NumCategories; c++ {
+		a := cats.Stack.Cycles[c]
+		b := sampled.Categories.Stack.Cycles[c]
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("category %v differs: file %v vs analytical %v",
+				profile.Category(c), a, b)
+		}
+	}
+}
+
+func TestPostprocessOnComputeWorkload(t *testing.T) {
+	buf, sampled, prog := runWithCollectorAndSampled(t, "exchange2", 97)
+	prof, _, err := Postprocess(NewReader(buf), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := profile.DistributionError(prof.InstCycles, sampled.Profile.InstCycles); e > 1e-9 {
+		t.Fatalf("profiles differ: TV=%v", e)
+	}
+}
+
+func TestPostprocessUnknownAddressesDropped(t *testing.T) {
+	b := program.NewBuilder("p")
+	f := b.Func("main")
+	blk := f.NewBlock()
+	blk.Op(isa.KindIntALU, isa.IntReg(1))
+	blk.Ret()
+	prog := b.MustBuild(0)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	s := Sample{Cycle: 9, ValidMask: 1, Addrs: [AddrCSRs]uint64{0xdeadbeef}}
+	w.Write(&s)
+	prof, _, err := Postprocess(NewReader(&buf), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Attributed() != 0 {
+		t.Fatalf("unknown address attributed %v cycles", prof.Attributed())
+	}
+}
+
+func TestCollectorDropsUnresolvedDrain(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	coll := NewCollector(w, sampling.NewPeriodic(2), 0, 0, 0)
+	// Cycle 0: commit; cycle 1 (sampled): empty ROB with clean OIR ->
+	// pending drain; then the run ends with no dispatch.
+	var r trace.Record
+	r.NumBanks = 4
+	r.Banks[0] = trace.BankEntry{Valid: true, Committing: true, PC: 0x100, FID: 1, InstIndex: 0}
+	r.CommitCount = 1
+	coll.OnCycle(&r)
+	r = trace.Record{Cycle: 1, NumBanks: 4, ROBEmpty: true}
+	coll.OnCycle(&r)
+	coll.Finish(2)
+	if w.Count() != 0 {
+		t.Fatalf("unresolved drain sample written (%d records)", w.Count())
+	}
+	if coll.Samples != 1 {
+		t.Fatalf("Samples = %d, want 1", coll.Samples)
+	}
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	w := NewWriter(io.Discard)
+	s := Sample{Cycle: 1, ValidMask: 0b1111,
+		Addrs: [AddrCSRs]uint64{0x10000, 0x10004, 0x10008, 0x1000c}}
+	b.SetBytes(RecordBytes)
+	for i := 0; i < b.N; i++ {
+		s.Cycle = uint64(i)
+		w.Write(&s)
+	}
+	if w.Err() != nil {
+		b.Fatal(w.Err())
+	}
+}

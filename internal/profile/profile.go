@@ -1,0 +1,348 @@
+// Package profile defines performance-profile data structures and the
+// paper's evaluation machinery: attributed-cycle profiles at instruction,
+// basic-block and function granularity, the systematic-error metric of §4,
+// and commit-stage cycle stacks (§3.1, Fig. 7).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/tipprof/tip/internal/isa"
+	"github.com/tipprof/tip/internal/program"
+)
+
+// Granularity selects the symbol level profiles are compared at.
+type Granularity int
+
+const (
+	// GranInstruction compares individual instruction addresses.
+	GranInstruction Granularity = iota
+	// GranBlock compares basic blocks.
+	GranBlock
+	// GranFunction compares functions.
+	GranFunction
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case GranInstruction:
+		return "instruction"
+	case GranBlock:
+		return "basic-block"
+	case GranFunction:
+		return "function"
+	}
+	return fmt.Sprintf("granularity(%d)", int(g))
+}
+
+// Category is a commit-stage cycle type (§3.1): execution cycles, stall
+// cycles split by the stalling instruction's type, front-end (drained)
+// cycles, and flush cycles split into branch mispredicts and the rest.
+type Category int
+
+const (
+	// CatExecution: one or more instructions committed.
+	CatExecution Category = iota
+	// CatALUStall: stalled on a non-memory instruction at the ROB head.
+	CatALUStall
+	// CatLoadStall: stalled on a load.
+	CatLoadStall
+	// CatStoreStall: stalled on a store (or atomic).
+	CatStoreStall
+	// CatFrontend: ROB drained because fetch starved (I-cache/I-TLB).
+	CatFrontend
+	// CatMispredict: ROB empty after a branch misprediction flush.
+	CatMispredict
+	// CatMiscFlush: ROB empty after CSR or exception flushes.
+	CatMiscFlush
+
+	// NumCategories is the number of cycle categories.
+	NumCategories = int(iota)
+)
+
+var categoryNames = [NumCategories]string{
+	"Execution", "ALU stall", "Load stall", "Store stall",
+	"Front-end", "Mispredict", "Misc. flush",
+}
+
+// String names the category (matching the Fig. 7 legend).
+func (c Category) String() string {
+	if int(c) < NumCategories {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// StallCategoryOf maps the kind of an instruction blocking the ROB head to
+// its stall category.
+func StallCategoryOf(k isa.Kind) Category {
+	switch k {
+	case isa.KindLoad:
+		return CatLoadStall
+	case isa.KindStore, isa.KindAtomic:
+		return CatStoreStall
+	default:
+		return CatALUStall
+	}
+}
+
+// Profile holds cycles attributed to static instructions of one program.
+// Profiles are produced by profilers (Oracle exactly, the practical
+// profilers statistically) and compared with Error.
+type Profile struct {
+	// Prog is the program the instruction indices refer to.
+	Prog *program.Program
+	// InstCycles[i] is the cycles attributed to static instruction i.
+	InstCycles []float64
+	// TotalCycles is the run's total cycle count (the normalization
+	// denominator; may differ slightly from the sum of InstCycles for
+	// sampled profiles).
+	TotalCycles float64
+}
+
+// New returns an empty profile for prog.
+func New(prog *program.Program) *Profile {
+	return &Profile{Prog: prog, InstCycles: make([]float64, prog.NumInsts())}
+}
+
+// Add attributes w cycles to instruction index idx. Negative indices (used
+// for "unknown") are dropped.
+func (p *Profile) Add(idx int32, w float64) {
+	if idx < 0 || int(idx) >= len(p.InstCycles) {
+		return
+	}
+	p.InstCycles[idx] += w
+}
+
+// Attributed returns the total attributed cycles.
+func (p *Profile) Attributed() float64 {
+	s := 0.0
+	for _, v := range p.InstCycles {
+		s += v
+	}
+	return s
+}
+
+// symbolOf maps an instruction index to its symbol ID at granularity g.
+func (p *Profile) symbolOf(i int, g Granularity) int {
+	switch g {
+	case GranInstruction:
+		return i
+	case GranBlock:
+		return p.Prog.InstByIndex(i).Block().ID
+	default:
+		return p.Prog.InstByIndex(i).Func().Index
+	}
+}
+
+func (p *Profile) numSymbols(g Granularity) int {
+	switch g {
+	case GranInstruction:
+		return p.Prog.NumInsts()
+	case GranBlock:
+		return p.Prog.NumBlocks()
+	default:
+		return p.Prog.NumFuncs()
+	}
+}
+
+// Aggregate returns per-symbol attributed cycles at granularity g. When
+// excludeOS is set, instructions in OS functions (the synthetic page-fault
+// handler) are dropped — the paper only includes samples that hit
+// application code (§4).
+func (p *Profile) Aggregate(g Granularity, excludeOS bool) []float64 {
+	out := make([]float64, p.numSymbols(g))
+	for i, v := range p.InstCycles {
+		if v == 0 {
+			continue
+		}
+		if excludeOS && isOSInst(p.Prog, i) {
+			continue
+		}
+		out[p.symbolOf(i, g)] += v
+	}
+	return out
+}
+
+func isOSInst(prog *program.Program, i int) bool {
+	return prog.InstByIndex(i).Func() == prog.Handler()
+}
+
+// Error computes the paper's systematic profile error of p against the
+// reference (Oracle) profile at granularity g:
+//
+//	e = (c_total − c_correct) / c_total
+//
+// where c_correct is the per-symbol overlap of the two profiles. Both
+// profiles are normalized so e is the total-variation distance in [0, 1].
+func (p *Profile) Error(ref *Profile, g Granularity, excludeOS bool) float64 {
+	a := p.Aggregate(g, excludeOS)
+	b := ref.Aggregate(g, excludeOS)
+	return DistributionError(a, b)
+}
+
+// DistributionError normalizes both vectors and returns 1 − Σ min(a, b).
+func DistributionError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("profile: mismatched symbol spaces")
+	}
+	sa, sb := 0.0, 0.0
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	if sa == 0 || sb == 0 {
+		if sa == sb {
+			return 0
+		}
+		return 1
+	}
+	overlap := 0.0
+	for i := range a {
+		x, y := a[i]/sa, b[i]/sb
+		if x < y {
+			overlap += x
+		} else {
+			overlap += y
+		}
+	}
+	e := 1 - overlap
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// SymbolShare is one row of a profile report.
+type SymbolShare struct {
+	// Name is the symbol's display name.
+	Name string
+	// Share is the fraction of attributed cycles.
+	Share float64
+}
+
+// TopFunctions returns functions by descending share of attributed cycles.
+func (p *Profile) TopFunctions(n int, excludeOS bool) []SymbolShare {
+	agg := p.Aggregate(GranFunction, excludeOS)
+	total := 0.0
+	for _, v := range agg {
+		total += v
+	}
+	out := make([]SymbolShare, 0, len(agg))
+	for i, v := range agg {
+		if v == 0 {
+			continue
+		}
+		out = append(out, SymbolShare{Name: p.Prog.Funcs[i].Name, Share: v / total})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// FunctionInstProfile returns, for the named function, each instruction's
+// share of the cycles attributed within that function (the paper's Fig. 12
+// view: "fraction of time within the function").
+func (p *Profile) FunctionInstProfile(fnName string) []SymbolShare {
+	var fn *program.Function
+	for _, f := range p.Prog.Funcs {
+		if f.Name == fnName {
+			fn = f
+			break
+		}
+	}
+	if fn == nil {
+		return nil
+	}
+	total := 0.0
+	var rows []SymbolShare
+	for _, b := range fn.Blocks {
+		for _, in := range b.Insts {
+			total += p.InstCycles[in.Index]
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Insts {
+			v := p.InstCycles[in.Index]
+			rows = append(rows, SymbolShare{
+				Name:  fmt.Sprintf("%#x %s", in.PC, in.Name()),
+				Share: v / total,
+			})
+		}
+	}
+	return rows
+}
+
+// CycleStack is the per-category cycle breakdown of a run (Fig. 7).
+type CycleStack struct {
+	// Cycles[c] is the cycles attributed to category c.
+	Cycles [NumCategories]float64
+	// Total is the run length in cycles.
+	Total float64
+}
+
+// Add accumulates w cycles of category c.
+func (s *CycleStack) Add(c Category, w float64) { s.Cycles[c] += w }
+
+// Normalized returns per-category fractions of Total.
+func (s *CycleStack) Normalized() [NumCategories]float64 {
+	var out [NumCategories]float64
+	if s.Total == 0 {
+		return out
+	}
+	for i, v := range s.Cycles {
+		out[i] = v / s.Total
+	}
+	return out
+}
+
+// ExecutionShare is the committed fraction (the benchmark-classification
+// input: compute-intensive benchmarks exceed 50%).
+func (s *CycleStack) ExecutionShare() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return s.Cycles[CatExecution] / s.Total
+}
+
+// FlushShare is the flush fraction (mispredict + misc; flush-intensive
+// benchmarks exceed 3%).
+func (s *CycleStack) FlushShare() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return (s.Cycles[CatMispredict] + s.Cycles[CatMiscFlush]) / s.Total
+}
+
+// Class labels the benchmark per the paper's Fig. 7 classification.
+func (s *CycleStack) Class() string {
+	switch {
+	case s.ExecutionShare() > 0.5:
+		return "Compute"
+	case s.FlushShare() > 0.03:
+		return "Flush"
+	default:
+		return "Stall"
+	}
+}
+
+// String renders the stack as a one-line report.
+func (s *CycleStack) String() string {
+	var b strings.Builder
+	n := s.Normalized()
+	for i, v := range n {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s %.1f%%", Category(i), v*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,302 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tipprof/tip/internal/isa"
+	"github.com/tipprof/tip/internal/program"
+)
+
+// twoFuncProgram: main{b0: 2 alu; b1: 1 alu + ret-block} and helper{1 alu,
+// ret}, plus an OS handler.
+func twoFuncProgram(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("p")
+	h := b.Func("os_handler")
+	hb := h.NewBlock()
+	hb.Op(isa.KindIntALU, isa.IntReg(1))
+	hb.Ret()
+	main := b.Func("main")
+	m0 := main.NewBlock()
+	m0.Op(isa.KindIntALU, isa.IntReg(1))
+	m0.Op(isa.KindIntALU, isa.IntReg(2))
+	m1 := main.NewBlock()
+	m1.Op(isa.KindIntALU, isa.IntReg(3))
+	m1.Ret()
+	helper := b.Func("helper")
+	h0 := helper.NewBlock()
+	h0.Op(isa.KindIntALU, isa.IntReg(4))
+	h0.Ret()
+	b.SetEntry(main)
+	b.SetHandler(h)
+	return b.MustBuild(0)
+}
+
+func TestAggregateGranularities(t *testing.T) {
+	p := twoFuncProgram(t)
+	prof := New(p)
+	// Handler: insts 0,1. Main: 2,3 (block), 4,5 (block). Helper: 6,7.
+	prof.Add(2, 10)
+	prof.Add(3, 5)
+	prof.Add(4, 3)
+	prof.Add(6, 2)
+
+	inst := prof.Aggregate(GranInstruction, false)
+	if inst[2] != 10 || inst[3] != 5 {
+		t.Fatalf("instruction aggregate wrong: %v", inst)
+	}
+	blocks := prof.Aggregate(GranBlock, false)
+	mainB0 := p.InstByIndex(2).Block().ID
+	mainB1 := p.InstByIndex(4).Block().ID
+	if blocks[mainB0] != 15 || blocks[mainB1] != 3 {
+		t.Fatalf("block aggregate wrong: %v", blocks)
+	}
+	funcs := prof.Aggregate(GranFunction, false)
+	if funcs[1] != 18 || funcs[2] != 2 {
+		t.Fatalf("function aggregate wrong: %v", funcs)
+	}
+}
+
+func TestAggregateExcludesOS(t *testing.T) {
+	p := twoFuncProgram(t)
+	prof := New(p)
+	prof.Add(0, 100) // handler inst
+	prof.Add(2, 10)
+	funcs := prof.Aggregate(GranFunction, true)
+	if funcs[0] != 0 {
+		t.Fatalf("OS function not excluded: %v", funcs)
+	}
+	if funcs[1] != 10 {
+		t.Fatalf("application cycles wrong: %v", funcs)
+	}
+}
+
+func TestAddIgnoresNegativeIndex(t *testing.T) {
+	p := twoFuncProgram(t)
+	prof := New(p)
+	prof.Add(-1, 5)
+	prof.Add(int32(p.NumInsts()), 5)
+	if prof.Attributed() != 0 {
+		t.Fatal("out-of-range adds were not dropped")
+	}
+}
+
+func TestErrorIdenticalIsZero(t *testing.T) {
+	p := twoFuncProgram(t)
+	a := New(p)
+	a.Add(2, 10)
+	a.Add(4, 5)
+	if e := a.Error(a, GranInstruction, false); e != 0 {
+		t.Fatalf("self error = %v", e)
+	}
+}
+
+func TestErrorDisjointIsOne(t *testing.T) {
+	p := twoFuncProgram(t)
+	a := New(p)
+	a.Add(2, 10)
+	b := New(p)
+	b.Add(4, 10)
+	if e := a.Error(b, GranInstruction, false); e != 1 {
+		t.Fatalf("disjoint error = %v, want 1", e)
+	}
+	// At function level they collide into the same function: error 0.
+	if e := a.Error(b, GranFunction, false); e != 0 {
+		t.Fatalf("function-level error = %v, want 0", e)
+	}
+}
+
+func TestErrorScaleInvariant(t *testing.T) {
+	p := twoFuncProgram(t)
+	a := New(p)
+	a.Add(2, 10)
+	a.Add(4, 30)
+	b := New(p)
+	b.Add(2, 1)
+	b.Add(4, 3)
+	if e := a.Error(b, GranInstruction, false); e > 1e-12 {
+		t.Fatalf("scaled profiles should match: e=%v", e)
+	}
+}
+
+func TestErrorGranularityMonotone(t *testing.T) {
+	// Misattribution within a function hurts at instruction level but
+	// not at function level (the paper's lbm observation).
+	p := twoFuncProgram(t)
+	oracle := New(p)
+	oracle.Add(2, 10)
+	prof := New(p)
+	prof.Add(3, 10) // same block, same function, wrong instruction
+	ei := prof.Error(oracle, GranInstruction, false)
+	eb := prof.Error(oracle, GranBlock, false)
+	ef := prof.Error(oracle, GranFunction, false)
+	if !(ei >= eb && eb >= ef) {
+		t.Fatalf("errors not monotone: inst %v block %v func %v", ei, eb, ef)
+	}
+	if ei != 1 || eb != 0 || ef != 0 {
+		t.Fatalf("unexpected errors: %v %v %v", ei, eb, ef)
+	}
+}
+
+func TestDistributionErrorEmpty(t *testing.T) {
+	if e := DistributionError([]float64{0, 0}, []float64{0, 0}); e != 0 {
+		t.Fatalf("both-empty error = %v", e)
+	}
+	if e := DistributionError([]float64{1, 0}, []float64{0, 0}); e != 1 {
+		t.Fatalf("one-empty error = %v", e)
+	}
+}
+
+func TestDistributionErrorMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	DistributionError([]float64{1}, []float64{1, 2})
+}
+
+// Property: error is symmetric, in [0,1], and zero iff normalized equal.
+func TestQuickErrorProperties(t *testing.T) {
+	f := func(av, bv [6]uint8) bool {
+		a := make([]float64, 6)
+		b := make([]float64, 6)
+		for i := range av {
+			a[i] = float64(av[i])
+			b[i] = float64(bv[i])
+		}
+		e1 := DistributionError(a, b)
+		e2 := DistributionError(b, a)
+		if math.Abs(e1-e2) > 1e-12 {
+			return false
+		}
+		return e1 >= 0 && e1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopFunctions(t *testing.T) {
+	p := twoFuncProgram(t)
+	prof := New(p)
+	prof.Add(2, 30) // main
+	prof.Add(6, 70) // helper
+	top := prof.TopFunctions(10, false)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Name != "helper" || math.Abs(top[0].Share-0.7) > 1e-12 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	one := prof.TopFunctions(1, false)
+	if len(one) != 1 {
+		t.Fatalf("limit not applied: %v", one)
+	}
+}
+
+func TestFunctionInstProfile(t *testing.T) {
+	p := twoFuncProgram(t)
+	prof := New(p)
+	prof.Add(2, 6)
+	prof.Add(3, 2)
+	prof.Add(4, 2)
+	rows := prof.FunctionInstProfile("main")
+	if len(rows) != 4 { // 2+1 alu + ret
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if math.Abs(rows[0].Share-0.6) > 1e-12 {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+	if prof.FunctionInstProfile("nope") != nil {
+		t.Fatal("unknown function should return nil")
+	}
+	empty := New(p)
+	if empty.FunctionInstProfile("main") != nil {
+		t.Fatal("zero-cycle function should return nil")
+	}
+}
+
+func TestCycleStackClassification(t *testing.T) {
+	var s CycleStack
+	s.Add(CatExecution, 60)
+	s.Add(CatLoadStall, 40)
+	s.Total = 100
+	if s.Class() != "Compute" {
+		t.Fatalf("class = %s, want Compute", s.Class())
+	}
+	var f CycleStack
+	f.Add(CatExecution, 40)
+	f.Add(CatMispredict, 2)
+	f.Add(CatMiscFlush, 2)
+	f.Add(CatLoadStall, 56)
+	f.Total = 100
+	if f.Class() != "Flush" {
+		t.Fatalf("class = %s, want Flush", f.Class())
+	}
+	if math.Abs(f.FlushShare()-0.04) > 1e-12 {
+		t.Fatalf("flush share = %v", f.FlushShare())
+	}
+	var st CycleStack
+	st.Add(CatExecution, 30)
+	st.Add(CatLoadStall, 69)
+	st.Add(CatMispredict, 1)
+	st.Total = 100
+	if st.Class() != "Stall" {
+		t.Fatalf("class = %s, want Stall", st.Class())
+	}
+}
+
+func TestCycleStackNormalized(t *testing.T) {
+	var s CycleStack
+	s.Add(CatExecution, 25)
+	s.Add(CatFrontend, 75)
+	s.Total = 100
+	n := s.Normalized()
+	if n[CatExecution] != 0.25 || n[CatFrontend] != 0.75 {
+		t.Fatalf("normalized = %v", n)
+	}
+	var empty CycleStack
+	if empty.Normalized() != [NumCategories]float64{} {
+		t.Fatal("empty stack should normalize to zeros")
+	}
+	if empty.Class() != "Stall" {
+		t.Fatal("empty stack class")
+	}
+}
+
+func TestStallCategoryOf(t *testing.T) {
+	if StallCategoryOf(isa.KindLoad) != CatLoadStall {
+		t.Fatal("load")
+	}
+	if StallCategoryOf(isa.KindStore) != CatStoreStall {
+		t.Fatal("store")
+	}
+	if StallCategoryOf(isa.KindAtomic) != CatStoreStall {
+		t.Fatal("atomic")
+	}
+	if StallCategoryOf(isa.KindFPDiv) != CatALUStall {
+		t.Fatal("fpdiv")
+	}
+}
+
+func TestCategoryAndGranularityNames(t *testing.T) {
+	if CatExecution.String() != "Execution" || CatMiscFlush.String() != "Misc. flush" {
+		t.Fatal("category names")
+	}
+	if GranInstruction.String() != "instruction" || GranFunction.String() != "function" {
+		t.Fatal("granularity names")
+	}
+}
+
+func TestCycleStackString(t *testing.T) {
+	var s CycleStack
+	s.Add(CatExecution, 1)
+	s.Total = 2
+	str := s.String()
+	if str == "" {
+		t.Fatal("empty string render")
+	}
+}

@@ -1,0 +1,134 @@
+package profiler
+
+import (
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// SampleFlags is the TIP flags CSR exposed with each sample (§3.1): the
+// post-processing step combines these with the instruction types from the
+// application binary to label each sample with a cycle category.
+type SampleFlags uint8
+
+const (
+	// FlagStalled: no instructions committed in the sampled cycle.
+	FlagStalled SampleFlags = 1 << iota
+	// FlagMispredicted: ROB empty after a mispredicted control-flow
+	// instruction (from the OIR).
+	FlagMispredicted
+	// FlagFlush: ROB empty after a commit-time pipeline flush.
+	FlagFlush
+	// FlagException: ROB empty after an exception.
+	FlagException
+	// FlagFrontend: ROB empty because the front end starved.
+	FlagFrontend
+)
+
+// Has reports whether all given flags are set.
+func (f SampleFlags) Has(mask SampleFlags) bool { return f&mask == mask }
+
+// CategorizeSample reproduces TIP's post-processing (§3.1): cycles where the
+// application commits are execution cycles; drained cycles are front-end
+// cycles; stalls are split by the stalled instruction's type, looked up in
+// the binary; flushes split into mispredicts and the rest.
+func CategorizeSample(flags SampleFlags, prog *program.Program, instIndex int32) profile.Category {
+	switch {
+	case flags.Has(FlagMispredicted):
+		return profile.CatMispredict
+	case flags.Has(FlagFlush) || flags.Has(FlagException):
+		return profile.CatMiscFlush
+	case flags.Has(FlagFrontend):
+		return profile.CatFrontend
+	case flags.Has(FlagStalled):
+		if instIndex >= 0 && int(instIndex) < prog.NumInsts() {
+			return profile.StallCategoryOf(prog.InstByIndex(int(instIndex)).Kind)
+		}
+		return profile.CatALUStall
+	default:
+		return profile.CatExecution
+	}
+}
+
+// flagsForRecord derives the flags CSR contents for a sample taken at r,
+// given the profiler's OIR state (Fig. 6 sample-selection logic).
+func flagsForRecord(r *trace.Record, o *oir) SampleFlags {
+	var f SampleFlags
+	if r.CommitCount == 0 {
+		f |= FlagStalled
+	}
+	if r.ROBEmpty {
+		switch {
+		case o.valid && o.mispredicted:
+			f |= FlagMispredicted
+		case o.valid && o.flush:
+			f |= FlagFlush
+		case o.valid && o.exception:
+			f |= FlagException
+		default:
+			f |= FlagFrontend
+		}
+	}
+	return f
+}
+
+// CategoryProfile accumulates TIP samples into a cycle stack and an
+// optional per-instruction category matrix — the §3.1 "help developers
+// understand why some instructions take longer than others" output, and
+// the sampled counterpart of Oracle's exact Fig. 13 breakdowns.
+type CategoryProfile struct {
+	prog *program.Program
+	// Stack is the sampled cycle-type breakdown.
+	Stack profile.CycleStack
+	// Breakdown[i][c] is cycles of category c attributed to instruction
+	// i (nil unless enabled).
+	Breakdown [][]float64
+}
+
+// NewCategoryProfile builds an empty categorized profile.
+func NewCategoryProfile(prog *program.Program, withBreakdown bool) *CategoryProfile {
+	cp := &CategoryProfile{prog: prog}
+	if withBreakdown {
+		cp.Breakdown = make([][]float64, prog.NumInsts())
+		for i := range cp.Breakdown {
+			cp.Breakdown[i] = make([]float64, profile.NumCategories)
+		}
+	}
+	return cp
+}
+
+// Add records w cycles on instruction idx under the category derived from
+// flags.
+func (cp *CategoryProfile) Add(flags SampleFlags, idx int32, w float64) {
+	cat := CategorizeSample(flags, cp.prog, idx)
+	cp.Stack.Add(cat, w)
+	cp.Stack.Total += w
+	if cp.Breakdown != nil && idx >= 0 && int(idx) < len(cp.Breakdown) {
+		cp.Breakdown[idx][cat] += w
+	}
+}
+
+// FunctionStack aggregates the sampled per-category breakdown over one
+// function (requires the breakdown matrix).
+func (cp *CategoryProfile) FunctionStack(fnName string) profile.CycleStack {
+	var out profile.CycleStack
+	if cp.Breakdown == nil {
+		return out
+	}
+	for _, f := range cp.prog.Funcs {
+		if f.Name != fnName {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				for c, v := range cp.Breakdown[in.Index] {
+					out.Cycles[c] += v
+				}
+			}
+		}
+	}
+	for _, v := range out.Cycles {
+		out.Total += v
+	}
+	return out
+}

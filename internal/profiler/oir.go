@@ -1,0 +1,58 @@
+// Package profiler implements the paper's profilers: the Oracle golden
+// reference (§2.2), the practical Time-Proportional Instruction Profiler
+// hardware model (§3), and every baseline heuristic evaluated in §5 —
+// Software, Dispatch, LCI, NCI, commit-parallelism-aware NCI (NCI+ILP) and
+// ILP-oblivious TIP (TIP-ILP).
+//
+// All profilers are trace.Consumers over the same per-cycle commit-stage
+// stream, so they observe the exact same execution and — for the sampled
+// profilers — sample the exact same cycles.
+package profiler
+
+import "github.com/tipprof/tip/internal/trace"
+
+// oir models TIP's Offending Instruction Register (§3.1, Fig. 5): every
+// cycle it latches the address and flags of the youngest committing ROB
+// entry, or of the excepting instruction when the core raises an exception.
+// When the ROB is empty, its flags distinguish a flush (attribute the empty
+// cycles to the offending instruction) from a front-end drain.
+type oir struct {
+	valid        bool
+	pc           uint64
+	fid          uint64
+	instIndex    int32
+	mispredicted bool
+	flush        bool
+	exception    bool
+}
+
+// observe latches this cycle's OIR update. Call after the cycle's
+// attribution decisions: the register reflects state from *previous* cycles
+// when the current cycle's ROB is empty (no commits can have happened in an
+// empty-ROB cycle, so the order only matters for committing cycles).
+func (o *oir) observe(r *trace.Record) {
+	if y := r.YoungestCommitting(); y != nil {
+		o.valid = true
+		o.pc = y.PC
+		o.fid = y.FID
+		o.instIndex = y.InstIndex
+		o.mispredicted = y.Mispredicted
+		o.flush = y.Flush
+		o.exception = false
+	}
+	if r.ExceptionRaised {
+		o.valid = true
+		o.pc = r.ExceptionPC
+		o.fid = r.ExceptionFID
+		o.instIndex = r.ExceptionInstIndex
+		o.mispredicted = false
+		o.flush = false
+		o.exception = true
+	}
+}
+
+// flushed reports whether an empty ROB should be classified as Flushed
+// (versus Drained): one of the exception/flush/mispredicted flags is set.
+func (o *oir) flushed() bool {
+	return o.valid && (o.mispredicted || o.flush || o.exception)
+}

@@ -1,0 +1,136 @@
+package profiler
+
+import (
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// Oracle is the golden-reference profiler (§2.2): it attributes every clock
+// cycle to the instruction(s) whose latency the processor exposes in that
+// cycle, following the four commit-stage states of Fig. 3:
+//
+//	Computing: 1/n cycles to each of the n committing instructions.
+//	Stalled:   the cycle goes to the instruction blocking the ROB head.
+//	Flushed:   the cycle goes to the instruction that emptied the ROB
+//	           (mispredicted branch, flushing CSR, or excepting
+//	           instruction), identified via OIR flags.
+//	Drained:   the cycle goes to the first instruction that enters the
+//	           ROB after the front-end stall.
+//
+// Because it accounts every cycle and every dynamic instruction, it cannot
+// be implemented in real hardware (it would generate ~179 GB/s, §3.2) — it
+// exists to quantify the other profilers' systematic error, and to build
+// the commit cycle stacks of Fig. 7.
+type Oracle struct {
+	prog *program.Program
+
+	// Profile is the exact attributed-cycle profile.
+	Profile *profile.Profile
+	// Stack is the cycle-type breakdown (Fig. 7).
+	Stack profile.CycleStack
+	// Breakdown, when enabled, holds per-instruction per-category cycles
+	// (used for the Fig. 12/13 per-function time breakdowns).
+	Breakdown [][]float64
+
+	o            oir
+	drainPending float64
+	finished     bool
+}
+
+// NewOracle returns an Oracle profiler for prog. withBreakdown enables the
+// per-instruction category matrix.
+func NewOracle(prog *program.Program, withBreakdown bool) *Oracle {
+	or := &Oracle{prog: prog, Profile: profile.New(prog)}
+	if withBreakdown {
+		or.Breakdown = make([][]float64, prog.NumInsts())
+		for i := range or.Breakdown {
+			or.Breakdown[i] = make([]float64, profile.NumCategories)
+		}
+	}
+	return or
+}
+
+func (or *Oracle) attr(idx int32, w float64, cat profile.Category) {
+	or.Profile.Add(idx, w)
+	or.Stack.Add(cat, w)
+	if or.Breakdown != nil && idx >= 0 && int(idx) < len(or.Breakdown) {
+		or.Breakdown[idx][cat] += w
+	}
+}
+
+// OnCycle implements trace.Consumer.
+func (or *Oracle) OnCycle(r *trace.Record) {
+	if !r.ROBEmpty {
+		oldest := r.Oldest()
+		if or.drainPending > 0 && oldest != nil {
+			// Drained cycles go to the first instruction that
+			// entered the ROB after the stall.
+			or.attr(oldest.InstIndex, or.drainPending, profile.CatFrontend)
+			or.drainPending = 0
+		}
+		if r.CommitCount > 0 {
+			w := 1.0 / float64(r.CommitCount)
+			for i := 0; i < r.NumBanks; i++ {
+				b := (int(r.HeadBank) + i) % r.NumBanks
+				e := &r.Banks[b]
+				if e.Valid && e.Committing {
+					or.attr(e.InstIndex, w, profile.CatExecution)
+				}
+			}
+		} else if oldest != nil {
+			kind := or.prog.InstByIndex(int(oldest.InstIndex)).Kind
+			or.attr(oldest.InstIndex, 1, profile.StallCategoryOf(kind))
+		}
+	} else {
+		if or.o.flushed() {
+			cat := profile.CatMiscFlush
+			if or.o.mispredicted {
+				cat = profile.CatMispredict
+			}
+			or.attr(or.o.instIndex, 1, cat)
+		} else {
+			or.drainPending++
+		}
+	}
+	or.o.observe(r)
+}
+
+// Finish implements trace.Consumer.
+func (or *Oracle) Finish(totalCycles uint64) {
+	if or.drainPending > 0 {
+		// The run ended while draining (no further dispatch): charge
+		// the cycles to the last known instruction so every cycle
+		// stays accounted for.
+		or.attr(or.o.instIndex, or.drainPending, profile.CatFrontend)
+		or.drainPending = 0
+	}
+	or.Profile.TotalCycles = float64(totalCycles)
+	or.Stack.Total = float64(totalCycles)
+	or.finished = true
+}
+
+// FunctionStack aggregates the per-category breakdown over one function
+// (requires withBreakdown). Used for Fig. 13.
+func (or *Oracle) FunctionStack(fnName string) profile.CycleStack {
+	var out profile.CycleStack
+	if or.Breakdown == nil {
+		return out
+	}
+	for _, f := range or.prog.Funcs {
+		if f.Name != fnName {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				for c, v := range or.Breakdown[in.Index] {
+					out.Cycles[c] += v
+				}
+			}
+		}
+	}
+	for _, v := range out.Cycles {
+		out.Total += v
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package profiler
+
+// Overhead models §3.2's storage and data-rate analysis. The numbers the
+// paper reports for its 4-wide BOOM at 3.2 GHz and perf's default 4 kHz
+// sampling — 57 B of state, 179 GB/s for Oracle, 352 KB/s for TIP, 224 KB/s
+// for non-ILP-aware profilers, and 192 KB/s of TIP CSR payload — all fall
+// out of these formulas.
+type Overhead struct {
+	// CommitWidth is the core's commit width b (ROB banks / address CSRs).
+	CommitWidth int
+	// ClockHz is the core frequency.
+	ClockHz uint64
+	// SampleHz is the sampling frequency.
+	SampleHz uint64
+}
+
+// CSR and record field sizes in bytes. RISC-V CSRs are 64-bit (§3.2).
+const (
+	addrBytes = 8
+	cycleCSR  = 8
+	flagsCSR  = 8
+	// perfMetadataBytes is what perf reads from kernel structures per
+	// sample: core, process and thread identifiers and friends.
+	perfMetadataBytes = 40
+	// oirFlagBits is the OIR flag field width.
+	oirFlagBits = 3
+)
+
+// OracleBytesPerCycle is the per-cycle record Oracle needs: b instruction
+// addresses plus the cycle counter, the flag set, and bank metadata.
+func (o Overhead) OracleBytesPerCycle() uint64 {
+	return uint64(o.CommitWidth)*addrBytes + cycleCSR + flagsCSR + 8
+}
+
+// OracleBytesPerSecond is Oracle's data rate (≈179 GB/s in the paper's
+// setup): it records every cycle.
+func (o Overhead) OracleBytesPerSecond() uint64 {
+	return o.OracleBytesPerCycle() * o.ClockHz
+}
+
+// TIPCSRBytes is the CSR payload TIP exposes per sample: b addresses, the
+// cycle counter and the merged flags CSR (48 B for b=4; 192 KB/s at 4 kHz —
+// the number quoted in the paper's introduction).
+func (o Overhead) TIPCSRBytes() uint64 {
+	return uint64(o.CommitWidth)*addrBytes + cycleCSR + flagsCSR
+}
+
+// TIPSampleBytes is the full per-sample record perf writes for TIP,
+// including kernel metadata (88 B for b=4).
+func (o Overhead) TIPSampleBytes() uint64 {
+	return perfMetadataBytes + o.TIPCSRBytes()
+}
+
+// NonILPSampleBytes is the per-sample record of a single-address profiler
+// such as NCI/PEBS: metadata plus one address and the cycle counter (56 B).
+func (o Overhead) NonILPSampleBytes() uint64 {
+	return perfMetadataBytes + addrBytes + cycleCSR
+}
+
+// TIPBytesPerSecond is TIP's profiling data rate (352 KB/s at 4 kHz).
+func (o Overhead) TIPBytesPerSecond() uint64 {
+	return o.TIPSampleBytes() * o.SampleHz
+}
+
+// TIPCSRBytesPerSecond is the CSR-only data rate (192 KB/s at 4 kHz).
+func (o Overhead) TIPCSRBytesPerSecond() uint64 {
+	return o.TIPCSRBytes() * o.SampleHz
+}
+
+// NonILPBytesPerSecond is the single-address profilers' rate (224 KB/s).
+func (o Overhead) NonILPBytesPerSecond() uint64 {
+	return o.NonILPSampleBytes() * o.SampleHz
+}
+
+// StorageBytes is TIP's hardware state: the OIR (64-bit address plus a
+// 3-bit flag, byte-rounded) and b+2 64-bit CSRs (b addresses, cycle,
+// flags) — 57 B for the 4-wide BOOM.
+func (o Overhead) StorageBytes() uint64 {
+	oirBytes := uint64(addrBytes + (oirFlagBits+7)/8)
+	return oirBytes + uint64(o.CommitWidth+2)*8
+}
+
+// ReductionVsOracle is how many times less data TIP generates than Oracle.
+func (o Overhead) ReductionVsOracle() float64 {
+	return float64(o.OracleBytesPerSecond()) / float64(o.TIPBytesPerSecond())
+}

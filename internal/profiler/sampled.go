@@ -1,0 +1,337 @@
+package profiler
+
+import (
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/sampling"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// Kind identifies a sampled-profiler policy.
+type Kind int
+
+const (
+	// KindSoftware models interrupt-based profiling (Linux perf without
+	// hardware support): the sample lands on the instruction execution
+	// resumes from after all in-flight instructions drain — skid.
+	KindSoftware Kind = iota
+	// KindDispatch models AMD IBS / Arm SPE dispatch tagging: the
+	// instruction at the dispatch stage is tagged and the sample is
+	// collected when it commits.
+	KindDispatch
+	// KindLCI models external monitors (Arm CoreSight): the sample goes
+	// to the last-committed instruction.
+	KindLCI
+	// KindNCI models Intel PEBS: the sample goes to the next-committing
+	// instruction.
+	KindNCI
+	// KindNCIILP is the §5.2 variant of NCI that splits the sample over
+	// all instructions co-committing with the next-committing one.
+	KindNCIILP
+	// KindTIPILP is TIP without ILP accounting: commit-cycle samples go
+	// to a single committing instruction.
+	KindTIPILP
+	// KindTIP is the full Time-Proportional Instruction Profiler (§3).
+	KindTIP
+
+	numKinds
+)
+
+// NumKinds is the number of sampled-profiler policies.
+const NumKinds = int(numKinds)
+
+var kindNames = [NumKinds]string{
+	"Software", "Dispatch", "LCI", "NCI", "NCI+ILP", "TIP-ILP", "TIP",
+}
+
+// String names the policy as in the paper's figures.
+func (k Kind) String() string {
+	if int(k) < NumKinds {
+		return kindNames[k]
+	}
+	return "profiler(?)"
+}
+
+// AllKinds lists every sampled-profiler policy.
+func AllKinds() []Kind {
+	out := make([]Kind, NumKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// pendingSample is a sample awaiting a resolution event.
+type pendingSample struct {
+	weight float64
+	// targetFID is the fetch-ID threshold for Software/Dispatch
+	// resolution; unused by NCI-style pending samples.
+	targetFID uint64
+	// flags are the TIP flags CSR latched at sample time (category
+	// post-processing, §3.1).
+	flags SampleFlags
+}
+
+// Sampled is one statistical profiler instance.
+type Sampled struct {
+	// Kind is the attribution policy.
+	Kind Kind
+	// Profile accumulates the sampled attribution.
+	Profile *profile.Profile
+	// Samples counts collected samples.
+	Samples uint64
+	// Categories, when enabled on a TIP-family profiler, accumulates the
+	// §3.1 flag-based cycle categorization alongside the profile.
+	Categories *CategoryProfile
+
+	prog  *program.Program
+	sched sampling.Schedule
+	next  uint64
+	last  uint64 // previous sample cycle + 1 (start of current window)
+
+	// Policy state.
+	o oir
+	// lastCommitted is the youngest instruction of the most recent
+	// committing cycle (LCI state).
+	lastCommitted    int32
+	lastCommittedSet bool
+	// Pending resolution queues.
+	pendNCI      []pendingSample // resolve on next committing cycle
+	pendNCISplit []pendingSample // resolve splitting across that cycle
+	pendDrain    []pendingSample // TIP front-end: resolve on next valid entry
+	pendFID      []pendingSample // Software/Dispatch: resolve on commit >= FID
+}
+
+// NewSampled builds a sampled profiler of the given kind over prog,
+// sampling on sched.
+func NewSampled(kind Kind, prog *program.Program, sched sampling.Schedule) *Sampled {
+	s := &Sampled{
+		Kind:    kind,
+		Profile: profile.New(prog),
+		prog:    prog,
+		sched:   sched,
+	}
+	s.next = sched.Next(0)
+	return s
+}
+
+// EnableCategories turns on §3.1 sample categorization (TIP exposes the
+// flags CSR; the post-processing needs the program binary). withBreakdown
+// additionally keeps the per-instruction category matrix.
+func (s *Sampled) EnableCategories(withBreakdown bool) {
+	s.Categories = NewCategoryProfile(s.prog, withBreakdown)
+}
+
+// cat records a categorized attribution when categorization is enabled.
+func (s *Sampled) cat(flags SampleFlags, idx int32, w float64) {
+	if s.Categories != nil {
+		s.Categories.Add(flags, idx, w)
+	}
+}
+
+// OnCycle implements trace.Consumer.
+func (s *Sampled) OnCycle(r *trace.Record) {
+	// Resolve pending samples first: a sample taken in an earlier cycle
+	// resolves on this cycle's events (commits, dispatches).
+	s.resolve(r)
+
+	if r.Cycle == s.next {
+		w := float64(r.Cycle + 1 - s.last)
+		s.last = r.Cycle + 1
+		s.next = s.sched.Next(r.Cycle)
+		s.Samples++
+		s.take(r, w)
+	}
+
+	// Track continuous policy state.
+	if s.Kind == KindLCI {
+		if y := r.YoungestCommitting(); y != nil {
+			s.lastCommitted = y.InstIndex
+			s.lastCommittedSet = true
+		}
+	}
+	if s.Kind == KindTIP || s.Kind == KindTIPILP {
+		s.o.observe(r)
+	}
+}
+
+// take captures one sample with the given weight according to the policy.
+func (s *Sampled) take(r *trace.Record, w float64) {
+	switch s.Kind {
+	case KindSoftware:
+		// The interrupt fires, in-flight instructions drain, and the
+		// saved PC is the next instruction after them.
+		if r.AnyInFlight {
+			s.pendFID = append(s.pendFID, pendingSample{weight: w, targetFID: r.YoungestFID + 1})
+		} else {
+			s.pendFID = append(s.pendFID, pendingSample{weight: w, targetFID: 0})
+		}
+	case KindDispatch:
+		if r.DispatchValid {
+			s.pendFID = append(s.pendFID, pendingSample{weight: w, targetFID: r.DispatchFID})
+		} else if r.AnyInFlight {
+			// Nothing at dispatch: tag the next instruction to
+			// arrive there.
+			s.pendFID = append(s.pendFID, pendingSample{weight: w, targetFID: r.YoungestFID + 1})
+		} else {
+			s.pendFID = append(s.pendFID, pendingSample{weight: w, targetFID: 0})
+		}
+	case KindLCI:
+		if r.CommitCount > 0 {
+			// A commit in the sampled cycle: the freshest commit
+			// record is the oldest instruction committing now
+			// (Fig. 4b: the load, not its ILP partner).
+			if old := oldestCommitting(r); old != nil {
+				s.Profile.Add(old.InstIndex, w)
+			}
+		} else if s.lastCommittedSet {
+			s.Profile.Add(s.lastCommitted, w)
+		}
+		// Before the first commit of the run the sample is lost.
+	case KindNCI:
+		// "Next committing" includes instructions committing in the
+		// sampled cycle itself.
+		if old := oldestCommitting(r); old != nil {
+			s.Profile.Add(old.InstIndex, w)
+		} else {
+			s.pendNCI = append(s.pendNCI, pendingSample{weight: w})
+		}
+	case KindNCIILP:
+		if r.CommitCount > 0 {
+			split := w / float64(r.CommitCount)
+			for i := 0; i < r.NumBanks; i++ {
+				b := (int(r.HeadBank) + i) % r.NumBanks
+				e := &r.Banks[b]
+				if e.Valid && e.Committing {
+					s.Profile.Add(e.InstIndex, split)
+				}
+			}
+		} else {
+			s.pendNCISplit = append(s.pendNCISplit, pendingSample{weight: w})
+		}
+	case KindTIP, KindTIPILP:
+		s.takeTIP(r, w)
+	}
+}
+
+// takeTIP implements the Fig. 6 sample-selection logic.
+func (s *Sampled) takeTIP(r *trace.Record, w float64) {
+	flags := flagsForRecord(r, &s.o)
+	if !r.ROBEmpty {
+		if r.CommitCount > 0 {
+			// Computing state.
+			if s.Kind == KindTIP {
+				split := w / float64(r.CommitCount)
+				for i := 0; i < r.NumBanks; i++ {
+					b := (int(r.HeadBank) + i) % r.NumBanks
+					e := &r.Banks[b]
+					if e.Valid && e.Committing {
+						s.Profile.Add(e.InstIndex, split)
+						s.cat(flags, e.InstIndex, split)
+					}
+				}
+			} else if old := oldestCommitting(r); old != nil {
+				// TIP-ILP: single instruction.
+				s.Profile.Add(old.InstIndex, w)
+				s.cat(flags, old.InstIndex, w)
+			}
+			return
+		}
+		// Stalled state: the Oldest ID register points at the stalled
+		// instruction.
+		if old := r.Oldest(); old != nil {
+			s.Profile.Add(old.InstIndex, w)
+			s.cat(flags, old.InstIndex, w)
+		}
+		return
+	}
+	// ROB empty: Flushed (OIR flags set) or Drained (front-end flag; the
+	// sample waits for the first instruction to dispatch).
+	if s.o.flushed() {
+		s.Profile.Add(s.o.instIndex, w)
+		s.cat(flags, s.o.instIndex, w)
+		return
+	}
+	s.pendDrain = append(s.pendDrain, pendingSample{weight: w, flags: flags})
+}
+
+// resolve settles pending samples against this cycle's record.
+func (s *Sampled) resolve(r *trace.Record) {
+	if len(s.pendNCI) > 0 && r.CommitCount > 0 {
+		if old := oldestCommitting(r); old != nil {
+			for _, p := range s.pendNCI {
+				s.Profile.Add(old.InstIndex, p.weight)
+			}
+			s.pendNCI = s.pendNCI[:0]
+		}
+	}
+	if len(s.pendNCISplit) > 0 && r.CommitCount > 0 {
+		split := 1.0 / float64(r.CommitCount)
+		for _, p := range s.pendNCISplit {
+			for i := 0; i < r.NumBanks; i++ {
+				b := (int(r.HeadBank) + i) % r.NumBanks
+				e := &r.Banks[b]
+				if e.Valid && e.Committing {
+					s.Profile.Add(e.InstIndex, p.weight*split)
+				}
+			}
+		}
+		s.pendNCISplit = s.pendNCISplit[:0]
+	}
+	if len(s.pendDrain) > 0 && !r.ROBEmpty {
+		if old := r.Oldest(); old != nil {
+			for _, p := range s.pendDrain {
+				s.Profile.Add(old.InstIndex, p.weight)
+				s.cat(p.flags, old.InstIndex, p.weight)
+			}
+			s.pendDrain = s.pendDrain[:0]
+		}
+	}
+	if len(s.pendFID) > 0 && r.CommitCount > 0 {
+		keep := s.pendFID[:0]
+		for _, p := range s.pendFID {
+			idx, ok := firstCommitAtOrAfter(r, p.targetFID)
+			if ok {
+				s.Profile.Add(idx, p.weight)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		s.pendFID = keep
+	}
+}
+
+// Finish implements trace.Consumer. Unresolved samples are dropped, like
+// samples a real profiler would attribute past the end of the run.
+func (s *Sampled) Finish(totalCycles uint64) {
+	s.Profile.TotalCycles = float64(totalCycles)
+	s.pendNCI = nil
+	s.pendNCISplit = nil
+	s.pendDrain = nil
+	s.pendFID = nil
+}
+
+// oldestCommitting returns the oldest committing bank entry.
+func oldestCommitting(r *trace.Record) *trace.BankEntry {
+	for i := 0; i < r.NumBanks; i++ {
+		b := (int(r.HeadBank) + i) % r.NumBanks
+		e := &r.Banks[b]
+		if e.Valid && e.Committing {
+			return e
+		}
+	}
+	return nil
+}
+
+// firstCommitAtOrAfter returns the instruction index of the oldest
+// committing entry with FID >= target.
+func firstCommitAtOrAfter(r *trace.Record, target uint64) (int32, bool) {
+	for i := 0; i < r.NumBanks; i++ {
+		b := (int(r.HeadBank) + i) % r.NumBanks
+		e := &r.Banks[b]
+		if e.Valid && e.Committing && e.FID >= target {
+			return e.InstIndex, true
+		}
+	}
+	return -1, false
+}

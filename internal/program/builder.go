@@ -1,0 +1,227 @@
+package program
+
+import (
+	"fmt"
+
+	"github.com/tipprof/tip/internal/isa"
+)
+
+// Builder constructs a Program. Workload generators create functions and
+// blocks, fill them with instructions, then call Build, which validates the
+// structure and lays out addresses.
+type Builder struct {
+	prog *Program
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name, EntryIndex: 0, HandlerIndex: -1}}
+}
+
+// Func adds a new function and returns its builder. The first function added
+// is the entry point unless SetEntry overrides it.
+func (b *Builder) Func(name string) *FuncBuilder {
+	f := &Function{Name: name}
+	b.prog.Funcs = append(b.prog.Funcs, f)
+	return &FuncBuilder{b: b, f: f}
+}
+
+// SetEntry marks fb's function as the program entry point.
+func (b *Builder) SetEntry(fb *FuncBuilder) {
+	for i, f := range b.prog.Funcs {
+		if f == fb.f {
+			b.prog.EntryIndex = i
+			return
+		}
+	}
+	panic("program: SetEntry with foreign function")
+}
+
+// SetHandler marks fb's function as the OS page-fault handler.
+func (b *Builder) SetHandler(fb *FuncBuilder) {
+	for i, f := range b.prog.Funcs {
+		if f == fb.f {
+			b.prog.HandlerIndex = i
+			return
+		}
+	}
+	panic("program: SetHandler with foreign function")
+}
+
+// Build validates the program and assigns addresses starting at base
+// (DefaultBase if base is zero).
+func (b *Builder) Build(base uint64) (*Program, error) {
+	if base == 0 {
+		base = DefaultBase
+	}
+	p := b.prog
+	p.layout(base)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// structure is statically known to be valid.
+func (b *Builder) MustBuild(base uint64) *Program {
+	p, err := b.Build(base)
+	if err != nil {
+		panic(fmt.Sprintf("program: %v", err))
+	}
+	return p
+}
+
+// FuncBuilder builds one function.
+type FuncBuilder struct {
+	b *Builder
+	f *Function
+}
+
+// Name returns the function name.
+func (fb *FuncBuilder) Name() string { return fb.f.Name }
+
+// Function returns the function under construction (for call targets).
+func (fb *FuncBuilder) Function() *Function { return fb.f }
+
+// NewBlock appends an empty fall-through block and returns its builder.
+// Blocks are laid out in creation order; targets refer to creation indices,
+// so forward references work by creating blocks up front.
+func (fb *FuncBuilder) NewBlock() *BlockBuilder {
+	blk := &Block{Term: TermFall, Target: -1}
+	fb.f.Blocks = append(fb.f.Blocks, blk)
+	return &BlockBuilder{fb: fb, blk: blk, index: len(fb.f.Blocks) - 1}
+}
+
+// NumBlocks returns the number of blocks created so far.
+func (fb *FuncBuilder) NumBlocks() int { return len(fb.f.Blocks) }
+
+// BlockBuilder builds one basic block.
+type BlockBuilder struct {
+	fb    *FuncBuilder
+	blk   *Block
+	index int
+}
+
+// Index returns the block's index within its function.
+func (bb *BlockBuilder) Index() int { return bb.index }
+
+// Block returns the block under construction.
+func (bb *BlockBuilder) Block() *Block { return bb.blk }
+
+// add appends an instruction and returns it for further customization.
+func (bb *BlockBuilder) add(in *Inst) *Inst {
+	bb.blk.Insts = append(bb.blk.Insts, in)
+	return in
+}
+
+// Op appends a register-register instruction.
+func (bb *BlockBuilder) Op(kind isa.Kind, dst isa.Reg, srcs ...isa.Reg) *Inst {
+	in := &Inst{Kind: kind, Dst: dst}
+	for i, s := range srcs {
+		if i >= 2 {
+			break
+		}
+		in.Srcs[i] = s
+	}
+	return bb.add(in)
+}
+
+// Nop appends an architectural no-op.
+func (bb *BlockBuilder) Nop() *Inst {
+	return bb.add(&Inst{Kind: isa.KindNop})
+}
+
+// Load appends a load with the given address behaviour.
+func (bb *BlockBuilder) Load(dst isa.Reg, addr isa.Reg, mem MemBehavior) *Inst {
+	m := mem
+	if m.Stride == 0 {
+		m.Stride = 8
+	}
+	in := &Inst{Kind: isa.KindLoad, Dst: dst, Mem: &m}
+	in.Srcs[0] = addr
+	return bb.add(in)
+}
+
+// Store appends a store with the given address behaviour.
+func (bb *BlockBuilder) Store(val isa.Reg, addr isa.Reg, mem MemBehavior) *Inst {
+	m := mem
+	if m.Stride == 0 {
+		m.Stride = 8
+	}
+	in := &Inst{Kind: isa.KindStore, Mem: &m}
+	in.Srcs[0] = addr
+	in.Srcs[1] = val
+	return bb.add(in)
+}
+
+// CSR appends a control/status register access. flush marks it as flushing
+// the pipeline at commit (BOOM fsflags/frflags behaviour, paper §6).
+func (bb *BlockBuilder) CSR(mnemonic string, dst isa.Reg, flush bool) *Inst {
+	return bb.add(&Inst{Kind: isa.KindCSR, Mnemonic: mnemonic, Dst: dst, FlushAtCommit: flush})
+}
+
+// Fence appends a serializing fence.
+func (bb *BlockBuilder) Fence() *Inst {
+	return bb.add(&Inst{Kind: isa.KindFence, Mnemonic: "fence"})
+}
+
+// Atomic appends a serialized atomic memory operation.
+func (bb *BlockBuilder) Atomic(dst isa.Reg, addr isa.Reg, mem MemBehavior) *Inst {
+	m := mem
+	if m.Stride == 0 {
+		m.Stride = 8
+	}
+	in := &Inst{Kind: isa.KindAtomic, Mnemonic: "amoadd.d", Dst: dst, Mem: &m}
+	in.Srcs[0] = addr
+	return bb.add(in)
+}
+
+// Branch terminates the block with a conditional branch to target (a block
+// index within the same function); not-taken falls through.
+func (bb *BlockBuilder) Branch(target int, br BranchBehavior, srcs ...isa.Reg) *Inst {
+	in := &Inst{Kind: isa.KindBranch, Br: &br}
+	for i, s := range srcs {
+		if i >= 2 {
+			break
+		}
+		in.Srcs[i] = s
+	}
+	bb.add(in)
+	bb.blk.Term = TermBranch
+	bb.blk.Target = target
+	return in
+}
+
+// LoopBack terminates the block with a loop back-edge to target taken
+// trip-1 times per loop instance.
+func (bb *BlockBuilder) LoopBack(target, trip int, srcs ...isa.Reg) *Inst {
+	return bb.Branch(target, BranchBehavior{Mode: BrLoop, Trip: trip}, srcs...)
+}
+
+// Jump terminates the block with an unconditional jump to target.
+func (bb *BlockBuilder) Jump(target int) *Inst {
+	in := &Inst{Kind: isa.KindJump}
+	bb.add(in)
+	bb.blk.Term = TermJump
+	bb.blk.Target = target
+	return in
+}
+
+// Call terminates the block with a call to callee; execution resumes at the
+// next block after the callee returns.
+func (bb *BlockBuilder) Call(callee *FuncBuilder) *Inst {
+	in := &Inst{Kind: isa.KindCall}
+	bb.add(in)
+	bb.blk.Term = TermCall
+	bb.blk.Callee = callee.f
+	return in
+}
+
+// Ret terminates the block with a function return.
+func (bb *BlockBuilder) Ret() *Inst {
+	in := &Inst{Kind: isa.KindRet, Mnemonic: "ret"}
+	bb.add(in)
+	bb.blk.Term = TermRet
+	return in
+}

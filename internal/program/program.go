@@ -1,0 +1,388 @@
+// Package program defines the static program representation executed by the
+// simulated core and the interpreter that turns it into a dynamic
+// instruction stream.
+//
+// A Program is a list of Functions; a Function is a list of basic Blocks; a
+// Block is straight-line code ending in an optional control-flow terminator.
+// After Layout, every instruction has a unique PC and the package provides
+// the symbolization maps (PC -> instruction -> basic block -> function) that
+// profilers use to aggregate attributed cycles at the three granularities the
+// paper evaluates (instruction, basic block, function).
+//
+// The package deliberately separates the *static* program (shared, immutable
+// after Layout) from the *dynamic* execution state (Interp), so one program
+// can be run many times — e.g. once per profiler sweep — deterministically.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tipprof/tip/internal/isa"
+)
+
+// DefaultBase is the address of the first instruction after Layout. It is
+// page-aligned and nonzero so PC 0 can mean "no instruction".
+const DefaultBase uint64 = 0x10000
+
+// MemPattern selects how a memory instruction generates addresses.
+type MemPattern uint8
+
+const (
+	// MemStride walks the region with a fixed stride, wrapping.
+	MemStride MemPattern = iota
+	// MemRandom picks uniformly random cache-block-aligned addresses in
+	// the region.
+	MemRandom
+	// MemChase walks a pseudo-random permutation of the region's cache
+	// blocks (dependent-load pointer chasing behaviour).
+	MemChase
+)
+
+// String names the pattern.
+func (p MemPattern) String() string {
+	switch p {
+	case MemStride:
+		return "stride"
+	case MemRandom:
+		return "random"
+	case MemChase:
+		return "chase"
+	}
+	return fmt.Sprintf("mempattern(%d)", uint8(p))
+}
+
+// MemBehavior describes the address stream of a static load or store.
+type MemBehavior struct {
+	// Base and Size delimit the data region in bytes.
+	Base uint64
+	Size uint64
+	// Pattern selects the address generator.
+	Pattern MemPattern
+	// Stride is the byte stride for MemStride (defaults to 8).
+	Stride uint64
+}
+
+// BranchMode selects how a conditional branch decides its direction.
+type BranchMode uint8
+
+const (
+	// BrRandom takes the branch with probability P each execution.
+	BrRandom BranchMode = iota
+	// BrLoop is a loop back-edge: taken Trip-1 times, then not taken once
+	// (then the counter resets). Trip must be >= 1.
+	BrLoop
+	// BrPattern cycles through the fixed Pattern of outcomes.
+	BrPattern
+)
+
+// BranchBehavior describes the outcome stream of a conditional branch.
+type BranchBehavior struct {
+	Mode    BranchMode
+	P       float64 // BrRandom: taken probability
+	Trip    int     // BrLoop: iterations per loop instance
+	Pattern []bool  // BrPattern: repeating outcome sequence
+}
+
+// TermKind is a block terminator's control-flow type.
+type TermKind uint8
+
+const (
+	// TermFall falls through to the next block in the function.
+	TermFall TermKind = iota
+	// TermBranch is a conditional branch; taken goes to Target, not-taken
+	// falls through. The branch instruction is the last in the block.
+	TermBranch
+	// TermJump unconditionally jumps to Target within the function.
+	TermJump
+	// TermCall calls Callee and falls through to the next block on
+	// return. The call instruction is the last in the block.
+	TermCall
+	// TermRet returns from the function.
+	TermRet
+)
+
+// Inst is one static instruction.
+type Inst struct {
+	// PC is assigned by Layout.
+	PC uint64
+	// Index is the global static-instruction index assigned by Layout
+	// (dense, suitable for array-indexed profiles).
+	Index int
+	// Kind is the functional class.
+	Kind isa.Kind
+	// Mnemonic is an optional precise name (e.g. "frflags", "feq.d") used
+	// in reports; defaults to Kind.String().
+	Mnemonic string
+	// Dst and Srcs are architectural registers. RegZero means unused.
+	Dst  isa.Reg
+	Srcs [2]isa.Reg
+	// Mem describes the address stream for loads/stores/atomics.
+	Mem *MemBehavior
+	// Br describes the outcome stream if this is a conditional branch.
+	Br *BranchBehavior
+	// FlushAtCommit marks instructions that flush the pipeline when they
+	// commit (CSR writes to unrenamed status registers on BOOM, §6).
+	FlushAtCommit bool
+
+	block *Block
+}
+
+// Name returns the mnemonic if set, else the kind name.
+func (in *Inst) Name() string {
+	if in.Mnemonic != "" {
+		return in.Mnemonic
+	}
+	return in.Kind.String()
+}
+
+// Block returns the containing basic block.
+func (in *Inst) Block() *Block { return in.block }
+
+// Func returns the containing function.
+func (in *Inst) Func() *Function { return in.block.fn }
+
+// Block is a basic block: straight-line instructions plus a terminator.
+type Block struct {
+	// ID is the global basic-block index assigned by Layout.
+	ID int
+	// IndexInFunc is the block's position within its function.
+	IndexInFunc int
+	// Insts includes the terminator instruction (if the terminator has
+	// one: branch, jump, call, ret).
+	Insts []*Inst
+	// Term describes control flow out of the block.
+	Term TermKind
+	// Target is the IndexInFunc of the taken/jump target block.
+	Target int
+	// Callee is the called function for TermCall.
+	Callee *Function
+
+	fn *Function
+}
+
+// Func returns the containing function.
+func (b *Block) Func() *Function { return b.fn }
+
+// Start returns the PC of the block's first instruction.
+func (b *Block) Start() uint64 {
+	if len(b.Insts) == 0 {
+		return 0
+	}
+	return b.Insts[0].PC
+}
+
+// Function is a named sequence of basic blocks; entry is Blocks[0].
+type Function struct {
+	// Name is the symbol name (e.g. "MeanShiftImage").
+	Name string
+	// Index is the global function index assigned by Layout.
+	Index int
+	// Blocks lists the function's basic blocks in layout order.
+	Blocks []*Block
+
+	start, end uint64
+}
+
+// Start returns the function's first PC (valid after Layout).
+func (f *Function) Start() uint64 { return f.start }
+
+// End returns one past the function's last PC (valid after Layout).
+func (f *Function) End() uint64 { return f.end }
+
+// NumInsts returns the function's static instruction count.
+func (f *Function) NumInsts() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// Program is a complete laid-out program.
+type Program struct {
+	// Name identifies the workload (e.g. "imagick").
+	Name string
+	// Funcs lists all functions; Funcs[EntryIndex] is the entry point.
+	Funcs []*Function
+	// EntryIndex is the index of the entry function in Funcs.
+	EntryIndex int
+	// HandlerIndex is the index of the OS page-fault handler function, or
+	// -1 if the program has none.
+	HandlerIndex int
+
+	base   uint64
+	insts  []*Inst // dense, by Index
+	blocks []*Block
+}
+
+// Base returns the address of the first instruction.
+func (p *Program) Base() uint64 { return p.base }
+
+// NumInsts returns the total static instruction count.
+func (p *Program) NumInsts() int { return len(p.insts) }
+
+// NumBlocks returns the total basic block count.
+func (p *Program) NumBlocks() int { return len(p.blocks) }
+
+// NumFuncs returns the function count.
+func (p *Program) NumFuncs() int { return len(p.Funcs) }
+
+// Entry returns the entry function.
+func (p *Program) Entry() *Function { return p.Funcs[p.EntryIndex] }
+
+// Handler returns the OS fault-handler function, or nil.
+func (p *Program) Handler() *Function {
+	if p.HandlerIndex < 0 {
+		return nil
+	}
+	return p.Funcs[p.HandlerIndex]
+}
+
+// InstAt returns the instruction at pc, or nil if pc is not a valid
+// instruction address.
+func (p *Program) InstAt(pc uint64) *Inst {
+	if pc < p.base {
+		return nil
+	}
+	idx := (pc - p.base) / isa.InstBytes
+	if idx >= uint64(len(p.insts)) {
+		return nil
+	}
+	if (pc-p.base)%isa.InstBytes != 0 {
+		return nil
+	}
+	return p.insts[idx]
+}
+
+// InstByIndex returns the instruction with the given global index.
+func (p *Program) InstByIndex(i int) *Inst { return p.insts[i] }
+
+// BlockByID returns the basic block with the given global ID.
+func (p *Program) BlockByID(i int) *Block { return p.blocks[i] }
+
+// FuncAt returns the function containing pc, or nil.
+func (p *Program) FuncAt(pc uint64) *Function {
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i].end > pc })
+	if i < len(p.Funcs) && pc >= p.Funcs[i].start {
+		return p.Funcs[i]
+	}
+	return nil
+}
+
+// CodeBytes returns the size of the program's text segment.
+func (p *Program) CodeBytes() uint64 {
+	return uint64(len(p.insts)) * isa.InstBytes
+}
+
+// Validate checks structural invariants: nonempty functions and blocks,
+// in-range branch targets, terminator instruction kinds, and layout
+// consistency. Workload generators call it after building.
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("program %q has no functions", p.Name)
+	}
+	if p.EntryIndex < 0 || p.EntryIndex >= len(p.Funcs) {
+		return fmt.Errorf("program %q entry index %d out of range", p.Name, p.EntryIndex)
+	}
+	if p.HandlerIndex >= len(p.Funcs) {
+		return fmt.Errorf("program %q handler index %d out of range", p.Name, p.HandlerIndex)
+	}
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("function %q has no blocks", f.Name)
+		}
+		for _, b := range f.Blocks {
+			if len(b.Insts) == 0 {
+				return fmt.Errorf("function %q block %d is empty", f.Name, b.IndexInFunc)
+			}
+			last := b.Insts[len(b.Insts)-1]
+			switch b.Term {
+			case TermBranch:
+				if last.Kind != isa.KindBranch {
+					return fmt.Errorf("%s/b%d: branch terminator but last inst is %v", f.Name, b.IndexInFunc, last.Kind)
+				}
+				if last.Br == nil {
+					return fmt.Errorf("%s/b%d: branch without behaviour", f.Name, b.IndexInFunc)
+				}
+				if b.Target < 0 || b.Target >= len(f.Blocks) {
+					return fmt.Errorf("%s/b%d: branch target %d out of range", f.Name, b.IndexInFunc, b.Target)
+				}
+				if b.IndexInFunc == len(f.Blocks)-1 {
+					return fmt.Errorf("%s/b%d: conditional branch in last block cannot fall through", f.Name, b.IndexInFunc)
+				}
+			case TermJump:
+				if last.Kind != isa.KindJump {
+					return fmt.Errorf("%s/b%d: jump terminator but last inst is %v", f.Name, b.IndexInFunc, last.Kind)
+				}
+				if b.Target < 0 || b.Target >= len(f.Blocks) {
+					return fmt.Errorf("%s/b%d: jump target %d out of range", f.Name, b.IndexInFunc, b.Target)
+				}
+			case TermCall:
+				if last.Kind != isa.KindCall {
+					return fmt.Errorf("%s/b%d: call terminator but last inst is %v", f.Name, b.IndexInFunc, last.Kind)
+				}
+				if b.Callee == nil {
+					return fmt.Errorf("%s/b%d: call without callee", f.Name, b.IndexInFunc)
+				}
+				if b.IndexInFunc == len(f.Blocks)-1 {
+					return fmt.Errorf("%s/b%d: call in last block cannot fall through on return", f.Name, b.IndexInFunc)
+				}
+			case TermRet:
+				if last.Kind != isa.KindRet {
+					return fmt.Errorf("%s/b%d: ret terminator but last inst is %v", f.Name, b.IndexInFunc, last.Kind)
+				}
+			case TermFall:
+				if b.IndexInFunc == len(f.Blocks)-1 {
+					return fmt.Errorf("%s/b%d: last block falls off the function end", f.Name, b.IndexInFunc)
+				}
+			default:
+				return fmt.Errorf("%s/b%d: unknown terminator %d", f.Name, b.IndexInFunc, b.Term)
+			}
+			for _, in := range b.Insts {
+				if in.Kind.IsMem() && in.Mem == nil {
+					return fmt.Errorf("%s/b%d: memory inst %v without behaviour", f.Name, b.IndexInFunc, in.Kind)
+				}
+				if in.Mem != nil && in.Mem.Size == 0 {
+					return fmt.Errorf("%s/b%d: memory region size 0", f.Name, b.IndexInFunc)
+				}
+			}
+		}
+		// The last block must not fall through; enforced above. Also check
+		// the function is reachable-terminated: at least one ret or jump
+		// that ends execution is the interpreter's job (it errors on
+		// fall-off), so only structural checks here.
+	}
+	return nil
+}
+
+// layout assigns PCs, indices and builds lookup tables. Called by the
+// Builder; exported indirectly through Builder.Build.
+func (p *Program) layout(base uint64) {
+	p.base = base
+	pc := base
+	instIdx := 0
+	blockID := 0
+	p.insts = p.insts[:0]
+	p.blocks = p.blocks[:0]
+	for fi, f := range p.Funcs {
+		f.Index = fi
+		f.start = pc
+		for bi, b := range f.Blocks {
+			b.fn = f
+			b.IndexInFunc = bi
+			b.ID = blockID
+			blockID++
+			p.blocks = append(p.blocks, b)
+			for _, in := range b.Insts {
+				in.block = b
+				in.PC = pc
+				in.Index = instIdx
+				instIdx++
+				p.insts = append(p.insts, in)
+				pc += isa.InstBytes
+			}
+		}
+		f.end = pc
+	}
+}

@@ -1,0 +1,577 @@
+package program
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/isa"
+)
+
+// buildLinear builds: entry { b0: n ALU ops; ret }.
+func buildLinear(t *testing.T, n int) *Program {
+	t.Helper()
+	b := NewBuilder("linear")
+	f := b.Func("main")
+	blk := f.NewBlock()
+	for i := 0; i < n; i++ {
+		blk.Op(isa.KindIntALU, isa.IntReg(1), isa.IntReg(1))
+	}
+	blk.Ret()
+	return b.MustBuild(0)
+}
+
+func TestLayoutAddresses(t *testing.T) {
+	p := buildLinear(t, 5)
+	if p.Base() != DefaultBase {
+		t.Fatalf("base = %#x, want %#x", p.Base(), DefaultBase)
+	}
+	if p.NumInsts() != 6 { // 5 ALU + ret
+		t.Fatalf("NumInsts = %d, want 6", p.NumInsts())
+	}
+	for i := 0; i < p.NumInsts(); i++ {
+		in := p.InstByIndex(i)
+		want := DefaultBase + uint64(i*isa.InstBytes)
+		if in.PC != want {
+			t.Fatalf("inst %d PC = %#x, want %#x", i, in.PC, want)
+		}
+		if got := p.InstAt(in.PC); got != in {
+			t.Fatalf("InstAt(%#x) mismatch", in.PC)
+		}
+	}
+}
+
+func TestInstAtInvalid(t *testing.T) {
+	p := buildLinear(t, 3)
+	if p.InstAt(0) != nil {
+		t.Fatal("InstAt(0) should be nil")
+	}
+	if p.InstAt(p.Base()+1) != nil {
+		t.Fatal("misaligned PC should be nil")
+	}
+	if p.InstAt(p.Base()+uint64(p.NumInsts()*isa.InstBytes)) != nil {
+		t.Fatal("past-end PC should be nil")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	b := NewBuilder("two")
+	f1 := b.Func("alpha")
+	bl1 := f1.NewBlock()
+	bl1.Op(isa.KindIntALU, isa.IntReg(1))
+	bl1.Ret()
+	f2 := b.Func("beta")
+	bl2 := f2.NewBlock()
+	bl2.Op(isa.KindIntALU, isa.IntReg(2))
+	bl2.Ret()
+	p := b.MustBuild(0)
+
+	if got := p.FuncAt(p.Funcs[0].Start()); got == nil || got.Name != "alpha" {
+		t.Fatalf("FuncAt(alpha start) = %v", got)
+	}
+	if got := p.FuncAt(p.Funcs[1].Start()); got == nil || got.Name != "beta" {
+		t.Fatalf("FuncAt(beta start) = %v", got)
+	}
+	if got := p.FuncAt(p.Funcs[1].End()); got != nil {
+		t.Fatalf("FuncAt(end) = %v, want nil", got)
+	}
+	if got := p.FuncAt(0); got != nil {
+		t.Fatalf("FuncAt(0) = %v, want nil", got)
+	}
+}
+
+func TestSymbolization(t *testing.T) {
+	b := NewBuilder("sym")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Op(isa.KindIntALU, isa.IntReg(1))
+	b1 := f.NewBlock()
+	b1.Op(isa.KindIntALU, isa.IntReg(2))
+	b1.Ret()
+	_ = b0
+	p := b.MustBuild(0)
+
+	if p.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d", p.NumBlocks())
+	}
+	in := p.InstByIndex(1)
+	if in.Block().ID != 1 {
+		t.Fatalf("inst 1 block ID = %d, want 1", in.Block().ID)
+	}
+	if in.Func().Name != "main" {
+		t.Fatalf("inst 1 func = %q", in.Func().Name)
+	}
+	if p.BlockByID(1).Func() != p.Funcs[0] {
+		t.Fatal("block 1 function mismatch")
+	}
+}
+
+func TestValidateEmptyFunction(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Func("empty")
+	if _, err := b.Build(0); err == nil {
+		t.Fatal("expected error for function with no blocks")
+	}
+}
+
+func TestValidateFallOffEnd(t *testing.T) {
+	b := NewBuilder("bad")
+	f := b.Func("main")
+	blk := f.NewBlock()
+	blk.Op(isa.KindIntALU, isa.IntReg(1))
+	// No terminator: last block falls through off the function end.
+	if _, err := b.Build(0); err == nil {
+		t.Fatal("expected error for fall-through in last block")
+	}
+}
+
+func TestValidateBranchTargetRange(t *testing.T) {
+	b := NewBuilder("bad")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Branch(5, BranchBehavior{Mode: BrRandom, P: 0.5})
+	b1 := f.NewBlock()
+	b1.Ret()
+	_ = b1
+	if _, err := b.Build(0); err == nil {
+		t.Fatal("expected error for out-of-range branch target")
+	}
+}
+
+func TestValidateMemWithoutBehavior(t *testing.T) {
+	b := NewBuilder("bad")
+	f := b.Func("main")
+	blk := f.NewBlock()
+	blk.add(&Inst{Kind: isa.KindLoad}) // bypass Load helper
+	blk.Ret()
+	if _, err := b.Build(0); err == nil {
+		t.Fatal("expected error for load without mem behaviour")
+	}
+}
+
+func TestInterpLinear(t *testing.T) {
+	p := buildLinear(t, 4)
+	it := NewInterp(p, 1)
+	var seqs []uint64
+	var pcs []uint64
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		seqs = append(seqs, d.Seq)
+		pcs = append(pcs, d.PC())
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("delivered %d insts, want 5", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("seq[%d] = %d", i, s)
+		}
+	}
+	for i := 0; i < len(pcs)-1; i++ {
+		if pcs[i+1] != pcs[i]+isa.InstBytes {
+			t.Fatalf("non-sequential PCs at %d", i)
+		}
+	}
+	if !it.Done() {
+		t.Fatal("interp not done after ret")
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("Next after done returned ok")
+	}
+}
+
+func TestInterpNextPCStraightLine(t *testing.T) {
+	p := buildLinear(t, 2)
+	it := NewInterp(p, 1)
+	d0, _ := it.Next()
+	if d0.NextPC != d0.PC()+isa.InstBytes {
+		t.Fatalf("NextPC = %#x, want %#x", d0.NextPC, d0.PC()+isa.InstBytes)
+	}
+}
+
+// buildLoop builds: main { b0: alu; loop-branch to b0 trip times; b1: ret }.
+func buildLoop(trip int) *Program {
+	b := NewBuilder("loop")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Op(isa.KindIntALU, isa.IntReg(1), isa.IntReg(1))
+	b0.LoopBack(0, trip)
+	b1 := f.NewBlock()
+	b1.Ret()
+	_ = b1
+	return b.MustBuild(0)
+}
+
+func TestInterpLoopTripCount(t *testing.T) {
+	const trip = 7
+	p := buildLoop(trip)
+	it := NewInterp(p, 1)
+	aluCount := 0
+	takenCount := 0
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d.SI.Kind == isa.KindIntALU {
+			aluCount++
+		}
+		if d.SI.Kind == isa.KindBranch && d.Taken {
+			takenCount++
+		}
+	}
+	if aluCount != trip {
+		t.Fatalf("loop body executed %d times, want %d", aluCount, trip)
+	}
+	if takenCount != trip-1 {
+		t.Fatalf("back-edge taken %d times, want %d", takenCount, trip-1)
+	}
+}
+
+func TestInterpLoopBranchNextPC(t *testing.T) {
+	p := buildLoop(2)
+	it := NewInterp(p, 1)
+	d0, _ := it.Next() // alu
+	d1, _ := it.Next() // branch, taken (iteration 1 of 2)
+	if !d1.Taken {
+		t.Fatal("first back-edge not taken")
+	}
+	if d1.NextPC != d0.PC() {
+		t.Fatalf("taken branch NextPC = %#x, want loop head %#x", d1.NextPC, d0.PC())
+	}
+	_, _ = it.Next()   // alu
+	d3, _ := it.Next() // branch, not taken
+	if d3.Taken {
+		t.Fatal("final back-edge taken")
+	}
+	if d3.NextPC != d3.PC()+isa.InstBytes {
+		t.Fatalf("fall-through NextPC = %#x", d3.NextPC)
+	}
+}
+
+func TestInterpCallRet(t *testing.T) {
+	b := NewBuilder("call")
+	callee := b.Func("leaf")
+	cb := callee.NewBlock()
+	cb.Op(isa.KindIntALU, isa.IntReg(3))
+	cb.Ret()
+
+	main := b.Func("main")
+	m0 := main.NewBlock()
+	m0.Call(callee)
+	m1 := main.NewBlock()
+	m1.Op(isa.KindIntALU, isa.IntReg(4))
+	m1.Ret()
+	b.SetEntry(main)
+	p := b.MustBuild(0)
+
+	it := NewInterp(p, 1)
+	var names []string
+	var nextPCs []uint64
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		names = append(names, d.SI.Func().Name+"/"+d.SI.Kind.String())
+		nextPCs = append(nextPCs, d.NextPC)
+	}
+	want := []string{"main/call", "leaf/int.alu", "leaf/ret", "main/int.alu", "main/ret"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("step %d = %q, want %q (all: %v)", i, names[i], want[i], names)
+		}
+	}
+	// Call's NextPC is the callee entry; leaf ret's NextPC is main block 1.
+	if nextPCs[0] != p.Funcs[p.EntryIndex].Blocks[0].Insts[0].PC &&
+		nextPCs[0] != callee.Function().Start() {
+		t.Fatalf("call NextPC = %#x, want callee start %#x", nextPCs[0], callee.Function().Start())
+	}
+	if nextPCs[2] != p.Entry().Blocks[1].Start() {
+		t.Fatalf("ret NextPC = %#x, want resume %#x", nextPCs[2], p.Entry().Blocks[1].Start())
+	}
+}
+
+func TestInterpPatternBranch(t *testing.T) {
+	b := NewBuilder("pat")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Op(isa.KindIntALU, isa.IntReg(1))
+	b0.Branch(2, BranchBehavior{Mode: BrPattern, Pattern: []bool{true, false}})
+	b1 := f.NewBlock() // not-taken path
+	b1.Op(isa.KindIntALU, isa.IntReg(2))
+	b1.Jump(3)
+	b2 := f.NewBlock() // taken path
+	b2.Op(isa.KindIntALU, isa.IntReg(3))
+	b2.Jump(3)
+	b3 := f.NewBlock()
+	b3.LoopBack(0, 4)
+	b4 := f.NewBlock()
+	b4.Ret()
+	_, _, _ = b1, b2, b4
+	p := b.MustBuild(0)
+
+	it := NewInterp(p, 1)
+	var outcomes []bool
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d.SI.Kind == isa.KindBranch && d.SI.Br != nil && d.SI.Br.Mode == BrPattern {
+			outcomes = append(outcomes, d.Taken)
+		}
+	}
+	want := []bool{true, false, true, false}
+	if len(outcomes) != len(want) {
+		t.Fatalf("pattern branch executed %d times, want %d", len(outcomes), len(want))
+	}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("outcome[%d] = %v, want %v", i, outcomes[i], want[i])
+		}
+	}
+}
+
+func TestInterpRandomBranchDeterminism(t *testing.T) {
+	b := NewBuilder("rand")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Op(isa.KindIntALU, isa.IntReg(1))
+	b0.Branch(2, BranchBehavior{Mode: BrRandom, P: 0.5})
+	b1 := f.NewBlock()
+	b1.Op(isa.KindIntALU, isa.IntReg(2))
+	b1.Jump(3)
+	b2 := f.NewBlock()
+	b2.Op(isa.KindIntALU, isa.IntReg(3))
+	b2.Jump(3)
+	b3 := f.NewBlock()
+	b3.LoopBack(0, 100)
+	b4 := f.NewBlock()
+	b4.Ret()
+	_, _, _ = b1, b2, b4
+	p := b.MustBuild(0)
+
+	run := func(seed uint64) []bool {
+		it := NewInterp(p, seed)
+		var out []bool
+		for {
+			d, ok := it.Next()
+			if !ok {
+				break
+			}
+			if d.SI.Br != nil && d.SI.Br.Mode == BrRandom {
+				out = append(out, d.Taken)
+			}
+		}
+		return out
+	}
+	a, b2run := run(42), run(42)
+	if len(a) != 100 || len(b2run) != 100 {
+		t.Fatalf("branch executed %d/%d times, want 100", len(a), len(b2run))
+	}
+	for i := range a {
+		if a[i] != b2run[i] {
+			t.Fatal("same seed produced different outcomes")
+		}
+	}
+	c := run(43)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical outcome streams")
+	}
+}
+
+func TestMemStrideAddresses(t *testing.T) {
+	b := NewBuilder("mem")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Load(isa.IntReg(1), isa.IntReg(2), MemBehavior{Base: 0x1000, Size: 64, Stride: 16})
+	b0.LoopBack(0, 6)
+	b1 := f.NewBlock()
+	b1.Ret()
+	_ = b1
+	p := b.MustBuild(0)
+
+	it := NewInterp(p, 1)
+	var addrs []uint64
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d.SI.Kind == isa.KindLoad {
+			addrs = append(addrs, d.MemAddr)
+		}
+	}
+	want := []uint64{0x1000, 0x1010, 0x1020, 0x1030, 0x1000, 0x1010}
+	if len(addrs) != len(want) {
+		t.Fatalf("got %d addrs %v", len(addrs), addrs)
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("addr[%d] = %#x, want %#x", i, addrs[i], want[i])
+		}
+	}
+}
+
+func TestMemRandomInRegion(t *testing.T) {
+	b := NewBuilder("mem")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Load(isa.IntReg(1), isa.IntReg(2), MemBehavior{Base: 0x2000, Size: 1 << 12, Pattern: MemRandom})
+	b0.LoopBack(0, 200)
+	b1 := f.NewBlock()
+	b1.Ret()
+	_ = b1
+	p := b.MustBuild(0)
+	it := NewInterp(p, 5)
+	seen := map[uint64]bool{}
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d.SI.Kind == isa.KindLoad {
+			if d.MemAddr < 0x2000 || d.MemAddr >= 0x2000+(1<<12) {
+				t.Fatalf("address %#x outside region", d.MemAddr)
+			}
+			if d.MemAddr%64 != 0 {
+				t.Fatalf("address %#x not block aligned", d.MemAddr)
+			}
+			seen[d.MemAddr] = true
+		}
+	}
+	if len(seen) < 20 {
+		t.Fatalf("random pattern touched only %d distinct blocks", len(seen))
+	}
+}
+
+func TestMemChaseCoversRegion(t *testing.T) {
+	b := NewBuilder("mem")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Load(isa.IntReg(1), isa.IntReg(2), MemBehavior{Base: 0, Size: 64 * 64, Pattern: MemChase})
+	b0.LoopBack(0, 64)
+	b1 := f.NewBlock()
+	b1.Ret()
+	_ = b1
+	p := b.MustBuild(0)
+	it := NewInterp(p, 5)
+	seen := map[uint64]bool{}
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d.SI.Kind == isa.KindLoad {
+			if d.MemAddr >= 64*64 {
+				t.Fatalf("chase address %#x outside region", d.MemAddr)
+			}
+			seen[d.MemAddr] = true
+		}
+	}
+	if len(seen) < 32 {
+		t.Fatalf("chase touched only %d distinct blocks in 64 steps", len(seen))
+	}
+}
+
+func TestCappedStream(t *testing.T) {
+	p := buildLinear(t, 100)
+	cs := &CappedStream{S: NewInterp(p, 1), Max: 10}
+	n := 0
+	for {
+		_, ok := cs.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("capped stream delivered %d, want 10", n)
+	}
+	if cs.Delivered() != 10 {
+		t.Fatalf("Delivered = %d", cs.Delivered())
+	}
+}
+
+func TestInterpHandlerFunc(t *testing.T) {
+	b := NewBuilder("h")
+	h := b.Func("os_handler")
+	hb := h.NewBlock()
+	hb.Op(isa.KindIntALU, isa.IntReg(1))
+	hb.Ret()
+	main := b.Func("main")
+	mb := main.NewBlock()
+	mb.Op(isa.KindIntALU, isa.IntReg(2))
+	mb.Ret()
+	b.SetEntry(main)
+	b.SetHandler(h)
+	p := b.MustBuild(0)
+
+	if p.Handler() == nil || p.Handler().Name != "os_handler" {
+		t.Fatal("handler not registered")
+	}
+	it := NewInterpFunc(p, p.Handler(), 9)
+	count := 0
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d.SI.Func().Name != "os_handler" {
+			t.Fatalf("handler stream delivered %s", d.SI.Func().Name)
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("handler delivered %d insts, want 2", count)
+	}
+}
+
+func TestMnemonicAndName(t *testing.T) {
+	b := NewBuilder("m")
+	f := b.Func("ceil")
+	blk := f.NewBlock()
+	csr := blk.CSR("frflags", isa.IntReg(5), true)
+	alu := blk.Op(isa.KindIntALU, isa.IntReg(1))
+	blk.Ret()
+	p := b.MustBuild(0)
+	_ = p
+	if csr.Name() != "frflags" {
+		t.Fatalf("csr name = %q", csr.Name())
+	}
+	if !csr.FlushAtCommit {
+		t.Fatal("frflags should flush at commit")
+	}
+	if alu.Name() != "int.alu" {
+		t.Fatalf("alu name = %q", alu.Name())
+	}
+}
+
+func TestCodeBytes(t *testing.T) {
+	p := buildLinear(t, 9)
+	if p.CodeBytes() != 10*isa.InstBytes {
+		t.Fatalf("CodeBytes = %d", p.CodeBytes())
+	}
+}
+
+func BenchmarkInterpNext(b *testing.B) {
+	p := buildLoop(1 << 30)
+	it := NewInterp(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := it.Next(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package sampling
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodicSequence(t *testing.T) {
+	p := NewPeriodic(100)
+	want := []uint64{99, 199, 299, 399}
+	cycle := uint64(0)
+	var got []uint64
+	for i := 0; i < 4; i++ {
+		cycle = p.Next(cycle)
+		got = append(got, cycle)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPeriodicNextFromZero(t *testing.T) {
+	p := NewPeriodic(250)
+	if first := p.Next(0); first != 249 {
+		t.Fatalf("first sample = %d, want 249", first)
+	}
+	// Next from exactly a sample cycle advances a full period.
+	if s := p.Next(249); s != 499 {
+		t.Fatalf("Next(249) = %d, want 499", s)
+	}
+	// Next from mid-interval lands at the interval end.
+	if s := p.Next(300); s != 499 {
+		t.Fatalf("Next(300) = %d, want 499", s)
+	}
+}
+
+func TestPeriodicStrictlyIncreasing(t *testing.T) {
+	p := NewPeriodic(7)
+	cycle := uint64(0)
+	last := uint64(0)
+	for i := 0; i < 100; i++ {
+		cycle = p.Next(cycle)
+		if i > 0 && cycle <= last {
+			t.Fatalf("non-increasing: %d after %d", cycle, last)
+		}
+		last = cycle
+	}
+}
+
+func TestRandomWithinWindows(t *testing.T) {
+	r := NewRandom(100, 42)
+	cycle := uint64(0)
+	for w := uint64(0); w < 50; w++ {
+		cycle = r.Next(cycle)
+		if cycle/100 < w {
+			t.Fatalf("sample %d fell before window %d", cycle, w)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := NewRandom(100, 7)
+	b := NewRandom(100, 7)
+	ca, cb := uint64(0), uint64(0)
+	for i := 0; i < 100; i++ {
+		ca, cb = a.Next(ca), b.Next(cb)
+		if ca != cb {
+			t.Fatalf("same-seed schedules diverged at %d: %d vs %d", i, ca, cb)
+		}
+	}
+}
+
+func TestRandomDifferentSeedsDiffer(t *testing.T) {
+	a := NewRandom(1000, 1)
+	b := NewRandom(1000, 2)
+	ca, cb := uint64(0), uint64(0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		ca, cb = a.Next(ca), b.Next(cb)
+		if ca == cb {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("%d/100 identical samples across seeds", same)
+	}
+}
+
+func TestRandomAverageRateMatchesPeriod(t *testing.T) {
+	r := NewRandom(100, 3)
+	cycle := uint64(0)
+	n := 0
+	for cycle < 100_000 {
+		cycle = r.Next(cycle)
+		n++
+	}
+	if n < 950 || n > 1050 {
+		t.Fatalf("random schedule produced %d samples in 1000 windows", n)
+	}
+}
+
+func TestFrequencyToInterval(t *testing.T) {
+	if iv := FrequencyToInterval(3_200_000_000, 4000); iv != 800_000 {
+		t.Fatalf("4 kHz at 3.2 GHz = %d cycles, want 800000", iv)
+	}
+	if iv := FrequencyToInterval(100, 1000); iv != 1 {
+		t.Fatalf("oversampled interval = %d, want clamp to 1", iv)
+	}
+}
+
+func TestZeroIntervalPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPeriodic(0) },
+		func() { NewRandom(0, 1) },
+		func() { FrequencyToInterval(100, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("zero interval did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for any interval, Next always returns a strictly later cycle.
+func TestQuickNextStrictlyLater(t *testing.T) {
+	f := func(interval uint32, start uint64) bool {
+		iv := uint64(interval%10_000) + 1
+		p := NewPeriodic(iv)
+		r := NewRandom(iv, start)
+		s := start % (1 << 40)
+		return p.Next(s) > s && r.Next(s) > s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: periodic samples are exactly one per window.
+func TestQuickPeriodicOnePerWindow(t *testing.T) {
+	f := func(interval uint16) bool {
+		iv := uint64(interval%1000) + 2
+		p := NewPeriodic(iv)
+		cycle := uint64(0)
+		for w := uint64(0); w < 20; w++ {
+			cycle = p.Next(cycle)
+			if cycle/iv != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !approx(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !approx(Quantile(xs, 0), 1) || !approx(Quantile(xs, 1), 5) {
+		t.Fatal("extremes wrong")
+	}
+	if !approx(Quantile(xs, 0.5), 3) {
+		t.Fatal("median wrong")
+	}
+	if !approx(Quantile(xs, 0.25), 2) {
+		t.Fatal("q1 wrong")
+	}
+	// Interpolation between order statistics.
+	if !approx(Quantile([]float64{0, 10}, 0.5), 5) {
+		t.Fatal("interpolation wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := Summarize([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || !approx(b.Median, 3) {
+		t.Fatalf("summary = %+v", b)
+	}
+	if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max) {
+		t.Fatalf("summary not ordered: %+v", b)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+		vals := make([]float64, len(qs))
+		for i, q := range qs {
+			vals[i] = Quantile(xs, q)
+		}
+		if !sort.Float64sAreSorted(vals) {
+			return false
+		}
+		return vals[0] == Min(xs) && vals[len(vals)-1] == Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

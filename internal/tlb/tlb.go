@@ -1,0 +1,229 @@
+// Package tlb models address translation: split L1 I/D TLBs (32-entry fully
+// associative), a 512-entry direct-mapped L2 TLB, a hardware page-table
+// walker whose memory accesses go through the cache hierarchy, and demand
+// paging — the first touch of a page raises a page fault that the core's
+// OS-handler machinery services (paper §2.2 page-miss walkthrough).
+package tlb
+
+import "github.com/tipprof/tip/internal/cache"
+
+// PageBits is log2 of the page size (4 KiB pages).
+const PageBits = 12
+
+// PageSize is the page size in bytes.
+const PageSize = 1 << PageBits
+
+// PageOf returns the virtual page number of addr.
+func PageOf(addr uint64) uint64 { return addr >> PageBits }
+
+// Config parameterises the translation machinery.
+type Config struct {
+	// L1Entries is the size of each fully associative L1 TLB.
+	L1Entries int
+	// L2Entries is the size of the direct-mapped shared L2 TLB.
+	L2Entries int
+	// WalkLevels is the number of page-table levels the walker reads on
+	// an L2 TLB miss (Sv39 = 3).
+	WalkLevels int
+	// PTBase is the physical base address of the page-table area the
+	// walker's reads hit in the cache hierarchy.
+	PTBase uint64
+}
+
+// DefaultConfig mirrors Table 1.
+func DefaultConfig() Config {
+	return Config{L1Entries: 32, L2Entries: 512, WalkLevels: 3, PTBase: 0x7f00000000}
+}
+
+// Result describes one translation.
+type Result struct {
+	// Done is the absolute cycle the translation is available.
+	Done uint64
+	// Fault is true when the page is not present (demand-paging fault).
+	// The translation is not installed; the core must run the OS handler
+	// and retry after InstallPage.
+	Fault bool
+	// L1Hit/L2Hit/Walked describe where the translation was found.
+	L1Hit  bool
+	L2Hit  bool
+	Walked bool
+}
+
+// l1tlb is a small fully associative TLB with LRU replacement.
+type l1tlb struct {
+	pages []uint64
+	valid []bool
+	lru   []uint64
+	stamp uint64
+}
+
+func newL1(entries int) *l1tlb {
+	return &l1tlb{
+		pages: make([]uint64, entries),
+		valid: make([]bool, entries),
+		lru:   make([]uint64, entries),
+	}
+}
+
+func (t *l1tlb) lookup(page uint64) bool {
+	for i := range t.pages {
+		if t.valid[i] && t.pages[i] == page {
+			t.stamp++
+			t.lru[i] = t.stamp
+			return true
+		}
+	}
+	return false
+}
+
+func (t *l1tlb) insert(page uint64) {
+	victim := 0
+	for i := range t.pages {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.stamp++
+	t.lru[victim] = t.stamp
+}
+
+func (t *l1tlb) invalidate() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+}
+
+// MMU bundles the I-TLB, D-TLB, shared L2 TLB, walker and the present-page
+// set for one simulated hardware thread.
+type MMU struct {
+	cfg  Config
+	itlb *l1tlb
+	dtlb *l1tlb
+
+	l2pages []uint64
+	l2valid []bool
+
+	// walkPath is the cache level the page-table walker reads through
+	// (the L1D in the real BOOM; configurable for tests).
+	walkPath cache.Level
+
+	present    map[uint64]bool
+	allPresent bool
+
+	// Stats.
+	ITLBMisses, DTLBMisses, L2TLBMisses, Walks, Faults uint64
+}
+
+// New builds an MMU whose page-table walks read through walkPath.
+func New(cfg Config, walkPath cache.Level) *MMU {
+	if cfg.L1Entries <= 0 || cfg.L2Entries <= 0 || cfg.WalkLevels <= 0 {
+		panic("tlb: invalid config")
+	}
+	return &MMU{
+		cfg:      cfg,
+		itlb:     newL1(cfg.L1Entries),
+		dtlb:     newL1(cfg.L1Entries),
+		l2pages:  make([]uint64, cfg.L2Entries),
+		l2valid:  make([]bool, cfg.L2Entries),
+		walkPath: walkPath,
+		present:  make(map[uint64]bool),
+	}
+}
+
+// InstallPage marks a page present (what the OS fault handler does) without
+// inserting a TLB entry; the retried access walks and fills the TLBs.
+func (m *MMU) InstallPage(page uint64) { m.present[page] = true }
+
+// PrefaultAll marks the entire address space present, disabling demand
+// paging; used by workloads that model fully warmed-up memory.
+func (m *MMU) PrefaultAll() { m.allPresent = true }
+
+// PagePresent reports whether the page has been installed.
+func (m *MMU) PagePresent(page uint64) bool { return m.allPresent || m.present[page] }
+
+// PresentPages returns the number of installed pages.
+func (m *MMU) PresentPages() int { return len(m.present) }
+
+func (m *MMU) l2lookup(page uint64) bool {
+	idx := int(page % uint64(m.cfg.L2Entries))
+	return m.l2valid[idx] && m.l2pages[idx] == page
+}
+
+func (m *MMU) l2insert(page uint64) {
+	idx := int(page % uint64(m.cfg.L2Entries))
+	m.l2pages[idx] = page
+	m.l2valid[idx] = true
+}
+
+// translate performs a lookup through the given L1 TLB.
+func (m *MMU) translate(t *l1tlb, isData bool, addr uint64, now uint64) Result {
+	page := PageOf(addr)
+	if t.lookup(page) {
+		return Result{Done: now, L1Hit: true}
+	}
+	if isData {
+		m.DTLBMisses++
+	} else {
+		m.ITLBMisses++
+	}
+	// L2 TLB: a few cycles.
+	now += 2
+	if m.l2lookup(page) {
+		t.insert(page)
+		return Result{Done: now, L2Hit: true}
+	}
+	m.L2TLBMisses++
+	// Hardware page-table walk: WalkLevels dependent reads through the
+	// cache hierarchy, at page-table addresses derived from the VPN so
+	// walks exhibit realistic locality (nearby pages share PTE lines).
+	m.Walks++
+	for lvl := 0; lvl < m.cfg.WalkLevels; lvl++ {
+		shift := uint(9 * (m.cfg.WalkLevels - 1 - lvl))
+		idx := (page >> shift) & 0x1ff
+		pteAddr := m.cfg.PTBase + (page>>shift>>9)<<12 + idx*8
+		now = m.walkPath.Access(pteAddr, false, now)
+	}
+	if !m.allPresent && !m.present[page] {
+		m.Faults++
+		return Result{Done: now, Fault: true, Walked: true}
+	}
+	m.l2insert(page)
+	t.insert(page)
+	return Result{Done: now, Walked: true}
+}
+
+// TranslateData translates a data access.
+func (m *MMU) TranslateData(addr uint64, now uint64) Result {
+	return m.translate(m.dtlb, true, addr, now)
+}
+
+// TranslateFetch translates an instruction fetch.
+func (m *MMU) TranslateFetch(addr uint64, now uint64) Result {
+	return m.translate(m.itlb, false, addr, now)
+}
+
+// Reset clears TLBs, present pages and statistics.
+func (m *MMU) Reset() {
+	m.itlb.invalidate()
+	m.dtlb.invalidate()
+	for i := range m.l2valid {
+		m.l2valid[i] = false
+	}
+	m.present = make(map[uint64]bool)
+	m.allPresent = false
+	m.ITLBMisses, m.DTLBMisses, m.L2TLBMisses, m.Walks, m.Faults = 0, 0, 0, 0, 0
+}
+
+// PrefaultRange installs all pages covering [base, base+size) — used for
+// regions that should not demand-fault (e.g. code that the loader touched).
+func (m *MMU) PrefaultRange(base, size uint64) {
+	for p := PageOf(base); p <= PageOf(base+size-1); p++ {
+		m.InstallPage(p)
+	}
+}

@@ -1,0 +1,199 @@
+package tlb
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/cache"
+)
+
+func newMMU(walkLat uint64) (*MMU, *cache.FixedLatency) {
+	back := &cache.FixedLatency{Lat: walkLat}
+	return New(DefaultConfig(), back), back
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(PageSize-1) != 0 || PageOf(PageSize) != 1 {
+		t.Fatal("PageOf boundaries wrong")
+	}
+}
+
+func TestFirstTouchFaults(t *testing.T) {
+	m, _ := newMMU(10)
+	r := m.TranslateData(0x1000, 0)
+	if !r.Fault {
+		t.Fatal("first touch should fault")
+	}
+	if m.Faults != 1 {
+		t.Fatalf("Faults = %d", m.Faults)
+	}
+}
+
+func TestInstallThenHit(t *testing.T) {
+	m, _ := newMMU(10)
+	m.InstallPage(PageOf(0x1000))
+	r := m.TranslateData(0x1000, 0)
+	if r.Fault {
+		t.Fatal("installed page faulted")
+	}
+	if !r.Walked {
+		t.Fatal("first translation should walk")
+	}
+	r2 := m.TranslateData(0x1234, r.Done) // same page
+	if !r2.L1Hit {
+		t.Fatal("second access should hit L1 TLB")
+	}
+	if r2.Done != r.Done {
+		t.Fatalf("L1 hit should be free, got +%d cycles", r2.Done-r.Done)
+	}
+}
+
+func TestWalkLatencyScalesWithLevels(t *testing.T) {
+	back := &cache.FixedLatency{Lat: 50}
+	cfg := DefaultConfig()
+	cfg.WalkLevels = 3
+	m := New(cfg, back)
+	m.InstallPage(5)
+	r := m.TranslateData(5*PageSize, 0)
+	// 2 cycles L2 TLB + 3 dependent 50-cycle reads.
+	if r.Done != 2+3*50 {
+		t.Fatalf("walk done at %d, want 152", r.Done)
+	}
+	if back.Accesses != 3 {
+		t.Fatalf("walker issued %d reads, want 3", back.Accesses)
+	}
+}
+
+func TestL2TLBCatchesL1Evictions(t *testing.T) {
+	m, back := newMMU(10)
+	cfg := DefaultConfig()
+	// Touch more pages than L1 entries but fewer than L2 entries.
+	n := cfg.L1Entries * 2
+	for i := 0; i < n; i++ {
+		m.InstallPage(uint64(i))
+		m.TranslateData(uint64(i)*PageSize, 0)
+	}
+	walks := m.Walks
+	backAcc := back.Accesses
+	// Re-touch page 0: evicted from L1 (LRU) but present in L2 TLB.
+	r := m.TranslateData(0, 0)
+	if r.Fault || r.Walked {
+		t.Fatalf("expected L2 TLB hit, got %+v", r)
+	}
+	if !r.L2Hit {
+		t.Fatal("expected L2 hit flag")
+	}
+	if m.Walks != walks || back.Accesses != backAcc {
+		t.Fatal("L2 hit should not walk")
+	}
+}
+
+func TestITLBSeparateFromDTLB(t *testing.T) {
+	m, _ := newMMU(10)
+	m.InstallPage(7)
+	m.TranslateData(7*PageSize, 0)
+	// Fetch side never saw page 7 in its L1, but the shared L2 has it.
+	r := m.TranslateFetch(7*PageSize, 0)
+	if r.L1Hit {
+		t.Fatal("I-TLB should not hit on a page only the D-side touched")
+	}
+	if !r.L2Hit {
+		t.Fatal("shared L2 TLB should hit")
+	}
+	if m.ITLBMisses != 1 {
+		t.Fatalf("ITLBMisses = %d", m.ITLBMisses)
+	}
+}
+
+func TestFaultDoesNotInstall(t *testing.T) {
+	m, _ := newMMU(10)
+	m.TranslateData(0x5000, 0) // faults
+	r := m.TranslateData(0x5000, 100)
+	if !r.Fault {
+		t.Fatal("page should still fault until installed")
+	}
+	m.InstallPage(PageOf(0x5000))
+	r = m.TranslateData(0x5000, 200)
+	if r.Fault {
+		t.Fatal("page still faulting after install")
+	}
+}
+
+func TestPrefaultRange(t *testing.T) {
+	m, _ := newMMU(10)
+	m.PrefaultRange(0x10000, 3*PageSize)
+	for _, a := range []uint64{0x10000, 0x10000 + PageSize, 0x10000 + 2*PageSize, 0x10000 + 3*PageSize - 1} {
+		if !m.PagePresent(PageOf(a)) {
+			t.Fatalf("page of %#x not present", a)
+		}
+	}
+	if m.PresentPages() != 3 {
+		t.Fatalf("PresentPages = %d, want 3", m.PresentPages())
+	}
+}
+
+func TestReset(t *testing.T) {
+	m, _ := newMMU(10)
+	m.InstallPage(1)
+	m.TranslateData(PageSize, 0)
+	m.Reset()
+	if m.PresentPages() != 0 || m.Walks != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if r := m.TranslateData(PageSize, 0); !r.Fault {
+		t.Fatal("page survived reset")
+	}
+}
+
+func TestLRUInL1TLB(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1Entries = 2
+	m := New(cfg, &cache.FixedLatency{Lat: 10})
+	for p := uint64(0); p < 3; p++ {
+		m.InstallPage(p)
+	}
+	m.TranslateData(0, 0)          // page 0
+	m.TranslateData(PageSize, 0)   // page 1
+	m.TranslateData(0, 0)          // touch page 0 -> MRU
+	m.TranslateData(2*PageSize, 0) // page 2 evicts page 1
+	if r := m.TranslateData(0, 0); !r.L1Hit {
+		t.Fatal("page 0 should still be in L1 TLB")
+	}
+	if r := m.TranslateData(PageSize, 0); r.L1Hit {
+		t.Fatal("page 1 should have been evicted from L1 TLB")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(Config{L1Entries: 0, L2Entries: 512, WalkLevels: 3}, &cache.FixedLatency{})
+}
+
+func TestWalkLocalityThroughRealCache(t *testing.T) {
+	// Walking adjacent pages should hit the same PTE cache lines: with a
+	// real cache behind the walker, the second walk is much cheaper.
+	h := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	m := New(DefaultConfig(), h.L1D)
+	m.InstallPage(100)
+	m.InstallPage(101)
+	r1 := m.TranslateData(100*PageSize, 0)
+	cold := r1.Done
+	r2 := m.TranslateData(101*PageSize, r1.Done)
+	warm := r2.Done - r1.Done
+	if warm >= cold {
+		t.Fatalf("adjacent-page walk not cheaper: cold %d, warm %d", cold, warm)
+	}
+}
+
+func BenchmarkL1TLBHit(b *testing.B) {
+	m, _ := newMMU(10)
+	m.InstallPage(0)
+	m.TranslateData(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TranslateData(0, 0)
+	}
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary trace format is a sequence of records, each:
+//
+//	cycle       uvarint (delta from previous record)
+//	flags       byte    (bit0 robEmpty, bit1 exceptionRaised, bit2 dispatchValid, bit3 anyInFlight)
+//	numBanks    byte
+//	headBank    byte
+//	commitCount byte
+//	per bank: flags byte (valid/committing/mispredicted/flush/exception), then
+//	          pc uvarint, fid uvarint, instIndex uvarint (+1 biased) if valid
+//	optional exception block, dispatch block, youngestFID
+//
+// The format exists so traces can be captured once and replayed against new
+// profiler models (the paper ran up to 19 profiler configs per simulation).
+const formatMagic = "TIPTRC1\n"
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w         *bufio.Writer
+	lastCycle uint64
+	wroteHdr  bool
+	buf       []byte
+	err       error
+	count     uint64
+}
+
+// NewWriter returns a trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (w *Writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// OnCycle implements Consumer.
+func (w *Writer) OnCycle(r *Record) {
+	if w.err != nil {
+		return
+	}
+	if !w.wroteHdr {
+		if _, err := w.w.WriteString(formatMagic); err != nil {
+			w.err = err
+			return
+		}
+		w.wroteHdr = true
+	}
+	w.buf = w.buf[:0]
+	w.uvarint(r.Cycle - w.lastCycle)
+	w.lastCycle = r.Cycle
+	var flags byte
+	if r.ROBEmpty {
+		flags |= 1
+	}
+	if r.ExceptionRaised {
+		flags |= 2
+	}
+	if r.DispatchValid {
+		flags |= 4
+	}
+	if r.AnyInFlight {
+		flags |= 8
+	}
+	w.buf = append(w.buf, flags, byte(r.NumBanks), r.HeadBank, r.CommitCount)
+	for i := 0; i < r.NumBanks; i++ {
+		b := &r.Banks[i]
+		var bf byte
+		if b.Valid {
+			bf |= 1
+		}
+		if b.Committing {
+			bf |= 2
+		}
+		if b.Mispredicted {
+			bf |= 4
+		}
+		if b.Flush {
+			bf |= 8
+		}
+		if b.Exception {
+			bf |= 16
+		}
+		w.buf = append(w.buf, bf)
+		if b.Valid {
+			w.uvarint(b.PC)
+			w.uvarint(b.FID)
+			w.uvarint(uint64(int64(b.InstIndex) + 1))
+		}
+	}
+	if r.ExceptionRaised {
+		w.uvarint(r.ExceptionPC)
+		w.uvarint(r.ExceptionFID)
+		w.uvarint(uint64(int64(r.ExceptionInstIndex) + 1))
+	}
+	if r.DispatchValid {
+		w.uvarint(r.DispatchPC)
+		w.uvarint(r.DispatchFID)
+		w.uvarint(uint64(int64(r.DispatchInstIndex) + 1))
+	}
+	if r.AnyInFlight {
+		w.uvarint(r.YoungestFID)
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		w.err = err
+	}
+	w.count++
+}
+
+// Finish implements Consumer; it flushes buffered output.
+func (w *Writer) Finish(totalCycles uint64) {
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Reader replays a stored trace.
+type Reader struct {
+	r         *bufio.Reader
+	lastCycle uint64
+	readHdr   bool
+}
+
+// NewReader returns a trace reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next decodes the next record into rec. It returns io.EOF at end of trace.
+func (r *Reader) Next(rec *Record) error {
+	if !r.readHdr {
+		hdr := make([]byte, len(formatMagic))
+		if _, err := io.ReadFull(r.r, hdr); err != nil {
+			return err
+		}
+		if string(hdr) != formatMagic {
+			return fmt.Errorf("trace: bad magic %q", hdr)
+		}
+		r.readHdr = true
+	}
+	delta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return err
+	}
+	*rec = Record{}
+	r.lastCycle += delta
+	rec.Cycle = r.lastCycle
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return unexpected(err)
+	}
+	flags := hdr[0]
+	rec.ROBEmpty = flags&1 != 0
+	rec.ExceptionRaised = flags&2 != 0
+	rec.DispatchValid = flags&4 != 0
+	rec.AnyInFlight = flags&8 != 0
+	rec.NumBanks = int(hdr[1])
+	if rec.NumBanks > MaxBanks {
+		return fmt.Errorf("trace: bank count %d exceeds max %d", rec.NumBanks, MaxBanks)
+	}
+	rec.HeadBank = hdr[2]
+	rec.CommitCount = hdr[3]
+	for i := 0; i < rec.NumBanks; i++ {
+		bf, err := r.r.ReadByte()
+		if err != nil {
+			return unexpected(err)
+		}
+		b := &rec.Banks[i]
+		b.Valid = bf&1 != 0
+		b.Committing = bf&2 != 0
+		b.Mispredicted = bf&4 != 0
+		b.Flush = bf&8 != 0
+		b.Exception = bf&16 != 0
+		if b.Valid {
+			if b.PC, err = binary.ReadUvarint(r.r); err != nil {
+				return unexpected(err)
+			}
+			if b.FID, err = binary.ReadUvarint(r.r); err != nil {
+				return unexpected(err)
+			}
+			v, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return unexpected(err)
+			}
+			b.InstIndex = int32(int64(v) - 1)
+		}
+	}
+	if rec.ExceptionRaised {
+		if rec.ExceptionPC, err = binary.ReadUvarint(r.r); err != nil {
+			return unexpected(err)
+		}
+		if rec.ExceptionFID, err = binary.ReadUvarint(r.r); err != nil {
+			return unexpected(err)
+		}
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return unexpected(err)
+		}
+		rec.ExceptionInstIndex = int32(int64(v) - 1)
+	}
+	if rec.DispatchValid {
+		if rec.DispatchPC, err = binary.ReadUvarint(r.r); err != nil {
+			return unexpected(err)
+		}
+		if rec.DispatchFID, err = binary.ReadUvarint(r.r); err != nil {
+			return unexpected(err)
+		}
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return unexpected(err)
+		}
+		rec.DispatchInstIndex = int32(int64(v) - 1)
+	}
+	if rec.AnyInFlight {
+		if rec.YoungestFID, err = binary.ReadUvarint(r.r); err != nil {
+			return unexpected(err)
+		}
+	}
+	return nil
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Replay streams a stored trace through consumers, exactly as the live core
+// would have: one OnCycle per record, then Finish with the cycle count of
+// the last committing record plus one. This is the workflow the paper uses
+// to evaluate many profiler configurations from one simulation (§4) —
+// capture the commit-stage trace once, then model profilers out-of-band.
+func Replay(r *Reader, consumers ...Consumer) (cycles uint64, records uint64, err error) {
+	var rec Record
+	lastCommit := uint64(0)
+	any := false
+	for {
+		if err := r.Next(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return 0, records, err
+		}
+		records++
+		any = true
+		for _, c := range consumers {
+			c.OnCycle(&rec)
+		}
+		if rec.CommitCount > 0 {
+			lastCommit = rec.Cycle
+		}
+	}
+	if !any {
+		return 0, 0, io.ErrUnexpectedEOF
+	}
+	cycles = lastCommit + 1
+	for _, c := range consumers {
+		c.Finish(cycles)
+	}
+	return cycles, records, nil
+}

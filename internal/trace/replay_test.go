@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestReplayEmptyFileErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Finish(0)
+	if _, _, err := Replay(NewReader(&buf), &CountingConsumer{}); err == nil {
+		t.Fatal("empty trace replayed without error")
+	}
+}
+
+func TestReplayDeliversAllRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := uint64(0); i < 10; i++ {
+		r := sampleRecord(i)
+		if i == 9 {
+			r.Banks[1].Committing = true
+			r.CommitCount = 1
+		}
+		w.OnCycle(&r)
+	}
+	w.Finish(10)
+	cc := &CountingConsumer{}
+	cycles, records, err := Replay(NewReader(&buf), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 10 || cc.Cycles != 10 {
+		t.Fatalf("replayed %d records, consumer saw %d", records, cc.Cycles)
+	}
+	if cycles != 10 { // last commit at cycle 9
+		t.Fatalf("cycles = %d, want 10", cycles)
+	}
+	if !cc.Finished || cc.Total != 10 {
+		t.Fatalf("finish not propagated: %+v", cc)
+	}
+}
+
+func TestReplayTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := uint64(0); i < 5; i++ {
+		r := sampleRecord(i)
+		w.OnCycle(&r)
+	}
+	w.Finish(5)
+	data := buf.Bytes()
+	trunc := data[:len(data)-4]
+	_, records, err := Replay(NewReader(bytes.NewReader(trunc)), &CountingConsumer{})
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated trace replayed cleanly after %d records", records)
+	}
+}

@@ -1,0 +1,169 @@
+// Package trace defines the per-cycle commit-stage record the simulated
+// core emits and that every profiler model consumes.
+//
+// This mirrors the paper's methodology (§4): FireSim was modified to trace
+// out, every cycle, the instruction address and the valid, commit,
+// exception, flush, and mispredicted flags of the head ROB entry in each
+// ROB bank, plus the information needed to model Dispatch and Software
+// sampling out-of-band. Because all profilers observe the same stream, they
+// sample the exact same cycles and differences between them are purely
+// systematic.
+//
+// Records are reused by the producer: consumers must copy anything they
+// need to retain beyond the callback.
+package trace
+
+// MaxBanks caps the commit width the record can carry.
+const MaxBanks = 8
+
+// BankEntry is the head ROB entry of one bank in one cycle.
+type BankEntry struct {
+	// Valid reports the entry holds a live instruction.
+	Valid bool
+	// Committing reports the instruction commits this cycle.
+	Committing bool
+	// Mispredicted marks a resolved-mispredicted control-flow
+	// instruction (branch or return).
+	Mispredicted bool
+	// Flush marks an instruction that flushes the pipeline when it
+	// commits (CSR status-register writes on BOOM).
+	Flush bool
+	// Exception marks an instruction with a pending exception (page
+	// fault) that will be raised when it reaches the head.
+	Exception bool
+	// PC is the instruction address.
+	PC uint64
+	// FID is the fetch-order instance ID assigned by the core. Re-fetched
+	// (squashed and replayed) instructions get fresh FIDs.
+	FID uint64
+	// InstIndex is the static-instruction index into the program (the
+	// symbol at instruction granularity); -1 if unknown.
+	InstIndex int32
+}
+
+// Record is the commit-stage observation for one cycle.
+type Record struct {
+	// Cycle is the core cycle this record describes.
+	Cycle uint64
+	// NumBanks is the commit width (live entries in Banks).
+	NumBanks int
+	// Banks holds the head entry per bank, indexed by bank ID.
+	Banks [MaxBanks]BankEntry
+	// HeadBank is the bank holding the oldest instruction (Oldest ID).
+	HeadBank uint8
+	// ROBEmpty reports that no bank holds a valid entry.
+	ROBEmpty bool
+	// CommitCount is the number of instructions committing this cycle.
+	CommitCount uint8
+
+	// ExceptionRaised reports that the core raises an exception this
+	// cycle (the head instruction faulted); the excepting instruction is
+	// identified by the fields below. This is the event TIP's OIR Update
+	// unit watches for (§3.1).
+	ExceptionRaised    bool
+	ExceptionPC        uint64
+	ExceptionFID       uint64
+	ExceptionInstIndex int32
+
+	// DispatchValid reports an instruction is waiting at the dispatch
+	// stage this cycle; Dispatch-tagging profilers sample it.
+	DispatchValid     bool
+	DispatchPC        uint64
+	DispatchFID       uint64
+	DispatchInstIndex int32
+
+	// YoungestFID is the newest in-flight fetch ID (ROB or front-end);
+	// Software profiling resumes after all of these drain.
+	YoungestFID uint64
+	// AnyInFlight reports whether YoungestFID is meaningful.
+	AnyInFlight bool
+}
+
+// Oldest returns the oldest valid bank entry, or nil if the ROB is empty.
+func (r *Record) Oldest() *BankEntry {
+	if r.ROBEmpty {
+		return nil
+	}
+	// The oldest instruction lives in HeadBank; if that bank is invalid
+	// (partially drained ROB), scan banks in age order.
+	for i := 0; i < r.NumBanks; i++ {
+		b := (int(r.HeadBank) + i) % r.NumBanks
+		if r.Banks[b].Valid {
+			return &r.Banks[b]
+		}
+	}
+	return nil
+}
+
+// CommittingInAgeOrder appends the committing entries, oldest first, to dst
+// and returns it.
+func (r *Record) CommittingInAgeOrder(dst []*BankEntry) []*BankEntry {
+	for i := 0; i < r.NumBanks; i++ {
+		b := (int(r.HeadBank) + i) % r.NumBanks
+		if r.Banks[b].Valid && r.Banks[b].Committing {
+			dst = append(dst, &r.Banks[b])
+		}
+	}
+	return dst
+}
+
+// YoungestCommitting returns the youngest committing entry this cycle, or
+// nil. This is what TIP's OIR Update unit latches (§3.1).
+func (r *Record) YoungestCommitting() *BankEntry {
+	var out *BankEntry
+	for i := 0; i < r.NumBanks; i++ {
+		b := (int(r.HeadBank) + i) % r.NumBanks
+		if r.Banks[b].Valid && r.Banks[b].Committing {
+			out = &r.Banks[b]
+		}
+	}
+	return out
+}
+
+// Consumer observes the per-cycle stream. OnCycle is called once per cycle
+// with a reused record; Finish is called once when the run ends, with the
+// final cycle count.
+type Consumer interface {
+	OnCycle(r *Record)
+	Finish(totalCycles uint64)
+}
+
+// Tee fans one stream out to several consumers.
+type Tee struct {
+	Consumers []Consumer
+}
+
+// OnCycle implements Consumer.
+func (t *Tee) OnCycle(r *Record) {
+	for _, c := range t.Consumers {
+		c.OnCycle(r)
+	}
+}
+
+// Finish implements Consumer.
+func (t *Tee) Finish(totalCycles uint64) {
+	for _, c := range t.Consumers {
+		c.Finish(totalCycles)
+	}
+}
+
+// CountingConsumer counts records; used in tests and as a cheap baseline in
+// the trace-overhead ablation bench.
+type CountingConsumer struct {
+	Cycles   uint64
+	Commits  uint64
+	Finished bool
+	Total    uint64
+}
+
+// OnCycle implements Consumer.
+func (c *CountingConsumer) OnCycle(r *Record) {
+	c.Cycles++
+	c.Commits += uint64(r.CommitCount)
+}
+
+// Finish implements Consumer.
+func (c *CountingConsumer) Finish(totalCycles uint64) {
+	c.Finished = true
+	c.Total = totalCycles
+}

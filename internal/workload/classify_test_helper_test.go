@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// runStack runs w on a default core with an Oracle-equivalent cycle-type
+// classifier and returns the cycle stack.
+func runStack(t *testing.T, w *Workload) profile.CycleStack {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 100_000_000
+	core := cpu.New(cfg, w.Prog, w.Stream())
+	for _, reg := range w.Prefault {
+		core.MMU().PrefaultRange(reg.Base, reg.Size)
+	}
+	var stack profile.CycleStack
+	var lastFlags struct {
+		valid, mispred, flush, except bool
+	}
+	drain := 0.0
+	cc := &classConsumer{onCycle: func(r *trace.Record) {
+		if !r.ROBEmpty {
+			if drain > 0 {
+				stack.Add(profile.CatFrontend, drain)
+				drain = 0
+			}
+			if r.CommitCount > 0 {
+				stack.Add(profile.CatExecution, 1)
+			} else if old := r.Oldest(); old != nil {
+				kind := w.Prog.InstByIndex(int(old.InstIndex)).Kind
+				stack.Add(profile.StallCategoryOf(kind), 1)
+			}
+		} else {
+			switch {
+			case lastFlags.valid && lastFlags.mispred:
+				stack.Add(profile.CatMispredict, 1)
+			case lastFlags.valid && (lastFlags.flush || lastFlags.except):
+				stack.Add(profile.CatMiscFlush, 1)
+			default:
+				drain++
+			}
+		}
+		if y := r.YoungestCommitting(); y != nil {
+			lastFlags.valid = true
+			lastFlags.mispred = y.Mispredicted
+			lastFlags.flush = y.Flush
+			lastFlags.except = false
+		}
+		if r.ExceptionRaised {
+			lastFlags.valid = true
+			lastFlags.mispred, lastFlags.flush, lastFlags.except = false, false, true
+		}
+	}}
+	stats, err := core.Run(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack.Total = float64(stats.Cycles)
+	return stack
+}
+
+type classConsumer struct {
+	onCycle func(*trace.Record)
+}
+
+func (c *classConsumer) OnCycle(r *trace.Record) { c.onCycle(r) }
+func (c *classConsumer) Finish(uint64)           {}

@@ -1,0 +1,352 @@
+package workload
+
+import (
+	"github.com/tipprof/tip/internal/isa"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/xrand"
+)
+
+// generator builds one benchmark program. The structural RNG is fixed so a
+// given Params always produces the same program; only the interpreter seed
+// varies dynamic behaviour.
+type generator struct {
+	p   Params
+	b   *program.Builder
+	rng *xrand.Source
+
+	intChain int
+	fpChain  int
+	// lastLoadDst is the destination of the most recent load; random
+	// (data-dependent) branches read it so mispredicted branches resolve
+	// late, draining the ROB — the behaviour that produces the paper's
+	// flush cycles (Fig. 4c).
+	lastLoadDst isa.Reg
+	// randAcc allocates hard branches deterministically: every branch
+	// site adds RandomBranchFrac, and a site becomes data-dependent
+	// random when the accumulator crosses 1. This keeps the realized
+	// fraction exact even with few branch sites.
+	randAcc float64
+}
+
+const structuralSeed = 0xC0DEBA5E
+
+func (g *generator) build() {
+	g.rng = xrand.New(structuralSeed)
+	g.randAcc = 0.5 // centre the hard-branch allocator
+
+	handler := g.buildHandler()
+
+	hot := make([]*program.FuncBuilder, g.p.HotFuncs)
+	for i := range hot {
+		hot[i] = g.buildHotFunc(i)
+	}
+	cold := make([]*program.FuncBuilder, g.p.ColdFuncs)
+	for i := range cold {
+		cold[i] = g.buildColdFunc(i)
+	}
+	main := g.buildMain(hot, cold)
+
+	g.b.SetEntry(main)
+	g.b.SetHandler(handler)
+}
+
+// memBehaviors for the three data regions.
+func (g *generator) mainLoad() program.MemBehavior {
+	return program.MemBehavior{
+		Base: mainRegionBase, Size: g.p.FootprintBytes,
+		Pattern: g.p.Pattern, Stride: 64,
+	}
+}
+
+func (g *generator) mainStore() program.MemBehavior {
+	return program.MemBehavior{
+		Base: mainRegionBase + storeRegionGap, Size: g.p.FootprintBytes,
+		Pattern: g.p.Pattern, Stride: 64,
+	}
+}
+
+func (g *generator) stackLoad() program.MemBehavior {
+	return program.MemBehavior{
+		Base: stackRegionBase, Size: stackRegionSize,
+		Pattern: program.MemStride, Stride: 8,
+	}
+}
+
+// nextIntReg round-robins the integer dependence chains.
+func (g *generator) nextIntReg() isa.Reg {
+	r := isa.IntReg(1 + g.intChain%g.p.ILP)
+	g.intChain++
+	return r
+}
+
+func (g *generator) nextFPReg() isa.Reg {
+	r := isa.FPReg(1 + g.fpChain%g.p.ILP)
+	g.fpChain++
+	return r
+}
+
+const (
+	regBase  = 30 // x30: region base pointer, never redefined
+	regFault = 29 // x29: fault-region pointer
+)
+
+// emitWork fills one block with InstsPerBlock mixed instructions.
+// loadBoost scales the load and FP fractions (phased workloads alternate
+// it: slow blocks are memory/FP-bound, fast blocks are wide integer code).
+func (g *generator) emitWork(blk *program.BlockBuilder, loadBoost float64) {
+	p := &g.p
+	fpBoost := loadBoost
+	if fpBoost > 1 {
+		fpBoost = 1
+	}
+	// Vary block sizes (+/- 25%) so basic blocks differ like compiled
+	// code and commit-group boundaries rotate across loop iterations.
+	n := p.InstsPerBlock + g.rng.Intn(p.InstsPerBlock/2+1) - p.InstsPerBlock/4
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		x := g.rng.Float64()
+		switch {
+		case x < p.FracLoad*loadBoost:
+			mb := g.mainLoad()
+			if g.rng.Float64() < p.HotLoadFrac {
+				mb = g.stackLoad()
+			}
+			var dst, addr isa.Reg
+			if mb.Pattern == program.MemChase {
+				// Pointer chasing: the load's address depends on
+				// its own previous value.
+				dst = g.nextIntReg()
+				addr = dst
+			} else {
+				dst = g.nextIntReg()
+				addr = isa.IntReg(regBase)
+			}
+			blk.Load(dst, addr, mb)
+			g.lastLoadDst = dst
+		case x < (p.FracLoad*loadBoost + p.FracStore):
+			val := g.nextIntReg()
+			blk.Store(val, isa.IntReg(regBase), g.mainStore())
+		case x < (p.FracLoad*loadBoost + p.FracStore + p.FracFP*fpBoost):
+			d := g.nextFPReg()
+			blk.Op(isa.KindFPALU, d, d, g.nextFPReg())
+		case x < (p.FracLoad*loadBoost + p.FracStore + p.FracFP*fpBoost + p.FracMul):
+			d := g.nextIntReg()
+			if g.rng.Bool(0.5) && p.FracFP > 0 {
+				fd := g.nextFPReg()
+				blk.Op(isa.KindFPMul, fd, fd, g.nextFPReg())
+			} else {
+				blk.Op(isa.KindIntMul, d, d, g.nextIntReg())
+			}
+		case x < (p.FracLoad*loadBoost + p.FracStore + p.FracFP*fpBoost + p.FracMul + p.FracDiv):
+			if p.FracFP > 0 {
+				fd := g.nextFPReg()
+				blk.Op(isa.KindFPDiv, fd, fd, g.nextFPReg())
+			} else {
+				d := g.nextIntReg()
+				blk.Op(isa.KindIntDiv, d, d, g.nextIntReg())
+			}
+		default:
+			d := g.nextIntReg()
+			blk.Op(isa.KindIntALU, d, d, g.nextIntReg())
+		}
+	}
+}
+
+// buildHotFunc emits one hot leaf function: BlocksPerFunc work blocks
+// connected by conditional branches, an inner loop, and a return.
+func (g *generator) buildHotFunc(index int) *program.FuncBuilder {
+	p := &g.p
+	f := g.b.Func(hotFuncName(index))
+	// Pre-create blocks: work blocks, loop tail, ret.
+	blocks := make([]*program.BlockBuilder, p.BlocksPerFunc)
+	for i := range blocks {
+		blocks[i] = f.NewBlock()
+	}
+	tail := f.NewBlock()
+	retb := f.NewBlock()
+
+	for i, blk := range blocks {
+		boost := 1.0
+		fast := true
+		if p.Phased {
+			// Alternate load-heavy and compute-heavy blocks; with
+			// the inner loop this creates regular phase behaviour,
+			// and the fast blocks keep ROB occupancy low so their
+			// mispredicted branches drain the ROB (visible flush
+			// cycles, Fig. 4c).
+			if (index+i)%2 == 0 {
+				boost, fast = 1.8, false
+			} else {
+				boost, fast = 0.2, true
+			}
+		}
+		g.emitWork(blk, boost)
+		if p.CSRPerIteration > 0 && i < p.CSRPerIteration {
+			blk.CSR("fsflags", g.nextIntReg(), true)
+		}
+		if p.FencePerIteration > 0 && i < p.FencePerIteration {
+			blk.Fence()
+		}
+		// Terminator: branch towards the next block (sometimes
+		// skipping one), hard or easy to predict per the mix.
+		next := i + 1
+		target := next
+		if i+2 < len(blocks) && g.rng.Bool(0.5) {
+			target = i + 2
+		}
+		if i == len(blocks)-1 {
+			// Last work block falls into the loop tail.
+			continue
+		}
+		if fast {
+			g.randAcc += p.RandomBranchFrac
+		}
+		if fast && g.randAcc >= 1 {
+			g.randAcc -= 1
+			// Data-dependent branch. In phased code the branch
+			// reads a short ALU chain (fast resolution while the
+			// ROB is shallow); otherwise it reads the latest load.
+			src := g.lastLoadDst
+			if p.Phased || src == isa.RegZero {
+				src = g.nextIntReg()
+			}
+			blk.Branch(target, program.BranchBehavior{Mode: program.BrRandom, P: p.RandomTakenP},
+				src)
+		} else {
+			// Every site gets its own repeating pattern (length
+			// 4-7, ~60% taken): diverse, predictable control flow
+			// that keeps commit-group alignment rotating like real
+			// loop nests do.
+			pat := make([]bool, 4+g.rng.Intn(4))
+			for k := range pat {
+				pat[k] = g.rng.Bool(0.6)
+			}
+			blk.Branch(target, program.BranchBehavior{Mode: program.BrPattern, Pattern: pat},
+				g.nextIntReg())
+		}
+	}
+	tail.LoopBack(0, p.InnerTrip, isa.IntReg(regBase))
+	retb.Ret()
+	return f
+}
+
+func hotFuncName(i int) string {
+	names := []string{"kernel_main", "kernel_aux", "kernel_edge", "kernel_init"}
+	if i < len(names) {
+		return names[i]
+	}
+	return names[0]
+}
+
+// buildColdFunc emits a straight-line rarely-called function (I-cache
+// pressure).
+func (g *generator) buildColdFunc(index int) *program.FuncBuilder {
+	f := g.b.Func(coldFuncName(index))
+	per := 16
+	n := g.p.ColdInsts
+	if n <= 0 {
+		n = 64
+	}
+	for n > 0 {
+		blk := f.NewBlock()
+		c := per
+		if c > n {
+			c = n
+		}
+		for i := 0; i < c; i++ {
+			d := g.nextIntReg()
+			blk.Op(isa.KindIntALU, d, d)
+		}
+		n -= c
+		if n == 0 {
+			blk.Ret()
+		}
+	}
+	return f
+}
+
+func coldFuncName(i int) string {
+	return "helper_" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+// buildMain emits the driver: an outer loop calling the hot functions,
+// touching the fault region, and occasionally calling cold functions.
+func (g *generator) buildMain(hot, cold []*program.FuncBuilder) *program.FuncBuilder {
+	p := &g.p
+	f := g.b.Func("main")
+
+	entry := f.NewBlock()
+	entry.Op(isa.KindIntALU, isa.IntReg(regBase))
+	entry.Op(isa.KindIntALU, isa.IntReg(regFault))
+
+	// Estimate instructions per outer iteration to size the loop.
+	perHotIter := p.BlocksPerFunc*(p.InstsPerBlock+1) + 2 + p.CSRPerIteration + p.FencePerIteration
+	perIter := uint64(p.HotFuncs * (p.InnerTrip*perHotIter + 2))
+	outer := p.TargetDynInsts / perIter
+	if outer == 0 {
+		outer = 1
+	}
+
+	// Pre-create the loop body blocks.
+	var callBlocks []*program.BlockBuilder
+	for range hot {
+		callBlocks = append(callBlocks, f.NewBlock())
+	}
+	var faultBlk *program.BlockBuilder
+	if p.FaultPages > 0 {
+		faultBlk = f.NewBlock()
+	}
+	type coldPair struct{ skip, call *program.BlockBuilder }
+	var coldPairs []coldPair
+	for range cold {
+		coldPairs = append(coldPairs, coldPair{skip: f.NewBlock(), call: f.NewBlock()})
+	}
+	tail := f.NewBlock()
+	retb := f.NewBlock()
+
+	for i, cb := range callBlocks {
+		cb.Call(hot[i])
+	}
+	if faultBlk != nil {
+		faultBlk.Load(isa.IntReg(regFault), isa.IntReg(regFault), program.MemBehavior{
+			Base: faultRegionBase, Size: uint64(p.FaultPages) * 4096, Stride: 4096,
+		})
+	}
+	for i, cp := range coldPairs {
+		// Pattern branch: taken (skip the call) ColdPeriod-1 of every
+		// ColdPeriod iterations.
+		pat := make([]bool, p.ColdPeriod)
+		for k := range pat {
+			pat[k] = true
+		}
+		pat[(i*7)%len(pat)] = false
+		// Taken -> skip to the block after the call block.
+		skipTarget := cp.call.Index() + 1
+		cp.skip.Branch(skipTarget, program.BranchBehavior{Mode: program.BrPattern, Pattern: pat},
+			isa.IntReg(regBase))
+		cp.call.Call(cold[i])
+	}
+	tail.LoopBack(callBlocks[0].Index(), int(outer), isa.IntReg(regBase))
+	retb.Ret()
+	return f
+}
+
+// buildHandler emits the synthetic OS page-fault handler (pure ALU; its
+// cycles are OS time, excluded from application profiles like the paper's
+// 1.1% OS fraction).
+func (g *generator) buildHandler() *program.FuncBuilder {
+	f := g.b.Func("os_pagefault_handler")
+	for b := 0; b < 3; b++ {
+		blk := f.NewBlock()
+		for i := 0; i < 14; i++ {
+			d := isa.IntReg(1 + i%6)
+			blk.Op(isa.KindIntALU, d, d)
+		}
+		if b == 2 {
+			blk.Ret()
+		}
+	}
+	return f
+}

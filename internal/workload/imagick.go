@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"github.com/tipprof/tip/internal/isa"
+	"github.com/tipprof/tip/internal/program"
+)
+
+// Imagick builds the §6 case-study program. The original version's ceil and
+// floor wrap their floating-point rounding in frflags/fsflags accesses to
+// the FP status register: on the modelled BOOM core the fsflags write
+// flushes the pipeline at commit (the core does not rename status
+// registers) and both accesses serialize dispatch. The optimized version
+// replaces both with nops at the same addresses — exactly the paper's fix —
+// which removes the flushes and lets the core hide latencies again
+// (second-order effect: MeanShiftImage itself also speeds up).
+//
+// Function set (the four hottest functions of Fig. 13): MeanShiftImage
+// (calls ceil and floor per pixel), ceil, floor, and MorphologyApply.
+func Imagick(optimized bool, seed uint64) *Workload {
+	return ImagickScaled(optimized, seed, 700)
+}
+
+// ImagickScaled is Imagick with an explicit outer-iteration count (the
+// default 700 gives ~2.5 M dynamic instructions; tests use smaller runs).
+func ImagickScaled(optimized bool, seed uint64, outerIters int) *Workload {
+	if outerIters < 1 {
+		outerIters = 1
+	}
+	b := program.NewBuilder(imagickName(optimized))
+
+	handler := buildImagickHandler(b)
+
+	imageRegion := program.MemBehavior{
+		Base: mainRegionBase, Size: 2 << 20, Pattern: program.MemStride, Stride: 8,
+	}
+	kernelRegion := program.MemBehavior{
+		Base: mainRegionBase + storeRegionGap, Size: 16 << 10,
+		Pattern: program.MemStride, Stride: 8,
+	}
+	outRegion := program.MemBehavior{
+		Base: mainRegionBase + 2*storeRegionGap, Size: 2 << 20,
+		Pattern: program.MemStride, Stride: 8,
+	}
+
+	ceil := buildRoundFn(b, "ceil", optimized)
+	floor := buildRoundFn(b, "floor", optimized)
+
+	// MeanShiftImage: per-pixel loop — a wide-ILP window computation
+	// (8 independent FP chains plus pixel loads) that calls ceil and
+	// floor to clamp the window bounds.
+	mean := b.Func("MeanShiftImage")
+	m0 := mean.NewBlock()
+	emitWindowMath(m0, imageRegion, 0)
+	m0.Call(ceil)
+	m1 := mean.NewBlock()
+	emitWindowMath(m1, imageRegion, 1)
+	m1.Call(floor)
+	// The third window block samples the image at the shifted window
+	// position — a data-dependent (random) access whose L1/L2 mix gives
+	// real programs' timing jitter.
+	gatherRegion := program.MemBehavior{
+		Base: mainRegionBase, Size: 96 << 10, Pattern: program.MemRandom,
+	}
+	m2 := mean.NewBlock()
+	m2.Load(isa.FPReg(15), isa.IntReg(regBase), gatherRegion)
+	emitWindowMath(m2, imageRegion, 2)
+	m2.Store(isa.IntReg(4), isa.IntReg(regBase), outRegion)
+	m2.LoopBack(0, 24, isa.IntReg(1))
+	m3 := mean.NewBlock()
+	m3.Ret()
+
+	// MorphologyApply: convolution-style loop, no status-register traffic.
+	morph := b.Func("MorphologyApply")
+	p0 := morph.NewBlock()
+	p0.Load(isa.FPReg(1), isa.IntReg(regBase), imageRegion)
+	p0.Load(isa.FPReg(2), isa.IntReg(regBase), kernelRegion)
+	p0.Op(isa.KindFPMul, isa.FPReg(3), isa.FPReg(1), isa.FPReg(2))
+	p0.Op(isa.KindFPALU, isa.FPReg(4), isa.FPReg(3), isa.FPReg(4))
+	p0.Load(isa.FPReg(5), isa.IntReg(regBase), imageRegion)
+	p0.Op(isa.KindFPMul, isa.FPReg(6), isa.FPReg(5), isa.FPReg(2))
+	p0.Op(isa.KindFPALU, isa.FPReg(7), isa.FPReg(6), isa.FPReg(7))
+	p0.Op(isa.KindIntALU, isa.IntReg(1), isa.IntReg(1))
+	p0.Op(isa.KindIntALU, isa.IntReg(2), isa.IntReg(2))
+	p0.Branch(1, program.BranchBehavior{Mode: program.BrPattern,
+		Pattern: []bool{true, true, false, true}}, isa.IntReg(1))
+	p1 := morph.NewBlock()
+	p1.Store(isa.IntReg(2), isa.IntReg(regBase), outRegion)
+	p1.Op(isa.KindFPALU, isa.FPReg(8), isa.FPReg(7), isa.FPReg(4))
+	p1.LoopBack(0, 141, isa.IntReg(2))
+	p2 := morph.NewBlock()
+	p2.Ret()
+
+	// main: iterate MeanShiftImage then MorphologyApply.
+	main := b.Func("main")
+	e := main.NewBlock()
+	e.Op(isa.KindIntALU, isa.IntReg(regBase))
+	c0 := main.NewBlock()
+	c0.Call(mean)
+	c1 := main.NewBlock()
+	c1.Call(morph)
+	tail := main.NewBlock()
+	tail.LoopBack(c0.Index(), outerIters, isa.IntReg(regBase))
+	rb := main.NewBlock()
+	rb.Ret()
+
+	b.SetEntry(main)
+	b.SetHandler(handler)
+	prog := b.MustBuild(0)
+
+	return &Workload{
+		Name:  imagickName(optimized),
+		Class: "Flush",
+		Prog:  prog,
+		Prefault: []Region{
+			{Base: imageRegion.Base, Size: imageRegion.Size},
+			{Base: kernelRegion.Base, Size: kernelRegion.Size},
+			{Base: outRegion.Base, Size: outRegion.Size},
+		},
+		TargetDynInsts: uint64(outerIters) * 3500,
+		Seed:           seed,
+	}
+}
+
+// emitWindowMath emits ~20 instructions of wide-ILP pixel math: loads from
+// the image plus 8 independent FP accumulation chains. Without flushes the
+// core sustains high IPC on this code; with the ceil/floor flushes it
+// cannot — the Fig. 13 second-order effect.
+func emitWindowMath(blk *program.BlockBuilder, image program.MemBehavior, phase int) {
+	for c := 0; c < 6; c++ {
+		f := isa.FPReg(1 + (phase*4+c)%8)
+		g := isa.FPReg(9 + (phase+c)%4)
+		blk.Load(g, isa.IntReg(regBase), image)
+		blk.Op(isa.KindFPMul, f, f, g)
+		blk.Op(isa.KindFPALU, f, f, g)
+		d := isa.IntReg(1 + (phase*4+c)%6)
+		blk.Op(isa.KindIntALU, d, d)
+		blk.Op(isa.KindIntALU, isa.IntReg(7+(phase+c)%2), isa.IntReg(7+(phase+c)%2))
+	}
+}
+
+func imagickName(optimized bool) string {
+	if optimized {
+		return "imagick-opt"
+	}
+	return "imagick"
+}
+
+// buildRoundFn emits ceil/floor: FP rounding wrapped in status-register
+// save/restore. frflags (a read) serializes dispatch; fsflags (a write)
+// serializes and flushes the pipeline when it commits. In the optimized
+// variant both become nops at the same addresses (the paper's fix preserves
+// the binary layout).
+func buildRoundFn(b *program.Builder, name string, optimized bool) *program.FuncBuilder {
+	f := b.Func(name)
+	blk := f.NewBlock()
+	if optimized {
+		blk.Nop() // was frflags
+	} else {
+		blk.CSR("frflags", isa.IntReg(6), false)
+	}
+	blk.Op(isa.KindFPALU, isa.FPReg(10), isa.FPReg(1)).Mnemonic = "fcvt.l.d"
+	blk.Op(isa.KindFPALU, isa.FPReg(11), isa.FPReg(10)).Mnemonic = "fcvt.d.l"
+	blk.Op(isa.KindFPALU, isa.FPReg(12), isa.FPReg(11), isa.FPReg(1)).Mnemonic = "feq.d"
+	blk.Op(isa.KindFPALU, isa.FPReg(13), isa.FPReg(12), isa.FPReg(11)).Mnemonic = "fadd.d"
+	if optimized {
+		blk.Nop() // was fsflags
+	} else {
+		blk.CSR("fsflags", isa.IntReg(0), true)
+	}
+	blk.Ret()
+	return f
+}
+
+func buildImagickHandler(b *program.Builder) *program.FuncBuilder {
+	f := b.Func("os_pagefault_handler")
+	blk := f.NewBlock()
+	for i := 0; i < 24; i++ {
+		d := isa.IntReg(1 + i%6)
+		blk.Op(isa.KindIntALU, d, d)
+	}
+	blk.Ret()
+	return f
+}

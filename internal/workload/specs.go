@@ -1,0 +1,196 @@
+package workload
+
+import "github.com/tipprof/tip/internal/program"
+
+// Specs returns the 27-benchmark suite in the paper's Fig. 7 order
+// (compute-intensive, then flush-intensive, then stall-intensive). Each
+// entry is a synthetic stand-in tuned to reproduce its benchmark's dominant
+// commit-stage cycle types; see DESIGN.md for the substitution rationale.
+func Specs() []Spec {
+	return []Spec{
+		// --- Compute-intensive: >50% of cycles commit instructions.
+		{Name: "exchange2", Class: "Compute", Params: Params{
+			ILP: 6, BlocksPerFunc: 4, InstsPerBlock: 14,
+			FracLoad: 0.12, FracMul: 0.05, HotLoadFrac: 0.6,
+			FootprintBytes: 48 << 10, RandomBranchFrac: 0.05,
+		}},
+		{Name: "x264", Class: "Compute", Params: Params{
+			ILP: 5, FracLoad: 0.20, FracMul: 0.10, HotLoadFrac: 0.5,
+			FootprintBytes: 256 << 10, RandomBranchFrac: 0.30,
+		}},
+		{Name: "deepsjeng", Class: "Compute", Params: Params{
+			ILP: 6, FracLoad: 0.15, FootprintBytes: 192 << 10,
+			Pattern: program.MemRandom, HotLoadFrac: 0.6,
+			RandomBranchFrac: 0.15,
+		}},
+		{Name: "namd", Class: "Compute", Params: Params{
+			ILP: 10, FracFP: 0.40, FracMul: 0.10, FracLoad: 0.18,
+			HotLoadFrac: 0.6, FootprintBytes: 256 << 10,
+			Pattern: program.MemRandom, RandomBranchFrac: 0.08,
+		}},
+		{Name: "leela", Class: "Compute", Params: Params{
+			ILP: 6, FracLoad: 0.18, FootprintBytes: 384 << 10,
+			Pattern: program.MemRandom, HotLoadFrac: 0.6,
+			RandomBranchFrac: 0.12,
+		}},
+		{Name: "swaptions", Class: "Compute", Params: Params{
+			ILP: 10, FracFP: 0.28, FracDiv: 0.01, FracLoad: 0.16,
+			HotLoadFrac: 0.6, FootprintBytes: 96 << 10,
+			Pattern: program.MemRandom, RandomBranchFrac: 0.30,
+		}},
+
+		// --- Flush-intensive: >3% of cycles in pipeline flushes.
+		// (imagick is hand-built in imagick.go; its spec appears here so
+		// suites iterate uniformly.)
+		{Name: "imagick", Class: "Flush", Params: Params{}},
+		{Name: "nab", Class: "Flush", Params: Params{
+			ILP: 6, BlocksPerFunc: 6, FracFP: 0.20, FracLoad: 0.25,
+			HotLoadFrac: 0.4, FootprintBytes: 768 << 10,
+			RandomBranchFrac: 0.8, Phased: true,
+		}},
+		{Name: "perlbench", Class: "Flush", Params: Params{
+			ILP: 5, BlocksPerFunc: 6, FracLoad: 0.25,
+			FootprintBytes: 1 << 20, Pattern: program.MemRandom,
+			HotLoadFrac: 0.4, RandomBranchFrac: 0.8, Phased: true,
+			ColdFuncs: 56, ColdInsts: 128, ColdPeriod: 2,
+		}},
+		{Name: "fluidanimate", Class: "Flush", Params: Params{
+			ILP: 5, BlocksPerFunc: 6, FracFP: 0.25, FracLoad: 0.25,
+			HotLoadFrac: 0.4, FootprintBytes: 2 << 20,
+			RandomBranchFrac: 0.8, Phased: true,
+		}},
+		{Name: "blackscholes", Class: "Flush", Params: Params{
+			ILP: 6, BlocksPerFunc: 6, FracFP: 0.20, FracDiv: 0.01,
+			FracLoad: 0.25, HotLoadFrac: 0.45, FootprintBytes: 640 << 10,
+			RandomBranchFrac: 0.85, Phased: true,
+		}},
+		{Name: "povray", Class: "Flush", Params: Params{
+			ILP: 6, BlocksPerFunc: 6, FracFP: 0.25, FracLoad: 0.22,
+			HotLoadFrac: 0.5, FootprintBytes: 768 << 10,
+			Pattern: program.MemRandom, RandomBranchFrac: 0.7, Phased: true,
+			ColdFuncs: 8, ColdInsts: 96, ColdPeriod: 6,
+		}},
+		{Name: "bodytrack", Class: "Flush", Params: Params{
+			ILP: 6, BlocksPerFunc: 6, FracFP: 0.20, FracLoad: 0.25,
+			HotLoadFrac: 0.4, FootprintBytes: 1 << 20,
+			RandomBranchFrac: 0.6, Phased: true,
+		}},
+		{Name: "gcc", Class: "Flush", Params: Params{
+			ILP: 5, HotFuncs: 4, BlocksPerFunc: 8,
+			FracLoad: 0.22, HotLoadFrac: 0.5, FootprintBytes: 512 << 10,
+			Pattern: program.MemRandom, RandomBranchFrac: 0.7, Phased: true,
+			ColdFuncs: 64, ColdInsts: 128, ColdPeriod: 2,
+		}},
+
+		// --- Stall-intensive: dominated by memory/functional stalls.
+		{Name: "canneal", Class: "Stall", Params: Params{
+			ILP: 2, FracLoad: 0.30, FootprintBytes: 32 << 20,
+			Pattern: program.MemChase, RandomBranchFrac: 0.05,
+		}},
+		{Name: "lbm", Class: "Stall", Params: Params{
+			ILP: 4, BlocksPerFunc: 6, FracLoad: 0.30, FracStore: 0.20,
+			FracFP: 0.25, FootprintBytes: 64 << 20,
+		}},
+		{Name: "mcf", Class: "Stall", Params: Params{
+			ILP: 1, FracLoad: 0.35, FootprintBytes: 64 << 20,
+			Pattern: program.MemChase, RandomBranchFrac: 0.08,
+			FaultPages: 16,
+		}},
+		{Name: "fotonik3d", Class: "Stall", Params: Params{
+			ILP: 3, FracFP: 0.30, FracLoad: 0.30, FracStore: 0.10,
+			FootprintBytes: 32 << 20, Phased: true,
+		}},
+		{Name: "bwaves", Class: "Stall", Params: Params{
+			ILP: 4, FracFP: 0.35, FracLoad: 0.30, FracStore: 0.15,
+			FootprintBytes: 48 << 20,
+		}},
+		{Name: "omnetpp", Class: "Stall", Params: Params{
+			ILP: 2, FracLoad: 0.30, FootprintBytes: 24 << 20,
+			Pattern: program.MemRandom, RandomBranchFrac: 0.15,
+			FaultPages: 32,
+		}},
+		{Name: "roms", Class: "Stall", Params: Params{
+			ILP: 4, FracFP: 0.30, FracLoad: 0.28, FracStore: 0.12,
+			FootprintBytes: 32 << 20,
+		}},
+		{Name: "streamcluster", Class: "Stall", Params: Params{
+			ILP: 2, FracLoad: 0.35, FootprintBytes: 16 << 20,
+			Phased: true,
+		}},
+		{Name: "xalancbmk", Class: "Stall", Params: Params{
+			ILP: 2, FracLoad: 0.30, FootprintBytes: 8 << 20,
+			Pattern: program.MemRandom, RandomBranchFrac: 0.10,
+			ColdFuncs: 32, ColdInsts: 96, ColdPeriod: 2, FaultPages: 32,
+		}},
+		{Name: "wrf", Class: "Stall", Params: Params{
+			ILP: 3, FracFP: 0.30, FracLoad: 0.25, FracStore: 0.10,
+			FootprintBytes: 24 << 20, ColdFuncs: 8, ColdInsts: 96, ColdPeriod: 8,
+		}},
+		{Name: "parest", Class: "Stall", Params: Params{
+			ILP: 3, FracFP: 0.25, FracLoad: 0.30,
+			FootprintBytes: 16 << 20, Pattern: program.MemRandom,
+		}},
+		{Name: "cam4", Class: "Stall", Params: Params{
+			ILP: 3, FracFP: 0.30, FracLoad: 0.25, FracStore: 0.08,
+			FootprintBytes: 24 << 20, ColdFuncs: 12, ColdInsts: 96, ColdPeriod: 6,
+		}},
+		{Name: "cactuBSSN", Class: "Stall", Params: Params{
+			ILP: 4, BlocksPerFunc: 8, InstsPerBlock: 16,
+			FracFP: 0.35, FracLoad: 0.30, FracStore: 0.08,
+			FootprintBytes: 40 << 20,
+		}},
+	}
+}
+
+// ByName returns the spec with the given benchmark name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists the suite's benchmark names in Fig. 7 order.
+func Names() []string {
+	specs := Specs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Load generates the named workload (dispatching imagick to its hand-built
+// case-study program).
+func Load(name string, seed uint64) (*Workload, error) {
+	return LoadScaled(name, seed, 0)
+}
+
+// LoadScaled is Load with an approximate dynamic-instruction budget
+// override (0 keeps each benchmark's default ~2M-instruction scale).
+func LoadScaled(name string, seed uint64, targetDynInsts uint64) (*Workload, error) {
+	switch name {
+	case "imagick", "imagick-opt":
+		outer := 700
+		if targetDynInsts > 0 {
+			outer = int(targetDynInsts / 3500)
+		}
+		return ImagickScaled(name == "imagick-opt", seed, outer), nil
+	}
+	spec, ok := ByName(name)
+	if !ok {
+		return nil, errUnknown(name)
+	}
+	if targetDynInsts > 0 {
+		spec.Params.TargetDynInsts = targetDynInsts
+	}
+	return Generate(spec, seed)
+}
+
+type unknownError string
+
+func (e unknownError) Error() string { return "workload: unknown benchmark " + string(e) }
+
+func errUnknown(name string) error { return unknownError(name) }

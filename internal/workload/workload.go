@@ -1,0 +1,185 @@
+// Package workload provides the synthetic benchmark suite standing in for
+// SPEC CPU2017 and PARSEC (§4): 27 parameterised programs with the paper's
+// benchmark names, each tuned to land in its Fig. 7 class
+// (compute-/flush-/stall-intensive), plus the hand-built Imagick case-study
+// programs of §6.
+//
+// The substitution rationale (DESIGN.md): the paper's evaluation only
+// depends on commit-stage dynamics — who commits together, who blocks the
+// ROB head, why the ROB empties — so each synthetic program recreates its
+// benchmark's dominant cycle types rather than its exact computation.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/tipprof/tip/internal/program"
+)
+
+// Region is an address range a workload touches.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// Workload is a generated benchmark: the program plus run metadata.
+type Workload struct {
+	// Name is the benchmark name (paper's Fig. 7 labels).
+	Name string
+	// Class is the expected Fig. 7 class: "Compute", "Flush" or "Stall".
+	Class string
+	// Prog is the program to execute.
+	Prog *program.Program
+	// Prefault lists data regions resident at start (demand paging is
+	// modelled only for FaultRegion).
+	Prefault []Region
+	// TargetDynInsts is the approximate dynamic instruction count.
+	TargetDynInsts uint64
+	// Seed seeds the interpreter.
+	Seed uint64
+}
+
+// Stream returns a fresh dynamic-instruction stream for the workload.
+func (w *Workload) Stream() program.Stream {
+	return program.NewInterp(w.Prog, w.Seed)
+}
+
+// Spec names a benchmark and its generator parameters.
+type Spec struct {
+	Name   string
+	Class  string
+	Params Params
+}
+
+// Params are the knobs of the generic benchmark generator.
+type Params struct {
+	// TargetDynInsts is the approximate dynamic instruction budget.
+	TargetDynInsts uint64
+
+	// HotFuncs is the number of hot leaf functions main iterates over.
+	HotFuncs int
+	// BlocksPerFunc is the number of work blocks per hot function.
+	BlocksPerFunc int
+	// InstsPerBlock is the straight-line instruction count per block.
+	InstsPerBlock int
+	// InnerTrip is the hot functions' inner-loop trip count.
+	InnerTrip int
+
+	// ColdFuncs adds straight-line functions called every ColdPeriod
+	// outer iterations (I-cache pressure); ColdInsts sizes each.
+	ColdFuncs  int
+	ColdInsts  int
+	ColdPeriod int
+
+	// ILP is the number of independent dependence chains (1 = fully
+	// serial, 6+ = wide).
+	ILP int
+
+	// Instruction mix fractions (of the work instructions).
+	FracLoad  float64
+	FracStore float64
+	FracFP    float64
+	FracMul   float64
+	FracDiv   float64
+
+	// FootprintBytes sizes the main data region; Pattern selects its
+	// address behaviour. HotLoadFrac of loads go to a small
+	// stack-like region that always hits the L1.
+	FootprintBytes uint64
+	Pattern        program.MemPattern
+	HotLoadFrac    float64
+
+	// RandomBranchFrac is the fraction of inter-block branches that are
+	// hard to predict; RandomTakenP is their taken probability.
+	RandomBranchFrac float64
+	RandomTakenP     float64
+
+	// CSRPerIteration inserts that many flushing CSR pairs per hot
+	// function iteration (imagick-style commit-time flushes).
+	CSRPerIteration int
+	// FencePerIteration inserts serializing fences.
+	FencePerIteration int
+
+	// FaultPages sizes a demand-faulted region touched once per outer
+	// iteration (page-fault exceptions).
+	FaultPages int
+
+	// Phased alternates load-heavy and compute-heavy inner phases with
+	// a fixed period (time-varying behaviour that aliases with periodic
+	// sampling — §5.2 random-sampling sensitivity).
+	Phased bool
+}
+
+func (p *Params) defaults() {
+	if p.TargetDynInsts == 0 {
+		p.TargetDynInsts = 2_000_000
+	}
+	if p.HotFuncs == 0 {
+		p.HotFuncs = 2
+	}
+	if p.BlocksPerFunc == 0 {
+		p.BlocksPerFunc = 3
+	}
+	if p.InstsPerBlock == 0 {
+		p.InstsPerBlock = 12
+	}
+	if p.InnerTrip == 0 {
+		p.InnerTrip = 16
+	}
+	if p.ILP == 0 {
+		p.ILP = 4
+	}
+	if p.FootprintBytes == 0 {
+		p.FootprintBytes = 16 << 10
+	}
+	if p.RandomTakenP == 0 {
+		p.RandomTakenP = 0.5
+	}
+	if p.ColdPeriod == 0 {
+		p.ColdPeriod = 16
+	}
+}
+
+// Data-region layout constants.
+const (
+	mainRegionBase  = 0x1_0000_0000
+	stackRegionBase = 0x7_0000_0000
+	stackRegionSize = 4 << 10
+	storeRegionGap  = 0x1_0000_0000
+	faultRegionBase = 0xf_0000_0000
+)
+
+// Generate builds the workload described by spec with the given seed.
+func Generate(spec Spec, seed uint64) (*Workload, error) {
+	p := spec.Params
+	p.defaults()
+
+	g := &generator{p: p, b: program.NewBuilder(spec.Name)}
+	g.build()
+	prog, err := g.b.Build(0)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", spec.Name, err)
+	}
+	w := &Workload{
+		Name:           spec.Name,
+		Class:          spec.Class,
+		Prog:           prog,
+		TargetDynInsts: p.TargetDynInsts,
+		Seed:           seed,
+		Prefault: []Region{
+			{Base: mainRegionBase, Size: p.FootprintBytes},
+			{Base: mainRegionBase + storeRegionGap, Size: p.FootprintBytes},
+			{Base: stackRegionBase, Size: stackRegionSize},
+		},
+	}
+	return w, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(spec Spec, seed uint64) *Workload {
+	w, err := Generate(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

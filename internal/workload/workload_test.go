@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/isa"
+	"github.com/tipprof/tip/internal/program"
+)
+
+func TestAllSpecsGenerate(t *testing.T) {
+	for _, spec := range Specs() {
+		if spec.Name == "imagick" {
+			continue // hand-built, covered below
+		}
+		w, err := Generate(spec, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if w.Prog.NumInsts() == 0 {
+			t.Fatalf("%s: empty program", spec.Name)
+		}
+		if w.Prog.Handler() == nil {
+			t.Fatalf("%s: no OS handler", spec.Name)
+		}
+	}
+}
+
+func TestSuiteHas27Benchmarks(t *testing.T) {
+	if n := len(Specs()); n != 27 {
+		t.Fatalf("suite has %d benchmarks, want 27", n)
+	}
+	classes := map[string]int{}
+	for _, s := range Specs() {
+		classes[s.Class]++
+	}
+	// Fig. 7: 6 compute, 8 flush, 13 stall.
+	if classes["Compute"] != 6 || classes["Flush"] != 8 || classes["Stall"] != 13 {
+		t.Fatalf("class counts = %v, want 6/8/13", classes)
+	}
+}
+
+func TestNamesUniqueAndLookup(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Fatalf("duplicate benchmark %s", n)
+		}
+		seen[n] = true
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("ByName(%s) failed", n)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName accepted unknown name")
+	}
+}
+
+func TestLoadDispatchesImagick(t *testing.T) {
+	w, err := Load("imagick", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "imagick" {
+		t.Fatalf("name = %s", w.Name)
+	}
+	opt, err := Load("imagick-opt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Name != "imagick-opt" {
+		t.Fatalf("name = %s", opt.Name)
+	}
+	if _, err := Load("nope", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func countDynInsts(t *testing.T, w *Workload, cap uint64) uint64 {
+	t.Helper()
+	it := w.Stream()
+	n := uint64(0)
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+		if n > cap {
+			t.Fatalf("%s: stream exceeded %d instructions", w.Name, cap)
+		}
+	}
+	return n
+}
+
+func TestDynamicLengthNearTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, spec := range Specs() {
+		if spec.Name == "imagick" {
+			continue
+		}
+		spec.Params.TargetDynInsts = 200_000
+		w := MustGenerate(spec, 1)
+		n := countDynInsts(t, w, 2_000_000)
+		if n < 100_000 || n > 500_000 {
+			t.Errorf("%s: %d dynamic insts for a 200k target", spec.Name, n)
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	spec, _ := ByName("deepsjeng")
+	spec.Params.TargetDynInsts = 50_000
+	w := MustGenerate(spec, 7)
+	a, b := w.Stream(), w.Stream()
+	for i := 0; i < 60_000; i++ {
+		da, oka := a.Next()
+		db, okb := b.Next()
+		if oka != okb {
+			t.Fatal("stream lengths differ")
+		}
+		if !oka {
+			break
+		}
+		if da.SI != db.SI || da.Taken != db.Taken || da.MemAddr != db.MemAddr {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentStreams(t *testing.T) {
+	spec, _ := ByName("nab") // random branches: seed-sensitive
+	spec.Params.TargetDynInsts = 50_000
+	w1 := MustGenerate(spec, 1)
+	w2 := MustGenerate(spec, 2)
+	a, b := w1.Stream(), w2.Stream()
+	diff := false
+	for i := 0; i < 20_000; i++ {
+		da, oka := a.Next()
+		db, okb := b.Next()
+		if !oka || !okb {
+			break
+		}
+		if da.SI != db.SI || da.Taken != db.Taken {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSameSpecSameProgram(t *testing.T) {
+	spec, _ := ByName("gcc")
+	a := MustGenerate(spec, 1)
+	b := MustGenerate(spec, 2)
+	if a.Prog.NumInsts() != b.Prog.NumInsts() {
+		t.Fatal("structural generation not deterministic")
+	}
+	for i := 0; i < a.Prog.NumInsts(); i++ {
+		if a.Prog.InstByIndex(i).Kind != b.Prog.InstByIndex(i).Kind {
+			t.Fatalf("structure differs at inst %d", i)
+		}
+	}
+}
+
+func TestChaseLoadsAreDependent(t *testing.T) {
+	spec, _ := ByName("mcf")
+	w := MustGenerate(spec, 1)
+	found := false
+	for i := 0; i < w.Prog.NumInsts(); i++ {
+		in := w.Prog.InstByIndex(i)
+		if in.Kind == isa.KindLoad && in.Mem.Pattern == program.MemChase {
+			if in.Srcs[0] != in.Dst {
+				t.Fatalf("chase load at %#x is not self-dependent", in.PC)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mcf has no chase loads")
+	}
+}
+
+func TestColdCodeGrowsFootprint(t *testing.T) {
+	small, _ := ByName("lbm")
+	big, _ := ByName("gcc")
+	ws := MustGenerate(small, 1)
+	wb := MustGenerate(big, 1)
+	if wb.Prog.CodeBytes() < 2*ws.Prog.CodeBytes() {
+		t.Fatalf("gcc code %d B not much larger than lbm %d B",
+			wb.Prog.CodeBytes(), ws.Prog.CodeBytes())
+	}
+}
+
+func TestImagickStructure(t *testing.T) {
+	w := Imagick(false, 1)
+	var hasFr, hasFs bool
+	names := map[string]bool{}
+	for _, f := range w.Prog.Funcs {
+		names[f.Name] = true
+	}
+	for _, n := range []string{"MeanShiftImage", "ceil", "floor", "MorphologyApply", "main"} {
+		if !names[n] {
+			t.Fatalf("imagick missing function %s", n)
+		}
+	}
+	for i := 0; i < w.Prog.NumInsts(); i++ {
+		in := w.Prog.InstByIndex(i)
+		switch in.Mnemonic {
+		case "frflags":
+			hasFr = true
+			// frflags is a status read: it serializes dispatch but
+			// does not flush at commit.
+			if in.FlushAtCommit {
+				t.Fatal("frflags should not flush")
+			}
+			if !in.Kind.IsSerializing() {
+				t.Fatal("frflags should serialize")
+			}
+		case "fsflags":
+			hasFs = true
+			if !in.FlushAtCommit {
+				t.Fatal("fsflags does not flush")
+			}
+		}
+	}
+	if !hasFr || !hasFs {
+		t.Fatal("imagick missing status-register accesses")
+	}
+}
+
+func TestImagickOptSameLayoutNoCSRs(t *testing.T) {
+	orig := Imagick(false, 1)
+	opt := Imagick(true, 1)
+	if orig.Prog.NumInsts() != opt.Prog.NumInsts() {
+		t.Fatalf("optimized layout differs: %d vs %d insts",
+			orig.Prog.NumInsts(), opt.Prog.NumInsts())
+	}
+	for i := 0; i < opt.Prog.NumInsts(); i++ {
+		in := opt.Prog.InstByIndex(i)
+		if in.Kind == isa.KindCSR {
+			t.Fatalf("optimized imagick still has a CSR at %#x", in.PC)
+		}
+		if orig.Prog.InstByIndex(i).PC != in.PC {
+			t.Fatal("addresses differ between variants")
+		}
+	}
+}
+
+func TestImagickStreamsEnd(t *testing.T) {
+	for _, opt := range []bool{false, true} {
+		w := Imagick(opt, 1)
+		n := countDynInsts(t, w, 10_000_000)
+		if n < 200_000 {
+			t.Fatalf("imagick(opt=%v) only %d insts", opt, n)
+		}
+	}
+}
+
+// TestSuiteClassesAtScale runs every benchmark at reduced scale through the
+// core and checks the Fig. 7 classification. The full-scale validation is
+// cmd/tipbench's Fig07 table.
+func TestSuiteClassesAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole suite")
+	}
+	// Import cycle prevents using the tip facade here; drive cpu directly.
+	// Benchmarks near the class thresholds (exec 50%, flush 3%) may flip
+	// at reduced scale because warmup weighs more; allow those within a
+	// small margin. Full-scale classification is exact (results_full.txt).
+	for _, name := range Names() {
+		w, err := LoadScaled(name, 1, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack := runStack(t, w)
+		class := stack.Class()
+		if class == w.Class {
+			continue
+		}
+		execMargin := stack.ExecutionShare() - 0.5
+		flushMargin := stack.FlushShare() - 0.03
+		borderline := (execMargin > -0.08 && execMargin < 0.08) ||
+			(flushMargin > -0.02 && flushMargin < 0.02)
+		if !borderline {
+			t.Errorf("%s classified %s at reduced scale (exec %.1f%%, flush %.1f%%), want %s",
+				name, class, stack.ExecutionShare()*100, stack.FlushShare()*100, w.Class)
+		}
+	}
+}

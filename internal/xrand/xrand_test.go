@@ -1,0 +1,235 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if v := s.Uint64(); v != first[i] {
+			t.Fatalf("after reseed value %d = %d, want %d", i, v, first[i])
+		}
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nOneAlwaysZero(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 100; i++ {
+		if v := s.Uint64n(1); v != 0 {
+			t.Fatalf("Uint64n(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(-1) did not panic")
+		}
+	}()
+	New(1).Intn(-1)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64RoughlyUniform(t *testing.T) {
+	s := New(13)
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[int(s.Float64()*10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bucket %d has %d samples, want ~%d", i, c, n/10)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if s.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !s.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(19)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.23 || got > 0.27 {
+		t.Fatalf("Bool(0.25) hit rate %v, want ~0.25", got)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(23)
+	child := parent.Fork()
+	// Child draws must not change the parent's subsequent stream relative to
+	// a parent that forked but never used the child.
+	parent2 := New(23)
+	_ = parent2.Fork()
+	for i := 0; i < 1000; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != parent2.Uint64() {
+			t.Fatal("child draws perturbed the parent stream")
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(29)
+	out := make([]int, 50)
+	s.Perm(out)
+	seen := make(map[int]bool, len(out))
+	for _, v := range out {
+		if v < 0 || v >= len(out) {
+			t.Fatalf("perm value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("perm value %d repeated", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermEmptyAndSingle(t *testing.T) {
+	s := New(31)
+	s.Perm(nil) // must not panic
+	one := make([]int, 1)
+	s.Perm(one)
+	if one[0] != 0 {
+		t.Fatalf("perm of 1 element = %v", one)
+	}
+}
+
+// Property: Uint64n output is always within range for arbitrary seed/n.
+func TestQuickUint64nInRange(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			if s.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reseeding with the same seed reproduces the stream exactly.
+func TestQuickSeedDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Float64()
+	}
+	_ = sink
+}

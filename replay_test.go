@@ -1,0 +1,88 @@
+package tip
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/profiler"
+	"github.com/tipprof/tip/internal/sampling"
+	"github.com/tipprof/tip/internal/trace"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// TestTraceReplayEquivalence captures a run's commit-stage trace to the
+// binary format, replays it through fresh profiler instances, and checks
+// the profiles match the live run exactly — the paper's capture-once,
+// evaluate-many-configs workflow (§4).
+func TestTraceReplayEquivalence(t *testing.T) {
+	w, err := workload.LoadScaled("imagick", 1, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const interval = 127
+	mkProfilers := func() (*profiler.Oracle, map[Kind]*profiler.Sampled, []trace.Consumer) {
+		or := profiler.NewOracle(w.Prog, false)
+		consumers := []trace.Consumer{or}
+		byKind := map[Kind]*profiler.Sampled{}
+		for _, k := range AllKinds() {
+			sp := profiler.NewSampled(k, w.Prog, sampling.NewPeriodic(interval))
+			byKind[k] = sp
+			consumers = append(consumers, sp)
+		}
+		return or, byKind, consumers
+	}
+
+	// Live run: profilers plus a trace writer on the same stream.
+	liveOracle, liveSampled, consumers := mkProfilers()
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	consumers = append(consumers, tw)
+
+	core := newCore(DefaultCoreConfig(), w)
+	stats, err := core.Run(&trace.Tee{Consumers: consumers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.Err() != nil {
+		t.Fatal(tw.Err())
+	}
+	if tw.Count() < stats.Cycles {
+		t.Fatalf("trace has %d records for %d cycles", tw.Count(), stats.Cycles)
+	}
+
+	// Replay the stored trace through fresh profiler instances.
+	data := append([]byte(nil), buf.Bytes()...)
+	repOracle, repSampled, repConsumers := mkProfilers()
+	cycles, _, err := trace.Replay(trace.NewReader(bytes.NewReader(data)), repConsumers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != stats.Cycles {
+		t.Fatalf("replay cycles %d != live %d", cycles, stats.Cycles)
+	}
+
+	if e := profile.DistributionError(liveOracle.Profile.InstCycles, repOracle.Profile.InstCycles); e > 1e-12 {
+		t.Fatalf("Oracle profiles differ after replay: TV=%v", e)
+	}
+	for _, k := range AllKinds() {
+		live, rep := liveSampled[k], repSampled[k]
+		if live.Samples != rep.Samples {
+			t.Fatalf("%v: sample counts differ: %d vs %d", k, live.Samples, rep.Samples)
+		}
+		if e := profile.DistributionError(live.Profile.InstCycles, rep.Profile.InstCycles); e > 1e-12 {
+			t.Fatalf("%v profiles differ after replay: TV=%v", k, e)
+		}
+	}
+
+	// Replaying against a previously unmodelled configuration also works
+	// (the "evaluate a new profiler from an old trace" workflow).
+	newCfg := profiler.NewSampled(profiler.KindTIP, w.Prog, sampling.NewPeriodic(311))
+	if _, _, err := trace.Replay(trace.NewReader(bytes.NewReader(data)), newCfg); err != nil {
+		t.Fatal(err)
+	}
+	if newCfg.Samples == 0 {
+		t.Fatal("new configuration collected no samples from the stored trace")
+	}
+}

@@ -1,0 +1,241 @@
+// Package tip is the public API of the TIP reproduction: it wires a
+// workload, the cycle-level BOOM-style core, and any set of profilers
+// together, runs the simulation, and returns profiles, profile errors, and
+// cycle stacks.
+//
+// The package reproduces "TIP: Time-Proportional Instruction Profiling"
+// (Gottschall, Eeckhout, Jahre — MICRO 2021): an Oracle golden-reference
+// profiler, the practical TIP profiler, and the baseline heuristics used by
+// real hardware (Software interrupts, AMD-IBS/Arm-SPE dispatch tagging,
+// CoreSight-style LCI, Intel-PEBS-style NCI).
+//
+// Quick start:
+//
+//	res, err := tip.RunBenchmark("imagick", tip.DefaultRunConfig())
+//	fmt.Println(res.Err(tip.KindNCI, tip.GranInstruction))  // NCI's error
+//	fmt.Println(res.Err(tip.KindTIP, tip.GranInstruction))  // TIP's error
+package tip
+
+import (
+	"fmt"
+
+	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/profiler"
+	"github.com/tipprof/tip/internal/sampling"
+	"github.com/tipprof/tip/internal/trace"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// Re-exported types so downstream users never import internal packages.
+type (
+	// Granularity selects the symbol level for profiles and errors.
+	Granularity = profile.Granularity
+	// Kind identifies a sampled-profiler policy.
+	Kind = profiler.Kind
+	// Profile is an attributed-cycle profile.
+	Profile = profile.Profile
+	// CycleStack is a per-category cycle breakdown (Fig. 7).
+	CycleStack = profile.CycleStack
+	// Category is a commit-stage cycle type.
+	Category = profile.Category
+	// CoreConfig parameterises the simulated core (Table 1 defaults).
+	CoreConfig = cpu.Config
+	// CoreStats reports a run's cycles/instructions/flushes.
+	CoreStats = cpu.Stats
+	// Workload is a generated benchmark program.
+	Workload = workload.Workload
+	// Overhead models §3.2's storage and data-rate analysis.
+	Overhead = profiler.Overhead
+)
+
+// Re-exported constants.
+const (
+	GranInstruction = profile.GranInstruction
+	GranBlock       = profile.GranBlock
+	GranFunction    = profile.GranFunction
+
+	KindSoftware = profiler.KindSoftware
+	KindDispatch = profiler.KindDispatch
+	KindLCI      = profiler.KindLCI
+	KindNCI      = profiler.KindNCI
+	KindNCIILP   = profiler.KindNCIILP
+	KindTIPILP   = profiler.KindTIPILP
+	KindTIP      = profiler.KindTIP
+
+	CatExecution  = profile.CatExecution
+	CatALUStall   = profile.CatALUStall
+	CatLoadStall  = profile.CatLoadStall
+	CatStoreStall = profile.CatStoreStall
+	CatFrontend   = profile.CatFrontend
+	CatMispredict = profile.CatMispredict
+	CatMiscFlush  = profile.CatMiscFlush
+)
+
+// AllKinds lists every sampled-profiler policy in evaluation order.
+func AllKinds() []Kind { return profiler.AllKinds() }
+
+// Benchmarks lists the 27-benchmark suite in Fig. 7 order.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkClass returns a benchmark's expected Fig. 7 class.
+func BenchmarkClass(name string) (string, bool) {
+	s, ok := workload.ByName(name)
+	return s.Class, ok
+}
+
+// LoadWorkload generates the named benchmark ("imagick-opt" selects the §6
+// optimized variant).
+func LoadWorkload(name string, seed uint64) (*Workload, error) {
+	return workload.Load(name, seed)
+}
+
+// DefaultCoreConfig returns the Table 1 core configuration.
+func DefaultCoreConfig() CoreConfig { return cpu.DefaultConfig() }
+
+// RunConfig controls one profiled simulation.
+type RunConfig struct {
+	// Core is the simulated core configuration.
+	Core CoreConfig
+	// Profilers lists the sampled profilers to model out-of-band; nil
+	// means all of them.
+	Profilers []Kind
+	// SampleInterval is the sampling period in cycles. Zero means
+	// calibrate: run once unprofiled, then set the interval so the run
+	// collects about TargetSamples samples — the scaled equivalent of
+	// the paper's 4 kHz on multi-minute benchmarks (see DESIGN.md).
+	SampleInterval uint64
+	// TargetSamples is the calibration target (default 4096).
+	TargetSamples uint64
+	// RandomSampling picks a random cycle within each interval instead
+	// of the interval end (§5.2).
+	RandomSampling bool
+	// SamplingSeed seeds random sampling.
+	SamplingSeed uint64
+	// WithBreakdown records Oracle's per-instruction category matrix
+	// (needed for Fig. 12/13 reports).
+	WithBreakdown bool
+	// ExtraConsumers receive the trace alongside the profilers.
+	ExtraConsumers []trace.Consumer
+}
+
+// DefaultRunConfig returns the standard evaluation configuration.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Core:          cpu.DefaultConfig(),
+		TargetSamples: 4096,
+		SamplingSeed:  0x5eed,
+	}
+}
+
+// Result is the outcome of one profiled run.
+type Result struct {
+	// Workload is the benchmark that ran.
+	Workload *Workload
+	// Stats are the core's run statistics.
+	Stats CoreStats
+	// Oracle is the golden-reference profiler (with its cycle stack).
+	Oracle *profiler.Oracle
+	// Sampled holds each modelled profiler.
+	Sampled map[Kind]*profiler.Sampled
+	// SampleInterval is the sampling period used, in cycles.
+	SampleInterval uint64
+}
+
+// Err returns the named profiler's systematic error against Oracle at the
+// given granularity, excluding OS (handler) samples like the paper.
+func (r *Result) Err(k Kind, g Granularity) float64 {
+	s, ok := r.Sampled[k]
+	if !ok {
+		return 1
+	}
+	return s.Profile.Error(r.Oracle.Profile, g, true)
+}
+
+// Stack returns the Oracle cycle stack.
+func (r *Result) Stack() *CycleStack { return &r.Oracle.Stack }
+
+// newCore builds a core for w with data regions prefaulted.
+func newCore(cfg CoreConfig, w *Workload) *cpu.Core {
+	core := cpu.New(cfg, w.Prog, w.Stream())
+	for _, reg := range w.Prefault {
+		core.MMU().PrefaultRange(reg.Base, reg.Size)
+	}
+	return core
+}
+
+// Run simulates w under rc. With rc.SampleInterval zero it first runs the
+// workload unprofiled to calibrate the sampling period (the simulator is
+// deterministic, so the profiled run sees the identical execution).
+func Run(w *Workload, rc RunConfig) (*Result, error) {
+	if rc.TargetSamples == 0 {
+		rc.TargetSamples = 4096
+	}
+	interval := rc.SampleInterval
+	if interval == 0 {
+		stats, err := newCore(rc.Core, w).Run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("tip: calibration run: %w", err)
+		}
+		interval = stats.Cycles / rc.TargetSamples
+		if interval < 16 {
+			interval = 16
+		}
+		// Prime the interval so periodic sampling cannot lock onto a
+		// cycle-deterministic loop period (see sampling.NextPrime).
+		interval = sampling.NextPrime(interval)
+	}
+
+	kinds := rc.Profilers
+	if kinds == nil {
+		kinds = profiler.AllKinds()
+	}
+	oracle := profiler.NewOracle(w.Prog, rc.WithBreakdown)
+	consumers := []trace.Consumer{oracle}
+	sampled := make(map[Kind]*profiler.Sampled, len(kinds))
+	for _, k := range kinds {
+		var sched sampling.Schedule
+		if rc.RandomSampling {
+			sched = sampling.NewRandom(interval, rc.SamplingSeed)
+		} else {
+			sched = sampling.NewPeriodic(interval)
+		}
+		sp := profiler.NewSampled(k, w.Prog, sched)
+		if k == KindTIP || k == KindTIPILP {
+			// TIP exposes its flags CSR with every sample; keep the
+			// §3.1 categorization alongside the profile.
+			sp.EnableCategories(rc.WithBreakdown)
+		}
+		sampled[k] = sp
+		consumers = append(consumers, sp)
+	}
+	consumers = append(consumers, rc.ExtraConsumers...)
+
+	core := newCore(rc.Core, w)
+	stats, err := core.Run(&trace.Tee{Consumers: consumers})
+	if err != nil {
+		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
+	}
+	return &Result{
+		Workload:       w,
+		Stats:          stats,
+		Oracle:         oracle,
+		Sampled:        sampled,
+		SampleInterval: interval,
+	}, nil
+}
+
+// RunBenchmark loads and runs a named benchmark with seed 1.
+func RunBenchmark(name string, rc RunConfig) (*Result, error) {
+	w, err := workload.Load(name, 1)
+	if err != nil {
+		return nil, err
+	}
+	return Run(w, rc)
+}
+
+// MeasureStats runs w unprofiled and returns the core statistics (used by
+// the Fig. 13 speedup comparison, where no profiler is needed).
+func MeasureStats(w *Workload, cfg CoreConfig) (CoreStats, error) {
+	return newCore(cfg, w).Run(nil)
+}
