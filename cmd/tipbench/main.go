@@ -36,6 +36,7 @@ func main() {
 		figures = flag.String("figures", "", "comma-separated subset: fig1,fig7,fig8,fig9,fig10,fig11a,fig11b,fig11c,fig12,fig13,table1,overhead,sampling-overhead,validation")
 		benchs  = flag.String("benchmarks", "", "comma-separated benchmark subset")
 		out     = flag.String("out", "", "write output to this file instead of stdout")
+		checked = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation on every run; fail on any violation")
 	)
 	flag.Parse()
 
@@ -45,7 +46,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		// A full disk surfaces on Close: report it instead of silently
+		// truncating results.
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
@@ -61,6 +68,7 @@ func main() {
 		Seed:          *seed,
 		Scale:         *scale,
 		TargetSamples: *samples,
+		Checked:       *checked,
 	}
 	if *benchs != "" {
 		opt.Benchmarks = strings.Split(*benchs, ",")

@@ -45,7 +45,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer func() {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	prof, cats, err := perfdata.Postprocess(perfdata.NewReader(f), w.Prog)
 	if err != nil {

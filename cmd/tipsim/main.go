@@ -34,6 +34,7 @@ func main() {
 		top       = flag.Int("top", 10, "functions to print")
 		fn        = flag.String("fn", "", "print the instruction-level profile of this function")
 		record    = flag.String("record", "", "record raw TIP samples (88 B/sample) to this file; post-process with tipreport")
+		checkInv  = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation; fail on any violation")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 	rc.RandomSampling = *random
 	rc.Profilers = kinds
 	rc.WithBreakdown = true
+	rc.Check = *checkInv
 
 	var recFile *os.File
 	var recWriter *perfdata.Writer

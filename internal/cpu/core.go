@@ -447,6 +447,17 @@ func (c *Core) observeFrontEnd(cycle uint64, rec *trace.Record) {
 		rec.AnyInFlight = true
 		tail := (c.robHead + c.robCount - 1) % c.cfg.ROBEntries
 		rec.YoungestFID = c.rob[tail].fid
+	default:
+		// The whole machine retired this cycle (commit has already
+		// drained the ROB by the time this runs), but the instructions
+		// recorded in the banks were still in flight when the commit
+		// stage observed them: the record must cover their FIDs.
+		for i := 0; i < rec.NumBanks; i++ {
+			if b := &rec.Banks[i]; b.Valid && (!rec.AnyInFlight || b.FID > rec.YoungestFID) {
+				rec.AnyInFlight = true
+				rec.YoungestFID = b.FID
+			}
+		}
 	}
 }
 

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// detOpts keeps the metamorphic runs small: determinism does not get more
+// deterministic at scale.
+func detOpts(benchmarks ...string) Options {
+	return Options{
+		Scale:         60_000,
+		TargetSamples: 512,
+		Frequencies:   []uint64{100, BaseFrequency},
+		Benchmarks:    benchmarks,
+	}
+}
+
+// TestEvalBenchmarkDeterministic is the metamorphic identity check: the same
+// seed must reproduce the evaluation bit for bit.
+func TestEvalBenchmarkDeterministic(t *testing.T) {
+	a, err := EvalBenchmark("x264", detOpts("x264"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvalBenchmark("x264", detOpts("x264"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different evaluations:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestEvalSuiteParallelismInvariant asserts the suite result is independent
+// of the worker count: sequential and parallel evaluation must agree exactly.
+func TestEvalSuiteParallelismInvariant(t *testing.T) {
+	benchmarks := []string{"x264", "imagick", "lbm"}
+
+	seqOpt := detOpts(benchmarks...)
+	seqOpt.Parallelism = 1
+	seq, err := EvalSuite(seqOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parOpt := detOpts(benchmarks...)
+	parOpt.Parallelism = runtime.GOMAXPROCS(0)
+	par, err := EvalSuite(parOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("suite evaluation depends on Parallelism")
+	}
+}
+
+// TestEvalSuiteChecked runs the suite with the invariant checker attached to
+// every profiled run.
+func TestEvalSuiteChecked(t *testing.T) {
+	opt := detOpts("imagick", "gcc")
+	opt.Checked = true
+	if _, err := EvalSuite(opt); err != nil {
+		t.Fatalf("checked suite failed: %v", err)
+	}
+}
+
+// TestEvalSuiteReportsError asserts a failing benchmark surfaces as an error
+// rather than a hang or a silent hole in the results.
+func TestEvalSuiteReportsError(t *testing.T) {
+	if _, err := EvalSuite(detOpts("x264", "no-such-benchmark", "lbm")); err == nil {
+		t.Fatal("unknown benchmark accepted by EvalSuite")
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/check"
 	"github.com/tipprof/tip/internal/profile"
 	"github.com/tipprof/tip/internal/profiler"
 	"github.com/tipprof/tip/internal/sampling"
@@ -39,6 +41,9 @@ type Options struct {
 	// Parallelism bounds concurrent benchmark evaluations
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// Checked attaches a cycle-level invariant checker (internal/check)
+	// to every profiled run and fails the evaluation on any violation.
+	Checked bool
 }
 
 func (o *Options) fill() {
@@ -141,6 +146,15 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 	// (periodic + random), sweep kinds at the other frequencies. The
 	// Oracle reference comes from tip.Run itself.
 	var consumers []trace.Consumer
+	var checker *check.Checker
+	if opt.Checked {
+		checker = check.New(check.Options{
+			Benchmark:       name,
+			CommitWidth:     cfg.Core.CommitWidth,
+			ROBEntries:      cfg.Core.ROBEntries,
+			FetchBufEntries: cfg.Core.FetchBufEntries,
+		})
+	}
 	periodic := map[uint64]map[profiler.Kind]*profiler.Sampled{}
 	random := map[profiler.Kind]*profiler.Sampled{}
 	for _, freq := range opt.Frequencies {
@@ -158,6 +172,9 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 			sp := profiler.NewSampled(k, w.Prog, sampling.NewPeriodic(interval))
 			periodic[freq][k] = sp
 			consumers = append(consumers, sp)
+			if checker != nil {
+				checker.AuditSampled(fmt.Sprintf("periodic@%d/%v", freq, k), sp)
+			}
 		}
 	}
 	random2 := map[profiler.Kind]*profiler.Sampled{}
@@ -172,6 +189,13 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 		spRaw := profiler.NewSampled(k, w.Prog, sampling.NewPeriodic(rawInterval))
 		random2[k] = spRaw
 		consumers = append(consumers, spRaw)
+		if checker != nil {
+			checker.AuditSampled(fmt.Sprintf("random/%v", k), sp)
+			checker.AuditSampled(fmt.Sprintf("periodic-raw/%v", k), spRaw)
+		}
+	}
+	if checker != nil {
+		consumers = append(consumers, checker)
 	}
 
 	// Re-load for the deterministic profiled pass.
@@ -187,6 +211,14 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if checker != nil {
+		// Audits are evaluated lazily by Err, so the Oracle built inside
+		// tip.Run can be registered after the run completes.
+		checker.AuditOracle("Oracle", res.Oracle)
+		if err := checker.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
 	}
 
 	oracle := res.Oracle
@@ -240,20 +272,31 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 }
 
 // EvalSuite evaluates the selected benchmarks, in parallel when the host
-// has spare cores.
+// has spare cores. At most Parallelism evaluations (and their workload
+// allocations) are live at once: the semaphore is acquired before the
+// goroutine is spawned, so Parallelism=1 really is sequential. After the
+// first failure no further benchmarks are launched.
 func EvalSuite(opt Options) ([]*BenchmarkEval, error) {
 	opt.fill()
 	evals := make([]*BenchmarkEval, len(opt.Benchmarks))
 	errs := make([]error, len(opt.Benchmarks))
 	sem := make(chan struct{}, opt.Parallelism)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for i, name := range opt.Benchmarks {
+		sem <- struct{}{}
+		if failed.Load() {
+			<-sem
+			break
+		}
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			evals[i], errs[i] = EvalBenchmark(name, opt)
+			if errs[i] != nil {
+				failed.Store(true)
+			}
 		}(i, name)
 	}
 	wg.Wait()

@@ -80,6 +80,15 @@ type Sampled struct {
 	Profile *profile.Profile
 	// Samples counts collected samples.
 	Samples uint64
+	// SampledWeight is the total cycle weight of all samples taken (each
+	// sample carries the length of the interval behind it).
+	SampledWeight float64
+	// LostWeight is sampled weight that could not be attributed to any
+	// instruction: samples pending at end of run, LCI samples before the
+	// first commit, and attributions to unknown instruction indices.
+	// Conservation (checked by internal/check) requires
+	// Profile.Attributed() + LostWeight == SampledWeight.
+	LostWeight float64
 	// Categories, when enabled on a TIP-family profiler, accumulates the
 	// §3.1 flag-based cycle categorization alongside the profile.
 	Categories *CategoryProfile
@@ -129,6 +138,16 @@ func (s *Sampled) cat(flags SampleFlags, idx int32, w float64) {
 	}
 }
 
+// add attributes sample weight, booking weight aimed at an unknown
+// instruction as lost so conservation stays checkable.
+func (s *Sampled) add(idx int32, w float64) {
+	if idx < 0 || int(idx) >= s.prog.NumInsts() {
+		s.LostWeight += w
+		return
+	}
+	s.Profile.Add(idx, w)
+}
+
 // OnCycle implements trace.Consumer.
 func (s *Sampled) OnCycle(r *trace.Record) {
 	// Resolve pending samples first: a sample taken in an earlier cycle
@@ -140,6 +159,7 @@ func (s *Sampled) OnCycle(r *trace.Record) {
 		s.last = r.Cycle + 1
 		s.next = s.sched.Next(r.Cycle)
 		s.Samples++
+		s.SampledWeight += w
 		s.take(r, w)
 	}
 
@@ -182,17 +202,21 @@ func (s *Sampled) take(r *trace.Record, w float64) {
 			// record is the oldest instruction committing now
 			// (Fig. 4b: the load, not its ILP partner).
 			if old := oldestCommitting(r); old != nil {
-				s.Profile.Add(old.InstIndex, w)
+				s.add(old.InstIndex, w)
+			} else {
+				s.LostWeight += w
 			}
 		} else if s.lastCommittedSet {
-			s.Profile.Add(s.lastCommitted, w)
+			s.add(s.lastCommitted, w)
+		} else {
+			// Before the first commit of the run the sample is lost.
+			s.LostWeight += w
 		}
-		// Before the first commit of the run the sample is lost.
 	case KindNCI:
 		// "Next committing" includes instructions committing in the
 		// sampled cycle itself.
 		if old := oldestCommitting(r); old != nil {
-			s.Profile.Add(old.InstIndex, w)
+			s.add(old.InstIndex, w)
 		} else {
 			s.pendNCI = append(s.pendNCI, pendingSample{weight: w})
 		}
@@ -203,7 +227,7 @@ func (s *Sampled) take(r *trace.Record, w float64) {
 				b := (int(r.HeadBank) + i) % r.NumBanks
 				e := &r.Banks[b]
 				if e.Valid && e.Committing {
-					s.Profile.Add(e.InstIndex, split)
+					s.add(e.InstIndex, split)
 				}
 			}
 		} else {
@@ -226,29 +250,33 @@ func (s *Sampled) takeTIP(r *trace.Record, w float64) {
 					b := (int(r.HeadBank) + i) % r.NumBanks
 					e := &r.Banks[b]
 					if e.Valid && e.Committing {
-						s.Profile.Add(e.InstIndex, split)
+						s.add(e.InstIndex, split)
 						s.cat(flags, e.InstIndex, split)
 					}
 				}
 			} else if old := oldestCommitting(r); old != nil {
 				// TIP-ILP: single instruction.
-				s.Profile.Add(old.InstIndex, w)
+				s.add(old.InstIndex, w)
 				s.cat(flags, old.InstIndex, w)
+			} else {
+				s.LostWeight += w
 			}
 			return
 		}
 		// Stalled state: the Oldest ID register points at the stalled
 		// instruction.
 		if old := r.Oldest(); old != nil {
-			s.Profile.Add(old.InstIndex, w)
+			s.add(old.InstIndex, w)
 			s.cat(flags, old.InstIndex, w)
+		} else {
+			s.LostWeight += w
 		}
 		return
 	}
 	// ROB empty: Flushed (OIR flags set) or Drained (front-end flag; the
 	// sample waits for the first instruction to dispatch).
 	if s.o.flushed() {
-		s.Profile.Add(s.o.instIndex, w)
+		s.add(s.o.instIndex, w)
 		s.cat(flags, s.o.instIndex, w)
 		return
 	}
@@ -260,7 +288,7 @@ func (s *Sampled) resolve(r *trace.Record) {
 	if len(s.pendNCI) > 0 && r.CommitCount > 0 {
 		if old := oldestCommitting(r); old != nil {
 			for _, p := range s.pendNCI {
-				s.Profile.Add(old.InstIndex, p.weight)
+				s.add(old.InstIndex, p.weight)
 			}
 			s.pendNCI = s.pendNCI[:0]
 		}
@@ -272,7 +300,7 @@ func (s *Sampled) resolve(r *trace.Record) {
 				b := (int(r.HeadBank) + i) % r.NumBanks
 				e := &r.Banks[b]
 				if e.Valid && e.Committing {
-					s.Profile.Add(e.InstIndex, p.weight*split)
+					s.add(e.InstIndex, p.weight*split)
 				}
 			}
 		}
@@ -281,7 +309,7 @@ func (s *Sampled) resolve(r *trace.Record) {
 	if len(s.pendDrain) > 0 && !r.ROBEmpty {
 		if old := r.Oldest(); old != nil {
 			for _, p := range s.pendDrain {
-				s.Profile.Add(old.InstIndex, p.weight)
+				s.add(old.InstIndex, p.weight)
 				s.cat(p.flags, old.InstIndex, p.weight)
 			}
 			s.pendDrain = s.pendDrain[:0]
@@ -292,7 +320,7 @@ func (s *Sampled) resolve(r *trace.Record) {
 		for _, p := range s.pendFID {
 			idx, ok := firstCommitAtOrAfter(r, p.targetFID)
 			if ok {
-				s.Profile.Add(idx, p.weight)
+				s.add(idx, p.weight)
 			} else {
 				keep = append(keep, p)
 			}
@@ -302,9 +330,15 @@ func (s *Sampled) resolve(r *trace.Record) {
 }
 
 // Finish implements trace.Consumer. Unresolved samples are dropped, like
-// samples a real profiler would attribute past the end of the run.
+// samples a real profiler would attribute past the end of the run; their
+// weight is booked as lost so conservation stays checkable.
 func (s *Sampled) Finish(totalCycles uint64) {
 	s.Profile.TotalCycles = float64(totalCycles)
+	for _, q := range [][]pendingSample{s.pendNCI, s.pendNCISplit, s.pendDrain, s.pendFID} {
+		for _, p := range q {
+			s.LostWeight += p.weight
+		}
+	}
 	s.pendNCI = nil
 	s.pendNCISplit = nil
 	s.pendDrain = nil

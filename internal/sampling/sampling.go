@@ -4,7 +4,11 @@
 // avoids Shannon-Nyquist aliasing with periodic program behaviour).
 package sampling
 
-import "github.com/tipprof/tip/internal/xrand"
+import (
+	"math"
+
+	"github.com/tipprof/tip/internal/xrand"
+)
 
 // Schedule produces a deterministic, strictly increasing sequence of sample
 // cycles. Two schedules constructed with identical parameters produce the
@@ -31,9 +35,18 @@ func NewPeriodic(interval uint64) *Periodic {
 	return &Periodic{Interval: interval}
 }
 
-// Next implements Schedule.
+// Next implements Schedule. The sequence saturates at MaxUint64 instead of
+// wrapping: for cycles within an interval of the top of the range, the
+// naive (cycle+1+Interval) arithmetic would overflow and return a
+// non-increasing sample cycle, breaking the Schedule contract.
 func (p *Periodic) Next(cycle uint64) uint64 {
-	n := (cycle + 1 + p.Interval) / p.Interval
+	if cycle == math.MaxUint64 {
+		return math.MaxUint64
+	}
+	n := (cycle+1)/p.Interval + 1
+	if n > math.MaxUint64/p.Interval {
+		return math.MaxUint64
+	}
 	return n*p.Interval - 1
 }
 

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -124,6 +125,31 @@ func TestZeroIntervalPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestPeriodicNextSaturatesNearMax(t *testing.T) {
+	p := NewPeriodic(100)
+	if got := p.Next(math.MaxUint64); got != math.MaxUint64 {
+		t.Fatalf("Next(MaxUint64) = %d, want saturation at MaxUint64", got)
+	}
+	// Near the top of the cycle range the next schedule point would
+	// overflow; Next must saturate instead of wrapping around to a tiny
+	// cycle number (which would make a run near the horizon sample every
+	// single cycle).
+	for _, c := range []uint64{
+		math.MaxUint64 - 1,
+		math.MaxUint64 - 99,
+		math.MaxUint64 - 100,
+		math.MaxUint64/100*100 - 1,
+	} {
+		if got := p.Next(c); got <= c {
+			t.Fatalf("Next(%d) = %d: wrapped or stalled", c, got)
+		}
+	}
+	// Away from the boundary the schedule is the usual one.
+	if got := p.Next(12345); got != 12399 {
+		t.Fatalf("Next(12345) = %d, want 12399", got)
 	}
 }
 

@@ -79,6 +79,17 @@ type Record struct {
 	AnyInFlight bool
 }
 
+// banks returns the bank count clamped to [0, MaxBanks] so the age-order
+// scans below cannot index past the array on a malformed record; the
+// invariant checker (internal/check) reports such records instead of
+// crashing on them.
+func (r *Record) banks() int {
+	if r.NumBanks > MaxBanks {
+		return MaxBanks
+	}
+	return r.NumBanks
+}
+
 // Oldest returns the oldest valid bank entry, or nil if the ROB is empty.
 func (r *Record) Oldest() *BankEntry {
 	if r.ROBEmpty {
@@ -86,8 +97,9 @@ func (r *Record) Oldest() *BankEntry {
 	}
 	// The oldest instruction lives in HeadBank; if that bank is invalid
 	// (partially drained ROB), scan banks in age order.
-	for i := 0; i < r.NumBanks; i++ {
-		b := (int(r.HeadBank) + i) % r.NumBanks
+	n := r.banks()
+	for i := 0; i < n; i++ {
+		b := (int(r.HeadBank) + i) % n
 		if r.Banks[b].Valid {
 			return &r.Banks[b]
 		}
@@ -98,8 +110,9 @@ func (r *Record) Oldest() *BankEntry {
 // CommittingInAgeOrder appends the committing entries, oldest first, to dst
 // and returns it.
 func (r *Record) CommittingInAgeOrder(dst []*BankEntry) []*BankEntry {
-	for i := 0; i < r.NumBanks; i++ {
-		b := (int(r.HeadBank) + i) % r.NumBanks
+	n := r.banks()
+	for i := 0; i < n; i++ {
+		b := (int(r.HeadBank) + i) % n
 		if r.Banks[b].Valid && r.Banks[b].Committing {
 			dst = append(dst, &r.Banks[b])
 		}
@@ -111,8 +124,9 @@ func (r *Record) CommittingInAgeOrder(dst []*BankEntry) []*BankEntry {
 // nil. This is what TIP's OIR Update unit latches (§3.1).
 func (r *Record) YoungestCommitting() *BankEntry {
 	var out *BankEntry
-	for i := 0; i < r.NumBanks; i++ {
-		b := (int(r.HeadBank) + i) % r.NumBanks
+	n := r.banks()
+	for i := 0; i < n; i++ {
+		b := (int(r.HeadBank) + i) % n
 		if r.Banks[b].Valid && r.Banks[b].Committing {
 			out = &r.Banks[b]
 		}

@@ -57,6 +57,23 @@ func TestCommittingInAgeOrder(t *testing.T) {
 	}
 }
 
+func TestAccessorsClampMalformedBankCount(t *testing.T) {
+	// A corrupt producer can hand out a record with NumBanks past the
+	// array; the age-order accessors must clamp rather than panic so the
+	// invariant checker gets to report the record.
+	r := sampleRecord(0)
+	r.NumBanks = MaxBanks + 3
+	if old := r.Oldest(); old == nil || old.FID != 7 {
+		t.Fatalf("Oldest on malformed record = %+v", old)
+	}
+	if y := r.YoungestCommitting(); y == nil || y.FID != 7 {
+		t.Fatalf("YoungestCommitting on malformed record = %+v", y)
+	}
+	if out := r.CommittingInAgeOrder(nil); len(out) != 1 {
+		t.Fatalf("CommittingInAgeOrder on malformed record = %d entries", len(out))
+	}
+}
+
 func TestYoungestCommittingNil(t *testing.T) {
 	var r Record
 	r.NumBanks = 4

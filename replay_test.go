@@ -4,12 +4,24 @@ import (
 	"bytes"
 	"testing"
 
+	"github.com/tipprof/tip/internal/check"
 	"github.com/tipprof/tip/internal/profile"
 	"github.com/tipprof/tip/internal/profiler"
 	"github.com/tipprof/tip/internal/sampling"
 	"github.com/tipprof/tip/internal/trace"
 	"github.com/tipprof/tip/internal/workload"
 )
+
+// newChecker builds an invariant checker matching the default core.
+func newReplayChecker(name string) *check.Checker {
+	cfg := DefaultCoreConfig()
+	return check.New(check.Options{
+		Benchmark:       name,
+		CommitWidth:     cfg.CommitWidth,
+		ROBEntries:      cfg.ROBEntries,
+		FetchBufEntries: cfg.FetchBufEntries,
+	})
+}
 
 // TestTraceReplayEquivalence captures a run's commit-stage trace to the
 // binary format, replays it through fresh profiler instances, and checks
@@ -34,11 +46,13 @@ func TestTraceReplayEquivalence(t *testing.T) {
 		return or, byKind, consumers
 	}
 
-	// Live run: profilers plus a trace writer on the same stream.
+	// Live run: profilers plus a trace writer and an invariant checker on
+	// the same stream.
 	liveOracle, liveSampled, consumers := mkProfilers()
 	var buf bytes.Buffer
 	tw := trace.NewWriter(&buf)
-	consumers = append(consumers, tw)
+	liveCheck := newReplayChecker(w.Name)
+	consumers = append(consumers, tw, liveCheck)
 
 	core := newCore(DefaultCoreConfig(), w)
 	stats, err := core.Run(&trace.Tee{Consumers: consumers})
@@ -52,15 +66,29 @@ func TestTraceReplayEquivalence(t *testing.T) {
 		t.Fatalf("trace has %d records for %d cycles", tw.Count(), stats.Cycles)
 	}
 
-	// Replay the stored trace through fresh profiler instances.
+	if err := liveCheck.Err(); err != nil {
+		t.Fatalf("live trace violates invariants: %v", err)
+	}
+
+	// Replay the stored trace through fresh profiler instances and a fresh
+	// checker: the decoded golden trace must satisfy the same invariants.
 	data := append([]byte(nil), buf.Bytes()...)
 	repOracle, repSampled, repConsumers := mkProfilers()
+	repCheck := newReplayChecker(w.Name)
+	repConsumers = append(repConsumers, repCheck)
 	cycles, _, err := trace.Replay(trace.NewReader(bytes.NewReader(data)), repConsumers...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cycles != stats.Cycles {
 		t.Fatalf("replay cycles %d != live %d", cycles, stats.Cycles)
+	}
+	repCheck.AuditOracle("Oracle", repOracle)
+	for k, sp := range repSampled {
+		repCheck.AuditSampled(k.String(), sp)
+	}
+	if err := repCheck.Err(); err != nil {
+		t.Fatalf("replayed trace violates invariants: %v", err)
 	}
 
 	if e := profile.DistributionError(liveOracle.Profile.InstCycles, repOracle.Profile.InstCycles); e > 1e-12 {
@@ -84,5 +112,62 @@ func TestTraceReplayEquivalence(t *testing.T) {
 	}
 	if newCfg.Samples == 0 {
 		t.Fatal("new configuration collected no samples from the stored trace")
+	}
+}
+
+// TestSamplingPolicyDoesNotPerturbExecution is a metamorphic check on the
+// out-of-band methodology (§4): profilers only observe the trace, so
+// switching between periodic and random sampling must leave the underlying
+// execution — and therefore the encoded trace — byte-identical.
+func TestSamplingPolicyDoesNotPerturbExecution(t *testing.T) {
+	capture := func(random bool) []byte {
+		w, err := workload.LoadScaled("x264", 1, 60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tw := trace.NewWriter(&buf)
+		rc := DefaultRunConfig()
+		rc.TargetSamples = 512
+		rc.RandomSampling = random
+		rc.Check = true
+		rc.ExtraConsumers = []trace.Consumer{tw}
+		if _, err := Run(w, rc); err != nil {
+			t.Fatal(err)
+		}
+		if tw.Err() != nil {
+			t.Fatal(tw.Err())
+		}
+		return append([]byte(nil), buf.Bytes()...)
+	}
+	periodic := capture(false)
+	random := capture(true)
+	if !bytes.Equal(periodic, random) {
+		t.Fatalf("sampling policy perturbed the execution trace: %d vs %d bytes",
+			len(periodic), len(random))
+	}
+}
+
+// TestSameSeedByteIdenticalTraces is the base determinism property: two runs
+// from the same seed encode byte-identical traces.
+func TestSameSeedByteIdenticalTraces(t *testing.T) {
+	capture := func() []byte {
+		w, err := workload.LoadScaled("imagick", 1, 60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tw := trace.NewWriter(&buf)
+		rc := DefaultRunConfig()
+		rc.TargetSamples = 512
+		rc.ExtraConsumers = []trace.Consumer{tw}
+		if _, err := Run(w, rc); err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), buf.Bytes()...)
+	}
+	a, b := capture(), capture()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different traces: %d vs %d bytes", len(a), len(b))
 	}
 }

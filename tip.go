@@ -19,6 +19,7 @@ package tip
 import (
 	"fmt"
 
+	"github.com/tipprof/tip/internal/check"
 	"github.com/tipprof/tip/internal/cpu"
 	"github.com/tipprof/tip/internal/profile"
 	"github.com/tipprof/tip/internal/profiler"
@@ -117,6 +118,10 @@ type RunConfig struct {
 	WithBreakdown bool
 	// ExtraConsumers receive the trace alongside the profilers.
 	ExtraConsumers []trace.Consumer
+	// Check attaches a cycle-level invariant checker (internal/check) to
+	// the trace stream and fails the run on any violated trace invariant
+	// or profiler conservation law.
+	Check bool
 }
 
 // DefaultRunConfig returns the standard evaluation configuration.
@@ -211,10 +216,30 @@ func Run(w *Workload, rc RunConfig) (*Result, error) {
 	}
 	consumers = append(consumers, rc.ExtraConsumers...)
 
+	var checker *check.Checker
+	if rc.Check {
+		checker = check.New(check.Options{
+			Benchmark:       w.Name,
+			CommitWidth:     rc.Core.CommitWidth,
+			ROBEntries:      rc.Core.ROBEntries,
+			FetchBufEntries: rc.Core.FetchBufEntries,
+		})
+		checker.AuditOracle("Oracle", oracle)
+		for _, k := range kinds {
+			checker.AuditSampled(k.String(), sampled[k])
+		}
+		consumers = append(consumers, checker)
+	}
+
 	core := newCore(rc.Core, w)
 	stats, err := core.Run(&trace.Tee{Consumers: consumers})
 	if err != nil {
 		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
+	}
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
+		}
 	}
 	return &Result{
 		Workload:       w,
