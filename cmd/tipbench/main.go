@@ -15,14 +15,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/cpu"
 	"github.com/tipprof/tip/internal/experiments"
 )
 
@@ -30,15 +34,32 @@ func tipBenchmarks() []string { return tip.Benchmarks() }
 
 func main() {
 	var (
-		scale   = flag.Uint64("scale", 0, "dynamic-instruction budget per benchmark (0 = full scale)")
-		samples = flag.Uint64("samples", 0, "4 kHz-equivalent sample count (0 = default 32768)")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		figures = flag.String("figures", "", "comma-separated subset: fig1,fig7,fig8,fig9,fig10,fig11a,fig11b,fig11c,fig12,fig13,table1,overhead,sampling-overhead,validation")
-		benchs  = flag.String("benchmarks", "", "comma-separated benchmark subset")
-		out     = flag.String("out", "", "write output to this file instead of stdout")
-		checked = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation on every run; fail on any violation")
+		scale     = flag.Uint64("scale", 0, "dynamic-instruction budget per benchmark (0 = full scale)")
+		samples   = flag.Uint64("samples", 0, "4 kHz-equivalent sample count (0 = default 32768)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		figures   = flag.String("figures", "", "comma-separated subset: fig1,fig7,fig8,fig9,fig10,fig11a,fig11b,fig11c,fig12,fig13,table1,overhead,sampling-overhead,validation")
+		benchs    = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		out       = flag.String("out", "", "write output to this file instead of stdout")
+		checked   = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation on every run; fail on any violation")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		benchjson = flag.String("benchjson", "", "write machine-readable suite timing (wall-clock, cycles/sec, simulations) to this JSON file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer writeHeapProfile(*memprof)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -93,12 +114,19 @@ func main() {
 		sel("fig10") || sel("fig11a") || sel("fig11b") || sel("fig11c") || sel("validation")
 	if needSuite {
 		start := time.Now()
+		runsBefore := cpu.RunsStarted()
 		fmt.Fprintf(w, "evaluating suite (%d benchmarks)...\n", len(suiteNames(opt)))
 		evals, err := experiments.EvalSuite(opt)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(w, "suite evaluated in %s\n\n", time.Since(start).Round(time.Second))
+		elapsed := time.Since(start)
+		fmt.Fprintf(w, "suite evaluated in %s\n\n", elapsed.Round(time.Second))
+		if *benchjson != "" {
+			if err := writeBenchJSON(*benchjson, evals, elapsed, cpu.RunsStarted()-runsBefore); err != nil {
+				fatal(err)
+			}
+		}
 		if sel("fig1") {
 			fmt.Fprintln(w, experiments.Fig01(evals))
 		}
@@ -149,6 +177,51 @@ func suiteNames(opt experiments.Options) []string {
 		return opt.Benchmarks
 	}
 	return allNames()
+}
+
+// writeBenchJSON emits the machine-readable suite timing consumed by the CI
+// benchmark job (BENCH_2.json): wall-clock, simulated throughput, and how
+// many cycle-level simulations the evaluation performed.
+func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, elapsed time.Duration, sims uint64) error {
+	var totalCycles uint64
+	for _, ev := range evals {
+		totalCycles += ev.Cycles
+	}
+	report := struct {
+		Benchmarks   int     `json:"benchmarks"`
+		Simulations  uint64  `json:"simulations"`
+		SuiteSeconds float64 `json:"suite_seconds"`
+		TotalCycles  uint64  `json:"total_cycles"`
+		CyclesPerSec float64 `json:"cycles_per_sec"`
+		SimsPerBench float64 `json:"simulations_per_benchmark"`
+	}{
+		Benchmarks:   len(evals),
+		Simulations:  sims,
+		SuiteSeconds: elapsed.Seconds(),
+		TotalCycles:  totalCycles,
+		CyclesPerSec: float64(totalCycles) / elapsed.Seconds(),
+	}
+	if len(evals) > 0 {
+		report.SimsPerBench = float64(sims) / float64(len(evals))
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tipbench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "tipbench:", err)
+	}
 }
 
 func fatal(err error) {

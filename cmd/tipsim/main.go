@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	tip "github.com/tipprof/tip"
@@ -35,8 +37,24 @@ func main() {
 		fn        = flag.String("fn", "", "print the instruction-level profile of this function")
 		record    = flag.String("record", "", "record raw TIP samples (88 B/sample) to this file; post-process with tipreport")
 		checkInv  = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation; fail on any violation")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer writeHeapProfile(*memprof)
+	}
 
 	if *list {
 		for _, name := range tip.Benchmarks() {
@@ -66,6 +84,7 @@ func main() {
 
 	var recFile *os.File
 	var recWriter *perfdata.Writer
+	var res *tip.Result
 	if *record != "" {
 		f, err := os.Create(*record)
 		if err != nil {
@@ -73,23 +92,28 @@ func main() {
 		}
 		recFile = f
 		recWriter = perfdata.NewWriter(f)
-		// The collector needs the concrete interval; calibrate first.
-		stats, err := tip.MeasureStats(w, rc.Core)
+		// The collector needs the concrete interval before the profiled
+		// pass starts. Capture the trace once, calibrate from the
+		// measured cycle count, and replay the capture through the
+		// profilers and collector — one simulation instead of two.
+		capture, stats, err := tip.CaptureWorkload(w, rc.Core)
 		if err != nil {
 			fatal(err)
 		}
-		interval := stats.Cycles / *samples
-		if interval < 16 {
-			interval = 16
-		}
-		rc.SampleInterval = sampling.NextPrime(interval)
+		defer capture.Close()
+		rc.SampleInterval = tip.CalibrateInterval(stats.Cycles, *samples)
 		rc.ExtraConsumers = append(rc.ExtraConsumers,
 			perfdata.NewCollector(recWriter, sampling.NewPeriodic(rc.SampleInterval), 0, 1, 1))
-	}
-
-	res, err := tip.Run(w, rc)
-	if err != nil {
-		fatal(err)
+		res, err = tip.RunCaptured(w, capture, stats, rc)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		res, err = tip.Run(w, rc)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if recWriter != nil {
 		if recWriter.Err() != nil {
@@ -170,6 +194,19 @@ func orderOf(res *tip.Result) []tip.Kind {
 		}
 	}
 	return out
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tipsim:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "tipsim:", err)
+	}
 }
 
 func fatal(err error) {

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/tipprof/tip/internal/branch"
 	"github.com/tipprof/tip/internal/cache"
@@ -32,6 +33,14 @@ type robEntry struct {
 
 	deps  [2]dep
 	ndeps int
+	// readyAt memoizes depsReady: once every still-matching producer has
+	// issued, the entry becomes ready at exactly max(doneCycle), and that
+	// bound never moves (tags are unique, commit waits for doneCycle, and a
+	// squashed producer implies this entry was squashed with it). Caching it
+	// turns the per-cycle dependence scan of a waiting instruction into one
+	// comparison.
+	readyAt      uint64
+	readyAtKnown bool
 
 	mispredicted     bool // resolved-mispredicted control flow
 	exceptionPending bool // raises when it reaches the ROB head
@@ -72,6 +81,10 @@ type Core struct {
 	la         fetchLookahead
 	pending    []program.DynInst
 	pi         int
+	// replayScratch is the retired backing array of pending from the last
+	// pipeline flush, recycled ping-pong style so steady-state flushes
+	// allocate nothing.
+	replayScratch []program.DynInst
 
 	// Front end.
 	fetchBlockedUntil uint64
@@ -245,9 +258,17 @@ func (c *Core) fbPop() fetchedInst {
 	return f
 }
 
+// runsStarted counts Core.Run invocations process-wide. Tests use the delta
+// to assert how many cycle-level simulations an evaluation pipeline performs.
+var runsStarted atomic.Uint64
+
+// RunsStarted returns the process-wide count of Core.Run invocations.
+func RunsStarted() uint64 { return runsStarted.Load() }
+
 // Run simulates until the program finishes (or MaxCycles), emitting one
 // trace record per cycle to consumer. It returns the final statistics.
 func (c *Core) Run(consumer trace.Consumer) (Stats, error) {
+	runsStarted.Add(1)
 	var rec trace.Record
 	cycle := uint64(0)
 	lastCommitCycle := uint64(0)
@@ -514,8 +535,11 @@ func (c *Core) raiseException(cycle uint64, h *robEntry) {
 // remain are all younger than the flush point because the caller has already
 // retired everything older.
 func (c *Core) flushPipeline(cycle uint64, prefix []program.DynInst) {
-	replay := make([]program.DynInst, 0,
-		len(prefix)+c.robCount+c.fbLen()+2+len(c.pending)-c.pi)
+	need := len(prefix) + c.robCount + c.fbLen() + 2 + len(c.pending) - c.pi
+	replay := c.replayScratch[:0]
+	if cap(replay) < need {
+		replay = make([]program.DynInst, 0, need)
+	}
 	replay = append(replay, prefix...)
 	for i := 0; i < c.robCount; i++ {
 		slot := (c.robHead + i) % c.cfg.ROBEntries
@@ -531,6 +555,10 @@ func (c *Core) flushPipeline(cycle uint64, prefix []program.DynInst) {
 	}
 	replay = append(replay, c.pending[c.pi:]...)
 
+	// Ping-pong: the old pending array becomes the next flush's scratch.
+	// replay was built above (including the tail copy from c.pending), so
+	// the two backing arrays never alias live data.
+	c.replayScratch = c.pending[:0]
 	c.pending = replay
 	c.pi = 0
 	c.robCount = 0
@@ -601,17 +629,26 @@ func (c *Core) iqCap(class isa.IssueClass) int {
 }
 
 func (c *Core) depsReady(e *robEntry, cycle uint64) bool {
+	if e.readyAtKnown {
+		return cycle >= e.readyAt
+	}
+	bound := uint64(0)
 	for i := 0; i < e.ndeps; i++ {
 		d := e.deps[i]
 		p := &c.rob[d.robIdx]
 		if p.uop != d.uop {
 			continue // producer retired or squashed: value in regfile
 		}
-		if !p.issued || p.doneCycle > cycle {
-			return false
+		if !p.issued {
+			return false // completion cycle not knowable yet
+		}
+		if p.doneCycle > bound {
+			bound = p.doneCycle
 		}
 	}
-	return true
+	e.readyAt = bound
+	e.readyAtKnown = true
+	return cycle >= bound
 }
 
 func (c *Core) unitFree(e *robEntry, cycle uint64) bool {

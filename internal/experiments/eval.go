@@ -129,18 +129,16 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 
 	cfg := tip.DefaultRunConfig()
 
-	// Calibration pass: measure cycles to fix the 4 kHz-equivalent period.
-	stats, err := tip.MeasureStats(w, cfg.Core)
+	// The single cycle-level simulation: measure cycles for calibration
+	// while capturing the encoded trace the profiler matrix will replay.
+	capture, stats, err := tip.CaptureWorkload(w, cfg.Core)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: calibrate %s: %w", name, err)
+		return nil, fmt.Errorf("experiments: capture %s: %w", name, err)
 	}
-	interval4k := stats.Cycles / opt.TargetSamples
-	if interval4k < 16 {
-		interval4k = 16
-	}
+	defer capture.Close()
 	// Prime the interval to avoid aliasing with cycle-deterministic
 	// synthetic loops (see sampling.NextPrime).
-	interval4k = sampling.NextPrime(interval4k)
+	interval4k := tip.CalibrateInterval(stats.Cycles, opt.TargetSamples)
 
 	// Build the profiler matrix: all kinds at the base frequency
 	// (periodic + random), sweep kinds at the other frequencies. The
@@ -177,7 +175,7 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 			}
 		}
 	}
-	random2 := map[profiler.Kind]*profiler.Sampled{}
+	periodicRaw := map[profiler.Kind]*profiler.Sampled{}
 	rawInterval := stats.Cycles / opt.TargetSamples
 	if rawInterval < 16 {
 		rawInterval = 16
@@ -187,7 +185,7 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 		random[k] = sp
 		consumers = append(consumers, sp)
 		spRaw := profiler.NewSampled(k, w.Prog, sampling.NewPeriodic(rawInterval))
-		random2[k] = spRaw
+		periodicRaw[k] = spRaw
 		consumers = append(consumers, spRaw)
 		if checker != nil {
 			checker.AuditSampled(fmt.Sprintf("random/%v", k), sp)
@@ -198,12 +196,10 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 		consumers = append(consumers, checker)
 	}
 
-	// Re-load for the deterministic profiled pass.
-	w2, err := workload.LoadScaled(name, opt.Seed, opt.Scale)
-	if err != nil {
-		return nil, err
-	}
-	res, err := tip.Run(w2, tip.RunConfig{
+	// Replay the captured trace through the matrix — the deterministic
+	// codec hands every consumer the byte-identical record stream the
+	// live core produced, without a second simulation.
+	res, err := tip.RunCaptured(w, capture, stats, tip.RunConfig{
 		Core:           cfg.Core,
 		Profilers:      []profiler.Kind{}, // matrix supplied below
 		SampleInterval: interval4k,
@@ -250,7 +246,7 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 	for k, sp := range random {
 		ev.Random[k] = errsOf(sp)
 	}
-	for k, sp := range random2 {
+	for k, sp := range periodicRaw {
 		ev.PeriodicRaw[k] = errsOf(sp)
 	}
 

@@ -462,13 +462,12 @@ func SamplingOverhead(opt Options) (*Table, error) {
 	}
 	var perInterrupt float64
 	for _, interval := range []uint64{100_000, 20_000, 5_000, 1_000} {
-		w2, err := workload.LoadScaled("imagick", opt.Seed, opt.Scale)
-		if err != nil {
-			return nil, err
-		}
+		// Streams are fresh per run; Reset re-arms the loaded workload
+		// instead of paying LoadScaled again for every sweep point.
+		w.Reset()
 		cfg := tip.DefaultCoreConfig()
 		cfg.SampleInterruptEvery = interval
-		stats, err := tip.MeasureStats(w2, cfg)
+		stats, err := tip.MeasureStats(w, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/cpu"
+)
+
+// TestEvalBenchmarkSingleSimulation asserts the capture/replay pipeline's
+// core economy: one benchmark evaluation costs exactly one cycle-level
+// simulation, even though it feeds the Oracle plus the full profiler matrix
+// (~36 consumers). Before the capture/replay restructuring this was two —
+// an unprofiled calibration pass and a profiled pass.
+func TestEvalBenchmarkSingleSimulation(t *testing.T) {
+	opt := goldenOpts("x264")
+	before := cpu.RunsStarted()
+	if _, err := EvalBenchmark("x264", opt); err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.RunsStarted() - before; got != 1 {
+		t.Fatalf("EvalBenchmark performed %d cycle-level simulations; want exactly 1", got)
+	}
+}

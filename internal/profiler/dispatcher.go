@@ -1,0 +1,182 @@
+package profiler
+
+import (
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// CycleFacts are the per-cycle stream facts every sampled profiler needs but
+// none should derive on its own: the OIR state (§3.1) and the identity of
+// the last committed instruction (LCI state). A standalone Sampled owns a
+// private copy and advances it every delivered cycle; a Dispatcher advances
+// one shared copy exactly once per cycle for its whole sample-aware tier, so
+// the bank scan behind YoungestCommitting happens once instead of once per
+// profiler.
+type CycleFacts struct {
+	o oir
+	// lastCommitted is the youngest instruction of the most recent
+	// committing cycle.
+	lastCommitted    int32
+	lastCommittedSet bool
+}
+
+// Observe advances the facts past r. Call it after the cycle's attribution
+// decisions, like oir.observe: samplers must see the facts as of the
+// previous cycle.
+func (f *CycleFacts) Observe(r *trace.Record) {
+	if y := r.YoungestCommitting(); y != nil {
+		f.lastCommitted = y.InstIndex
+		f.lastCommittedSet = true
+		f.o.latchCommit(y)
+	}
+	if r.ExceptionRaised {
+		f.o.latchException(r)
+	}
+}
+
+// Dispatcher fans one trace stream out in two tiers. Every-cycle consumers
+// (Oracle, invariant checkers, trace writers) see every record. Sampled
+// profilers sit in a min-heap keyed by the next cycle each one cares about —
+// its next scheduled sample, or the very next cycle while it has samples
+// awaiting resolution — and are only invoked on those cycles. On the
+// overwhelming majority of cycles the sample-aware tier costs one heap-top
+// comparison, instead of ~N virtual calls that each re-derive the same
+// per-cycle state and decline to sample.
+//
+// All attached Sampled profilers share the dispatcher's CycleFacts, updated
+// once per cycle after delivery. Results are bit-identical to delivering
+// every cycle to every consumer: skipped cycles are exactly the cycles on
+// which Sampled.OnCycle would have taken no action, and the shared facts
+// take the same values a private copy would.
+type Dispatcher struct {
+	every   []trace.Consumer
+	sampled []*Sampled
+	heap    []heapEntry
+	// active holds profilers with samples awaiting resolution: they need
+	// every cycle until the pending queue drains, so keeping them in a
+	// plain filtered-in-place slice avoids re-sifting the heap top once
+	// per consumer per cycle.
+	active []*Sampled
+	facts  CycleFacts
+}
+
+// heapEntry pairs a sampled profiler with the next cycle it must observe.
+type heapEntry struct {
+	next uint64
+	s    *Sampled
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher { return &Dispatcher{} }
+
+// AddEveryCycle attaches a consumer that must see every record.
+func (d *Dispatcher) AddEveryCycle(c trace.Consumer) {
+	d.every = append(d.every, c)
+}
+
+// AddSampled attaches a sampled profiler to the sample-aware tier, switching
+// it onto the dispatcher's shared facts. Attach before streaming: a profiler
+// that already consumed records owns facts the dispatcher would discard.
+func (d *Dispatcher) AddSampled(s *Sampled) {
+	s.facts = &d.facts
+	s.ownFacts = false
+	d.sampled = append(d.sampled, s)
+	d.push(heapEntry{next: s.next, s: s})
+}
+
+// Sampled lists the attached sample-aware consumers.
+func (d *Dispatcher) Sampled() []*Sampled { return d.sampled }
+
+// OnCycle implements trace.Consumer.
+func (d *Dispatcher) OnCycle(r *trace.Record) {
+	for _, c := range d.every {
+		c.OnCycle(r)
+	}
+	// Profilers with pending samples observe every cycle; once resolved
+	// they rejoin the heap at their next scheduled sample.
+	if len(d.active) > 0 {
+		keep := d.active[:0]
+		for _, s := range d.active {
+			s.observe(r)
+			switch {
+			case s.hasPending():
+				keep = append(keep, s)
+			case s.next > r.Cycle:
+				d.push(heapEntry{next: s.next, s: s})
+			}
+			// Otherwise the schedule saturated with nothing pending:
+			// the profiler has no future interest and is dropped.
+		}
+		d.active = keep
+	}
+	for len(d.heap) > 0 && d.heap[0].next <= r.Cycle {
+		s := d.heap[0].s
+		s.observe(r)
+		if s.hasPending() {
+			d.popTop()
+			d.active = append(d.active, s)
+			continue
+		}
+		if s.next <= r.Cycle {
+			// Schedule saturated with nothing pending: no future
+			// interest.
+			d.popTop()
+			continue
+		}
+		d.heap[0].next = s.next
+		d.siftDown(0)
+	}
+	d.facts.Observe(r)
+}
+
+// Finish implements trace.Consumer.
+func (d *Dispatcher) Finish(totalCycles uint64) {
+	for _, c := range d.every {
+		c.Finish(totalCycles)
+	}
+	for _, s := range d.sampled {
+		s.Finish(totalCycles)
+	}
+}
+
+// --- minimal binary min-heap on (next, insertion-stable enough) ---
+
+func (d *Dispatcher) push(e heapEntry) {
+	d.heap = append(d.heap, e)
+	i := len(d.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if d.heap[p].next <= d.heap[i].next {
+			break
+		}
+		d.heap[p], d.heap[i] = d.heap[i], d.heap[p]
+		i = p
+	}
+}
+
+func (d *Dispatcher) popTop() {
+	n := len(d.heap) - 1
+	d.heap[0] = d.heap[n]
+	d.heap = d.heap[:n]
+	if n > 0 {
+		d.siftDown(0)
+	}
+}
+
+func (d *Dispatcher) siftDown(i int) {
+	n := len(d.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && d.heap[l].next < d.heap[m].next {
+			m = l
+		}
+		if r < n && d.heap[r].next < d.heap[m].next {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		d.heap[i], d.heap[m] = d.heap[m], d.heap[i]
+		i = m
+	}
+}

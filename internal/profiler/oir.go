@@ -32,23 +32,34 @@ type oir struct {
 // empty-ROB cycle, so the order only matters for committing cycles).
 func (o *oir) observe(r *trace.Record) {
 	if y := r.YoungestCommitting(); y != nil {
-		o.valid = true
-		o.pc = y.PC
-		o.fid = y.FID
-		o.instIndex = y.InstIndex
-		o.mispredicted = y.Mispredicted
-		o.flush = y.Flush
-		o.exception = false
+		o.latchCommit(y)
 	}
 	if r.ExceptionRaised {
-		o.valid = true
-		o.pc = r.ExceptionPC
-		o.fid = r.ExceptionFID
-		o.instIndex = r.ExceptionInstIndex
-		o.mispredicted = false
-		o.flush = false
-		o.exception = true
+		o.latchException(r)
 	}
+}
+
+// latchCommit latches the youngest committing entry (already scanned by the
+// caller, so shared-fact dispatch scans the banks once per cycle).
+func (o *oir) latchCommit(y *trace.BankEntry) {
+	o.valid = true
+	o.pc = y.PC
+	o.fid = y.FID
+	o.instIndex = y.InstIndex
+	o.mispredicted = y.Mispredicted
+	o.flush = y.Flush
+	o.exception = false
+}
+
+// latchException latches the excepting instruction.
+func (o *oir) latchException(r *trace.Record) {
+	o.valid = true
+	o.pc = r.ExceptionPC
+	o.fid = r.ExceptionFID
+	o.instIndex = r.ExceptionInstIndex
+	o.mispredicted = false
+	o.flush = false
+	o.exception = true
 }
 
 // flushed reports whether an empty ROB should be classified as Flushed

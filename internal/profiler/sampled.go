@@ -98,12 +98,12 @@ type Sampled struct {
 	next  uint64
 	last  uint64 // previous sample cycle + 1 (start of current window)
 
-	// Policy state.
-	o oir
-	// lastCommitted is the youngest instruction of the most recent
-	// committing cycle (LCI state).
-	lastCommitted    int32
-	lastCommittedSet bool
+	// facts is the per-cycle policy state (OIR, last-committed tracking).
+	// A standalone profiler owns a private copy and advances it itself;
+	// one attached to a Dispatcher shares the dispatcher's copy, advanced
+	// once per cycle for the whole sample-aware tier.
+	facts    *CycleFacts
+	ownFacts bool
 	// Pending resolution queues.
 	pendNCI      []pendingSample // resolve on next committing cycle
 	pendNCISplit []pendingSample // resolve splitting across that cycle
@@ -115,10 +115,12 @@ type Sampled struct {
 // sampling on sched.
 func NewSampled(kind Kind, prog *program.Program, sched sampling.Schedule) *Sampled {
 	s := &Sampled{
-		Kind:    kind,
-		Profile: profile.New(prog),
-		prog:    prog,
-		sched:   sched,
+		Kind:     kind,
+		Profile:  profile.New(prog),
+		prog:     prog,
+		sched:    sched,
+		facts:    &CycleFacts{},
+		ownFacts: true,
 	}
 	s.next = sched.Next(0)
 	return s
@@ -150,6 +152,17 @@ func (s *Sampled) add(idx int32, w float64) {
 
 // OnCycle implements trace.Consumer.
 func (s *Sampled) OnCycle(r *trace.Record) {
+	s.observe(r)
+	if s.ownFacts {
+		s.facts.Observe(r)
+	}
+}
+
+// observe handles one record's attribution work: resolve pending samples,
+// then take a new sample if this is a scheduled cycle. It deliberately does
+// NOT advance the cycle facts — a standalone profiler does that in OnCycle,
+// while a Dispatcher advances the shared facts once for its whole tier.
+func (s *Sampled) observe(r *trace.Record) {
 	// Resolve pending samples first: a sample taken in an earlier cycle
 	// resolves on this cycle's events (commits, dispatches).
 	s.resolve(r)
@@ -162,17 +175,12 @@ func (s *Sampled) OnCycle(r *trace.Record) {
 		s.SampledWeight += w
 		s.take(r, w)
 	}
+}
 
-	// Track continuous policy state.
-	if s.Kind == KindLCI {
-		if y := r.YoungestCommitting(); y != nil {
-			s.lastCommitted = y.InstIndex
-			s.lastCommittedSet = true
-		}
-	}
-	if s.Kind == KindTIP || s.Kind == KindTIPILP {
-		s.o.observe(r)
-	}
+// hasPending reports whether any sample awaits resolution.
+func (s *Sampled) hasPending() bool {
+	return len(s.pendNCI) > 0 || len(s.pendNCISplit) > 0 ||
+		len(s.pendDrain) > 0 || len(s.pendFID) > 0
 }
 
 // take captures one sample with the given weight according to the policy.
@@ -206,8 +214,8 @@ func (s *Sampled) take(r *trace.Record, w float64) {
 			} else {
 				s.LostWeight += w
 			}
-		} else if s.lastCommittedSet {
-			s.add(s.lastCommitted, w)
+		} else if s.facts.lastCommittedSet {
+			s.add(s.facts.lastCommitted, w)
 		} else {
 			// Before the first commit of the run the sample is lost.
 			s.LostWeight += w
@@ -240,7 +248,7 @@ func (s *Sampled) take(r *trace.Record, w float64) {
 
 // takeTIP implements the Fig. 6 sample-selection logic.
 func (s *Sampled) takeTIP(r *trace.Record, w float64) {
-	flags := flagsForRecord(r, &s.o)
+	flags := flagsForRecord(r, &s.facts.o)
 	if !r.ROBEmpty {
 		if r.CommitCount > 0 {
 			// Computing state.
@@ -275,9 +283,9 @@ func (s *Sampled) takeTIP(r *trace.Record, w float64) {
 	}
 	// ROB empty: Flushed (OIR flags set) or Drained (front-end flag; the
 	// sample waits for the first instruction to dispatch).
-	if s.o.flushed() {
-		s.add(s.o.instIndex, w)
-		s.cat(flags, s.o.instIndex, w)
+	if s.facts.o.flushed() {
+		s.add(s.facts.o.instIndex, w)
+		s.cat(flags, s.facts.o.instIndex, w)
 		return
 	}
 	s.pendDrain = append(s.pendDrain, pendingSample{weight: w, flags: flags})

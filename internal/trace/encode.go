@@ -15,21 +15,69 @@ import (
 //	headBank    byte
 //	commitCount byte
 //	per bank: flags byte (valid/committing/mispredicted/flush/exception), then
-//	          pc uvarint, fid uvarint, instIndex uvarint (+1 biased) if valid
+//	          pc, fid, instIndex (delta-encoded, see below) if valid
 //	optional exception block, dispatch block, youngestFID
+//
+// PC, FID and InstIndex fields are stored as zigzag uvarint deltas against
+// the previous value of the same kind anywhere in the stream (codecState).
+// Commit streams are highly local — consecutive banks hold consecutive FIDs
+// and instruction indices, and PCs mostly advance by one instruction — so
+// the deltas almost always fit one byte where the absolute values need three
+// or four. That roughly halves both the trace size and the varint work on
+// the capture/replay hot path.
 //
 // The format exists so traces can be captured once and replayed against new
 // profiler models (the paper ran up to 19 profiler configs per simulation).
-const formatMagic = "TIPTRC1\n"
+const formatMagic = "TIPTRC2\n"
+
+// codecState is the cross-record prediction context shared by the encoder
+// and decoder. Both sides start from the zero state and advance it field by
+// field in the same order, so the deltas are self-describing.
+type codecState struct {
+	lastCycle uint64
+	lastPC    uint64
+	lastFID   uint64
+	lastInst  int64
+}
+
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUvarint is binary.AppendUvarint with a fast path for the one-byte
+// values that dominate a delta-encoded trace.
+func appendUvarint(buf []byte, v uint64) []byte {
+	if v < 0x80 {
+		return append(buf, byte(v))
+	}
+	return binary.AppendUvarint(buf, v)
+}
+
+func (st *codecState) appendPC(buf []byte, pc uint64) []byte {
+	buf = appendUvarint(buf, zigzag(int64(pc)-int64(st.lastPC)))
+	st.lastPC = pc
+	return buf
+}
+
+func (st *codecState) appendFID(buf []byte, fid uint64) []byte {
+	buf = appendUvarint(buf, zigzag(int64(fid)-int64(st.lastFID)))
+	st.lastFID = fid
+	return buf
+}
+
+func (st *codecState) appendInst(buf []byte, idx int32) []byte {
+	buf = appendUvarint(buf, zigzag(int64(idx)-st.lastInst))
+	st.lastInst = int64(idx)
+	return buf
+}
 
 // Writer streams records to an io.Writer.
 type Writer struct {
-	w         *bufio.Writer
-	lastCycle uint64
-	wroteHdr  bool
-	buf       []byte
-	err       error
-	count     uint64
+	w        *bufio.Writer
+	st       codecState
+	wroteHdr bool
+	buf      []byte
+	err      error
+	count    uint64
 }
 
 // NewWriter returns a trace writer.
@@ -37,25 +85,12 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
 }
 
-func (w *Writer) uvarint(v uint64) {
-	w.buf = binary.AppendUvarint(w.buf, v)
-}
-
-// OnCycle implements Consumer.
-func (w *Writer) OnCycle(r *Record) {
-	if w.err != nil {
-		return
-	}
-	if !w.wroteHdr {
-		if _, err := w.w.WriteString(formatMagic); err != nil {
-			w.err = err
-			return
-		}
-		w.wroteHdr = true
-	}
-	w.buf = w.buf[:0]
-	w.uvarint(r.Cycle - w.lastCycle)
-	w.lastCycle = r.Cycle
+// appendRecord encodes r onto buf and returns the extended slice, advancing
+// the codec state. It is the single encoder shared by the streaming Writer
+// and the in-memory Capture, so both produce identical bytes.
+func appendRecord(buf []byte, r *Record, st *codecState) []byte {
+	buf = appendUvarint(buf, r.Cycle-st.lastCycle)
+	st.lastCycle = r.Cycle
 	var flags byte
 	if r.ROBEmpty {
 		flags |= 1
@@ -69,7 +104,7 @@ func (w *Writer) OnCycle(r *Record) {
 	if r.AnyInFlight {
 		flags |= 8
 	}
-	w.buf = append(w.buf, flags, byte(r.NumBanks), r.HeadBank, r.CommitCount)
+	buf = append(buf, flags, byte(r.NumBanks), r.HeadBank, r.CommitCount)
 	for i := 0; i < r.NumBanks; i++ {
 		b := &r.Banks[i]
 		var bf byte
@@ -88,26 +123,42 @@ func (w *Writer) OnCycle(r *Record) {
 		if b.Exception {
 			bf |= 16
 		}
-		w.buf = append(w.buf, bf)
+		buf = append(buf, bf)
 		if b.Valid {
-			w.uvarint(b.PC)
-			w.uvarint(b.FID)
-			w.uvarint(uint64(int64(b.InstIndex) + 1))
+			buf = st.appendPC(buf, b.PC)
+			buf = st.appendFID(buf, b.FID)
+			buf = st.appendInst(buf, b.InstIndex)
 		}
 	}
 	if r.ExceptionRaised {
-		w.uvarint(r.ExceptionPC)
-		w.uvarint(r.ExceptionFID)
-		w.uvarint(uint64(int64(r.ExceptionInstIndex) + 1))
+		buf = st.appendPC(buf, r.ExceptionPC)
+		buf = st.appendFID(buf, r.ExceptionFID)
+		buf = st.appendInst(buf, r.ExceptionInstIndex)
 	}
 	if r.DispatchValid {
-		w.uvarint(r.DispatchPC)
-		w.uvarint(r.DispatchFID)
-		w.uvarint(uint64(int64(r.DispatchInstIndex) + 1))
+		buf = st.appendPC(buf, r.DispatchPC)
+		buf = st.appendFID(buf, r.DispatchFID)
+		buf = st.appendInst(buf, r.DispatchInstIndex)
 	}
 	if r.AnyInFlight {
-		w.uvarint(r.YoungestFID)
+		buf = st.appendFID(buf, r.YoungestFID)
 	}
+	return buf
+}
+
+// OnCycle implements Consumer.
+func (w *Writer) OnCycle(r *Record) {
+	if w.err != nil {
+		return
+	}
+	if !w.wroteHdr {
+		if _, err := w.w.WriteString(formatMagic); err != nil {
+			w.err = err
+			return
+		}
+		w.wroteHdr = true
+	}
+	w.buf = appendRecord(w.buf[:0], r, &w.st)
 	if _, err := w.w.Write(w.buf); err != nil {
 		w.err = err
 	}
@@ -129,9 +180,13 @@ func (w *Writer) Count() uint64 { return w.count }
 
 // Reader replays a stored trace.
 type Reader struct {
-	r         *bufio.Reader
-	lastCycle uint64
-	readHdr   bool
+	r       *bufio.Reader
+	st      codecState
+	readHdr bool
+	// scratch backs the fixed-size header reads; a local array would
+	// escape through the io.ReadFull interface call and cost one heap
+	// allocation per record.
+	scratch [len(formatMagic)]byte
 }
 
 // NewReader returns a trace reader.
@@ -139,10 +194,40 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
+func (r *Reader) readPC() (uint64, error) {
+	u, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, unexpected(err)
+	}
+	pc := uint64(int64(r.st.lastPC) + unzigzag(u))
+	r.st.lastPC = pc
+	return pc, nil
+}
+
+func (r *Reader) readFID() (uint64, error) {
+	u, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, unexpected(err)
+	}
+	fid := uint64(int64(r.st.lastFID) + unzigzag(u))
+	r.st.lastFID = fid
+	return fid, nil
+}
+
+func (r *Reader) readInst() (int32, error) {
+	u, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, unexpected(err)
+	}
+	idx := r.st.lastInst + unzigzag(u)
+	r.st.lastInst = idx
+	return int32(idx), nil
+}
+
 // Next decodes the next record into rec. It returns io.EOF at end of trace.
 func (r *Reader) Next(rec *Record) error {
 	if !r.readHdr {
-		hdr := make([]byte, len(formatMagic))
+		hdr := r.scratch[:len(formatMagic)]
 		if _, err := io.ReadFull(r.r, hdr); err != nil {
 			return err
 		}
@@ -156,10 +241,10 @@ func (r *Reader) Next(rec *Record) error {
 		return err
 	}
 	*rec = Record{}
-	r.lastCycle += delta
-	rec.Cycle = r.lastCycle
-	var hdr [4]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+	r.st.lastCycle += delta
+	rec.Cycle = r.st.lastCycle
+	hdr := r.scratch[:4]
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
 		return unexpected(err)
 	}
 	flags := hdr[0]
@@ -185,48 +270,42 @@ func (r *Reader) Next(rec *Record) error {
 		b.Flush = bf&8 != 0
 		b.Exception = bf&16 != 0
 		if b.Valid {
-			if b.PC, err = binary.ReadUvarint(r.r); err != nil {
-				return unexpected(err)
+			if b.PC, err = r.readPC(); err != nil {
+				return err
 			}
-			if b.FID, err = binary.ReadUvarint(r.r); err != nil {
-				return unexpected(err)
+			if b.FID, err = r.readFID(); err != nil {
+				return err
 			}
-			v, err := binary.ReadUvarint(r.r)
-			if err != nil {
-				return unexpected(err)
+			if b.InstIndex, err = r.readInst(); err != nil {
+				return err
 			}
-			b.InstIndex = int32(int64(v) - 1)
 		}
 	}
 	if rec.ExceptionRaised {
-		if rec.ExceptionPC, err = binary.ReadUvarint(r.r); err != nil {
-			return unexpected(err)
+		if rec.ExceptionPC, err = r.readPC(); err != nil {
+			return err
 		}
-		if rec.ExceptionFID, err = binary.ReadUvarint(r.r); err != nil {
-			return unexpected(err)
+		if rec.ExceptionFID, err = r.readFID(); err != nil {
+			return err
 		}
-		v, err := binary.ReadUvarint(r.r)
-		if err != nil {
-			return unexpected(err)
+		if rec.ExceptionInstIndex, err = r.readInst(); err != nil {
+			return err
 		}
-		rec.ExceptionInstIndex = int32(int64(v) - 1)
 	}
 	if rec.DispatchValid {
-		if rec.DispatchPC, err = binary.ReadUvarint(r.r); err != nil {
-			return unexpected(err)
+		if rec.DispatchPC, err = r.readPC(); err != nil {
+			return err
 		}
-		if rec.DispatchFID, err = binary.ReadUvarint(r.r); err != nil {
-			return unexpected(err)
+		if rec.DispatchFID, err = r.readFID(); err != nil {
+			return err
 		}
-		v, err := binary.ReadUvarint(r.r)
-		if err != nil {
-			return unexpected(err)
+		if rec.DispatchInstIndex, err = r.readInst(); err != nil {
+			return err
 		}
-		rec.DispatchInstIndex = int32(int64(v) - 1)
 	}
 	if rec.AnyInFlight {
-		if rec.YoungestFID, err = binary.ReadUvarint(r.r); err != nil {
-			return unexpected(err)
+		if rec.YoungestFID, err = r.readFID(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -237,4 +316,128 @@ func unexpected(err error) error {
 		return io.ErrUnexpectedEOF
 	}
 	return err
+}
+
+// sliceUvarint reads one uvarint from data at pos for the in-memory decode
+// path, with the same one-byte fast path as appendUvarint.
+func sliceUvarint(data []byte, pos int) (uint64, int, error) {
+	if pos < len(data) && data[pos] < 0x80 {
+		return uint64(data[pos]), pos + 1, nil
+	}
+	v, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return 0, pos, io.ErrUnexpectedEOF
+	}
+	return v, pos + n, nil
+}
+
+func (st *codecState) slicePC(data []byte, pos int) (uint64, int, error) {
+	u, pos, err := sliceUvarint(data, pos)
+	if err != nil {
+		return 0, pos, err
+	}
+	pc := uint64(int64(st.lastPC) + unzigzag(u))
+	st.lastPC = pc
+	return pc, pos, nil
+}
+
+func (st *codecState) sliceFID(data []byte, pos int) (uint64, int, error) {
+	u, pos, err := sliceUvarint(data, pos)
+	if err != nil {
+		return 0, pos, err
+	}
+	fid := uint64(int64(st.lastFID) + unzigzag(u))
+	st.lastFID = fid
+	return fid, pos, nil
+}
+
+func (st *codecState) sliceInst(data []byte, pos int) (int32, int, error) {
+	u, pos, err := sliceUvarint(data, pos)
+	if err != nil {
+		return 0, pos, err
+	}
+	idx := st.lastInst + unzigzag(u)
+	st.lastInst = idx
+	return int32(idx), pos, nil
+}
+
+// decodeRecord decodes the record at data[pos:] into rec, mirroring
+// Reader.Next byte for byte but without reader indirection — the hot path
+// for replaying an in-memory capture. It returns the position after the
+// record; the codec state carries the delta bases between records.
+func decodeRecord(data []byte, pos int, st *codecState, rec *Record) (int, error) {
+	delta, pos, err := sliceUvarint(data, pos)
+	if err != nil {
+		return pos, err
+	}
+	*rec = Record{}
+	st.lastCycle += delta
+	rec.Cycle = st.lastCycle
+	if pos+4 > len(data) {
+		return pos, io.ErrUnexpectedEOF
+	}
+	flags := data[pos]
+	rec.ROBEmpty = flags&1 != 0
+	rec.ExceptionRaised = flags&2 != 0
+	rec.DispatchValid = flags&4 != 0
+	rec.AnyInFlight = flags&8 != 0
+	rec.NumBanks = int(data[pos+1])
+	if rec.NumBanks > MaxBanks {
+		return pos, fmt.Errorf("trace: bank count %d exceeds max %d", rec.NumBanks, MaxBanks)
+	}
+	rec.HeadBank = data[pos+2]
+	rec.CommitCount = data[pos+3]
+	pos += 4
+	for i := 0; i < rec.NumBanks; i++ {
+		if pos >= len(data) {
+			return pos, io.ErrUnexpectedEOF
+		}
+		bf := data[pos]
+		pos++
+		b := &rec.Banks[i]
+		b.Valid = bf&1 != 0
+		b.Committing = bf&2 != 0
+		b.Mispredicted = bf&4 != 0
+		b.Flush = bf&8 != 0
+		b.Exception = bf&16 != 0
+		if b.Valid {
+			if b.PC, pos, err = st.slicePC(data, pos); err != nil {
+				return pos, err
+			}
+			if b.FID, pos, err = st.sliceFID(data, pos); err != nil {
+				return pos, err
+			}
+			if b.InstIndex, pos, err = st.sliceInst(data, pos); err != nil {
+				return pos, err
+			}
+		}
+	}
+	if rec.ExceptionRaised {
+		if rec.ExceptionPC, pos, err = st.slicePC(data, pos); err != nil {
+			return pos, err
+		}
+		if rec.ExceptionFID, pos, err = st.sliceFID(data, pos); err != nil {
+			return pos, err
+		}
+		if rec.ExceptionInstIndex, pos, err = st.sliceInst(data, pos); err != nil {
+			return pos, err
+		}
+	}
+	if rec.DispatchValid {
+		if rec.DispatchPC, pos, err = st.slicePC(data, pos); err != nil {
+			return pos, err
+		}
+		if rec.DispatchFID, pos, err = st.sliceFID(data, pos); err != nil {
+			return pos, err
+		}
+		if rec.DispatchInstIndex, pos, err = st.sliceInst(data, pos); err != nil {
+			return pos, err
+		}
+	}
+	if rec.AnyInFlight {
+		if rec.YoungestFID, pos, err = st.sliceFID(data, pos); err != nil {
+			return pos, err
+		}
+	}
+	return pos, nil
 }

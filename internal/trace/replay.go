@@ -2,6 +2,7 @@ package trace
 
 import (
 	"errors"
+	"fmt"
 	"io"
 )
 
@@ -19,6 +20,49 @@ func Replay(r *Reader, consumers ...Consumer) (cycles uint64, records uint64, er
 			if errors.Is(err, io.EOF) {
 				break
 			}
+			return 0, records, err
+		}
+		records++
+		any = true
+		for _, c := range consumers {
+			c.OnCycle(&rec)
+		}
+		if rec.CommitCount > 0 {
+			lastCommit = rec.Cycle
+		}
+	}
+	if !any {
+		return 0, 0, io.ErrUnexpectedEOF
+	}
+	cycles = lastCommit + 1
+	for _, c := range consumers {
+		c.Finish(cycles)
+	}
+	return cycles, records, nil
+}
+
+// ReplayBytes is Replay over an in-memory encoded trace. It decodes straight
+// off the slice — no reader indirection, no per-byte interface calls — which
+// is what makes replaying a capture markedly cheaper than re-simulating.
+func ReplayBytes(data []byte, consumers ...Consumer) (cycles uint64, records uint64, err error) {
+	if len(data) < len(formatMagic) || string(data[:len(formatMagic)]) != formatMagic {
+		if len(data) == 0 {
+			return 0, 0, io.ErrUnexpectedEOF
+		}
+		n := len(data)
+		if n > len(formatMagic) {
+			n = len(formatMagic)
+		}
+		return 0, 0, fmt.Errorf("trace: bad magic %q", data[:n])
+	}
+	pos := len(formatMagic)
+	var rec Record
+	var st codecState
+	lastCommit := uint64(0)
+	any := false
+	for pos < len(data) {
+		pos, err = decodeRecord(data, pos, &st, &rec)
+		if err != nil {
 			return 0, records, err
 		}
 		records++

@@ -39,10 +39,19 @@ type Workload struct {
 	Seed uint64
 }
 
-// Stream returns a fresh dynamic-instruction stream for the workload.
+// Stream returns a fresh dynamic-instruction stream for the workload. Every
+// call starts from the workload's initial state, so one loaded Workload can
+// feed any number of simulations.
 func (w *Workload) Stream() program.Stream {
 	return program.NewInterp(w.Prog, w.Seed)
 }
+
+// Reset restores the workload to its just-loaded state so it can be
+// re-streamed. Streams are already constructed fresh per Stream call and the
+// generated Prog/Prefault tables are immutable, so today this is a no-op; it
+// exists as the documented contract point for re-running a workload without
+// paying LoadScaled again, should workloads ever grow mutable state.
+func (w *Workload) Reset() {}
 
 // Spec names a benchmark and its generator parameters.
 type Spec struct {

@@ -115,6 +115,60 @@ func TestTraceReplayEquivalence(t *testing.T) {
 	}
 }
 
+// TestCaptureReplayByteIdenticalStream pins the tentpole property of the
+// single-pass evaluation pipeline: replaying a CaptureWorkload capture and
+// re-encoding the decoded records reproduces the live encoding byte for
+// byte. Profilers fed by replay therefore observe the exact record stream
+// the live core emitted — which is why capture/replay results must (and do,
+// per the experiments golden test) match dual-simulation results exactly.
+func TestCaptureReplayByteIdenticalStream(t *testing.T) {
+	w, err := workload.LoadScaled("imagick", 1, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live encoding: run the core once with a plain trace writer.
+	var live bytes.Buffer
+	lw := trace.NewWriter(&live)
+	stats, err := newCore(DefaultCoreConfig(), w).Run(lw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lw.Err() != nil {
+		t.Fatal(lw.Err())
+	}
+
+	// Capture pass (fresh stream, deterministic), then re-encode the
+	// replayed records.
+	capture, capStats, err := CaptureWorkload(w, DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capture.Close()
+	if capStats != stats {
+		t.Fatalf("capture run stats diverged from live run:\nlive %+v\ncap  %+v", stats, capStats)
+	}
+	var reencoded bytes.Buffer
+	rw := trace.NewWriter(&reencoded)
+	cycles, records, err := capture.Replay(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Err() != nil {
+		t.Fatal(rw.Err())
+	}
+	if cycles != stats.Cycles {
+		t.Fatalf("replay Finish cycles %d != live %d", cycles, stats.Cycles)
+	}
+	if records != capture.Records() {
+		t.Fatalf("replay delivered %d records, capture holds %d", records, capture.Records())
+	}
+	if !bytes.Equal(live.Bytes(), reencoded.Bytes()) {
+		t.Fatalf("capture->replay->re-encode differs from the live encoding: %d vs %d bytes",
+			live.Len(), reencoded.Len())
+	}
+}
+
 // TestSamplingPolicyDoesNotPerturbExecution is a metamorphic check on the
 // out-of-band methodology (§4): profilers only observe the trace, so
 // switching between periodic and random sampling must leave the underlying

@@ -48,6 +48,10 @@ type (
 	Workload = workload.Workload
 	// Overhead models §3.2's storage and data-rate analysis.
 	Overhead = profiler.Overhead
+	// TraceCapture is a recorded commit-stage trace that can be replayed
+	// through any number of profiler configurations without re-simulating
+	// the core (§4's capture-once, evaluate-many methodology).
+	TraceCapture = trace.Capture
 )
 
 // Re-exported constants.
@@ -102,9 +106,11 @@ type RunConfig struct {
 	// means all of them.
 	Profilers []Kind
 	// SampleInterval is the sampling period in cycles. Zero means
-	// calibrate: run once unprofiled, then set the interval so the run
-	// collects about TargetSamples samples — the scaled equivalent of
-	// the paper's 4 kHz on multi-minute benchmarks (see DESIGN.md).
+	// calibrate: run the single cycle-level simulation while capturing
+	// its trace, set the interval so the run collects about
+	// TargetSamples samples — the scaled equivalent of the paper's
+	// 4 kHz on multi-minute benchmarks (see DESIGN.md) — and feed the
+	// profilers by replaying the capture.
 	SampleInterval uint64
 	// TargetSamples is the calibration target (default 4096).
 	TargetSamples uint64
@@ -169,34 +175,51 @@ func newCore(cfg CoreConfig, w *Workload) *cpu.Core {
 	return core
 }
 
-// Run simulates w under rc. With rc.SampleInterval zero it first runs the
-// workload unprofiled to calibrate the sampling period (the simulator is
-// deterministic, so the profiled run sees the identical execution).
-func Run(w *Workload, rc RunConfig) (*Result, error) {
-	if rc.TargetSamples == 0 {
-		rc.TargetSamples = 4096
+// CalibrateInterval converts a measured cycle count into a sampling period
+// collecting about targetSamples samples (default 4096), floored at 16 and
+// primed so periodic sampling cannot lock onto a cycle-deterministic loop
+// period (see sampling.NextPrime).
+func CalibrateInterval(cycles, targetSamples uint64) uint64 {
+	if targetSamples == 0 {
+		targetSamples = 4096
 	}
-	interval := rc.SampleInterval
-	if interval == 0 {
-		stats, err := newCore(rc.Core, w).Run(nil)
-		if err != nil {
-			return nil, fmt.Errorf("tip: calibration run: %w", err)
-		}
-		interval = stats.Cycles / rc.TargetSamples
-		if interval < 16 {
-			interval = 16
-		}
-		// Prime the interval so periodic sampling cannot lock onto a
-		// cycle-deterministic loop period (see sampling.NextPrime).
-		interval = sampling.NextPrime(interval)
+	interval := cycles / targetSamples
+	if interval < 16 {
+		interval = 16
 	}
+	return sampling.NextPrime(interval)
+}
 
+// CaptureWorkload runs the single cycle-level simulation of w, streaming its
+// encoded commit-stage trace into a replayable capture. The caller owns the
+// capture and must Close it. The simulator is deterministic, so replaying the
+// capture feeds profilers the byte-identical record stream a live profiled
+// run would have seen.
+func CaptureWorkload(w *Workload, cfg CoreConfig) (*TraceCapture, CoreStats, error) {
+	cap := trace.NewCapture(0)
+	stats, err := newCore(cfg, w).Run(cap)
+	if err != nil {
+		cap.Close()
+		return nil, CoreStats{}, fmt.Errorf("tip: %s: %w", w.Name, err)
+	}
+	if err := cap.Err(); err != nil {
+		cap.Close()
+		return nil, CoreStats{}, fmt.Errorf("tip: %s: capture: %w", w.Name, err)
+	}
+	return cap, stats, nil
+}
+
+// buildConsumers assembles the profiler fan-out for one evaluation: the
+// Oracle (plus checker and any non-sampled extras) on the every-cycle tier,
+// all sampled profilers on the dispatcher's sample-aware tier.
+func buildConsumers(w *Workload, rc RunConfig, interval uint64) (*profiler.Dispatcher, *profiler.Oracle, map[Kind]*profiler.Sampled, *check.Checker) {
 	kinds := rc.Profilers
 	if kinds == nil {
 		kinds = profiler.AllKinds()
 	}
 	oracle := profiler.NewOracle(w.Prog, rc.WithBreakdown)
-	consumers := []trace.Consumer{oracle}
+	d := profiler.NewDispatcher()
+	d.AddEveryCycle(oracle)
 	sampled := make(map[Kind]*profiler.Sampled, len(kinds))
 	for _, k := range kinds {
 		var sched sampling.Schedule
@@ -212,9 +235,15 @@ func Run(w *Workload, rc RunConfig) (*Result, error) {
 			sp.EnableCategories(rc.WithBreakdown)
 		}
 		sampled[k] = sp
-		consumers = append(consumers, sp)
+		d.AddSampled(sp)
 	}
-	consumers = append(consumers, rc.ExtraConsumers...)
+	for _, c := range rc.ExtraConsumers {
+		if sp, ok := c.(*profiler.Sampled); ok {
+			d.AddSampled(sp)
+		} else {
+			d.AddEveryCycle(c)
+		}
+	}
 
 	var checker *check.Checker
 	if rc.Check {
@@ -228,12 +257,26 @@ func Run(w *Workload, rc RunConfig) (*Result, error) {
 		for _, k := range kinds {
 			checker.AuditSampled(k.String(), sampled[k])
 		}
-		consumers = append(consumers, checker)
+		d.AddEveryCycle(checker)
 	}
+	return d, oracle, sampled, checker
+}
 
-	core := newCore(rc.Core, w)
-	stats, err := core.Run(&trace.Tee{Consumers: consumers})
-	if err != nil {
+// RunCaptured evaluates rc's profiler matrix by replaying a captured trace
+// of w — no second simulation. stats must be the capture run's statistics.
+// With rc.SampleInterval zero the interval is calibrated from stats.Cycles.
+// The capture is left open; the caller may replay it again (e.g. for another
+// configuration) before Closing it.
+func RunCaptured(w *Workload, cap *TraceCapture, stats CoreStats, rc RunConfig) (*Result, error) {
+	if rc.TargetSamples == 0 {
+		rc.TargetSamples = 4096
+	}
+	interval := rc.SampleInterval
+	if interval == 0 {
+		interval = CalibrateInterval(stats.Cycles, rc.TargetSamples)
+	}
+	d, oracle, sampled, checker := buildConsumers(w, rc, interval)
+	if _, _, err := cap.Replay(d); err != nil {
 		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
 	}
 	if checker != nil {
@@ -247,6 +290,44 @@ func Run(w *Workload, rc RunConfig) (*Result, error) {
 		Oracle:         oracle,
 		Sampled:        sampled,
 		SampleInterval: interval,
+	}, nil
+}
+
+// Run simulates w under rc. With rc.SampleInterval zero it runs the single
+// cycle-level simulation while capturing the encoded trace, calibrates the
+// sampling period from the measured cycle count, and feeds the profilers by
+// replaying the capture — one simulation where there used to be two. With an
+// explicit interval the profilers observe the live trace stream directly.
+// Either way the profilers see the byte-identical record stream.
+func Run(w *Workload, rc RunConfig) (*Result, error) {
+	if rc.TargetSamples == 0 {
+		rc.TargetSamples = 4096
+	}
+	if rc.SampleInterval == 0 {
+		cap, stats, err := CaptureWorkload(w, rc.Core)
+		if err != nil {
+			return nil, err
+		}
+		defer cap.Close()
+		return RunCaptured(w, cap, stats, rc)
+	}
+
+	d, oracle, sampled, checker := buildConsumers(w, rc, rc.SampleInterval)
+	stats, err := newCore(rc.Core, w).Run(d)
+	if err != nil {
+		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
+	}
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
+		}
+	}
+	return &Result{
+		Workload:       w,
+		Stats:          stats,
+		Oracle:         oracle,
+		Sampled:        sampled,
+		SampleInterval: rc.SampleInterval,
 	}, nil
 }
 
