@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +42,8 @@ func main() {
 		benchs    = flag.String("benchmarks", "", "comma-separated benchmark subset")
 		out       = flag.String("out", "", "write output to this file instead of stdout")
 		checked   = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation on every run; fail on any violation")
+		parallel  = flag.Int("parallelism", 0, "total worker budget shared by benchmark evaluations and replay workers (0 = GOMAXPROCS)")
+		replayW   = flag.Int("replayworkers", 1, "replay worker goroutines per benchmark, borrowed from the -parallelism budget (decode-once broadcast; results are byte-identical at any count)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		benchjson = flag.String("benchjson", "", "write machine-readable suite timing (wall-clock, cycles/sec, simulations) to this JSON file")
@@ -90,6 +93,8 @@ func main() {
 		Scale:         *scale,
 		TargetSamples: *samples,
 		Checked:       *checked,
+		Parallelism:   *parallel,
+		ReplayWorkers: *replayW,
 	}
 	if *benchs != "" {
 		opt.Benchmarks = strings.Split(*benchs, ",")
@@ -113,17 +118,17 @@ func main() {
 	needSuite := sel("fig1") || sel("fig7") || sel("fig8") || sel("fig9") ||
 		sel("fig10") || sel("fig11a") || sel("fig11b") || sel("fig11c") || sel("validation")
 	if needSuite {
-		start := time.Now()
 		runsBefore := cpu.RunsStarted()
 		fmt.Fprintf(w, "evaluating suite (%d benchmarks)...\n", len(suiteNames(opt)))
-		evals, err := experiments.EvalSuite(opt)
+		evals, timing, err := experiments.EvalSuiteTimed(context.Background(), opt)
 		if err != nil {
 			fatal(err)
 		}
-		elapsed := time.Since(start)
-		fmt.Fprintf(w, "suite evaluated in %s\n\n", elapsed.Round(time.Second))
+		fmt.Fprintf(w, "suite evaluated in %s (capture %s, replay %s across benchmarks, up to %d replay workers)\n\n",
+			timing.Wall.Round(time.Second), timing.Capture.Round(time.Millisecond),
+			timing.Replay.Round(time.Millisecond), timing.MaxReplayWorkers)
 		if *benchjson != "" {
-			if err := writeBenchJSON(*benchjson, evals, elapsed, cpu.RunsStarted()-runsBefore); err != nil {
+			if err := writeBenchJSON(*benchjson, evals, timing, cpu.RunsStarted()-runsBefore); err != nil {
 				fatal(err)
 			}
 		}
@@ -180,26 +185,33 @@ func suiteNames(opt experiments.Options) []string {
 }
 
 // writeBenchJSON emits the machine-readable suite timing consumed by the CI
-// benchmark job (BENCH_2.json): wall-clock, simulated throughput, and how
-// many cycle-level simulations the evaluation performed.
-func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, elapsed time.Duration, sims uint64) error {
+// benchmark job (BENCH_3.json): wall-clock with its capture/replay phase
+// split, simulated throughput, and how many cycle-level simulations the
+// evaluation performed.
+func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing experiments.SuiteTiming, sims uint64) error {
 	var totalCycles uint64
 	for _, ev := range evals {
 		totalCycles += ev.Cycles
 	}
 	report := struct {
-		Benchmarks   int     `json:"benchmarks"`
-		Simulations  uint64  `json:"simulations"`
-		SuiteSeconds float64 `json:"suite_seconds"`
-		TotalCycles  uint64  `json:"total_cycles"`
-		CyclesPerSec float64 `json:"cycles_per_sec"`
-		SimsPerBench float64 `json:"simulations_per_benchmark"`
+		Benchmarks     int     `json:"benchmarks"`
+		Simulations    uint64  `json:"simulations"`
+		SuiteSeconds   float64 `json:"suite_seconds"`
+		CaptureSeconds float64 `json:"capture_seconds"`
+		ReplaySeconds  float64 `json:"replay_seconds"`
+		ReplayWorkers  int     `json:"replay_workers"`
+		TotalCycles    uint64  `json:"total_cycles"`
+		CyclesPerSec   float64 `json:"cycles_per_sec"`
+		SimsPerBench   float64 `json:"simulations_per_benchmark"`
 	}{
-		Benchmarks:   len(evals),
-		Simulations:  sims,
-		SuiteSeconds: elapsed.Seconds(),
-		TotalCycles:  totalCycles,
-		CyclesPerSec: float64(totalCycles) / elapsed.Seconds(),
+		Benchmarks:     len(evals),
+		Simulations:    sims,
+		SuiteSeconds:   timing.Wall.Seconds(),
+		CaptureSeconds: timing.Capture.Seconds(),
+		ReplaySeconds:  timing.Replay.Seconds(),
+		ReplayWorkers:  timing.MaxReplayWorkers,
+		TotalCycles:    totalCycles,
+		CyclesPerSec:   float64(totalCycles) / timing.Wall.Seconds(),
 	}
 	if len(evals) > 0 {
 		report.SimsPerBench = float64(sims) / float64(len(evals))

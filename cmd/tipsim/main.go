@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func main() {
 		fn        = flag.String("fn", "", "print the instruction-level profile of this function")
 		record    = flag.String("record", "", "record raw TIP samples (88 B/sample) to this file; post-process with tipreport")
 		checkInv  = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation; fail on any violation")
+		replayW   = flag.Int("replayworkers", 1, "worker goroutines the captured-trace replay fans the profilers out over (decode-once broadcast; results are byte-identical at any count)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -81,6 +83,7 @@ func main() {
 	rc.Profilers = kinds
 	rc.WithBreakdown = true
 	rc.Check = *checkInv
+	rc.ReplayWorkers = *replayW
 
 	var recFile *os.File
 	var recWriter *perfdata.Writer
@@ -104,7 +107,7 @@ func main() {
 		rc.SampleInterval = tip.CalibrateInterval(stats.Cycles, *samples)
 		rc.ExtraConsumers = append(rc.ExtraConsumers,
 			perfdata.NewCollector(recWriter, sampling.NewPeriodic(rc.SampleInterval), 0, 1, 1))
-		res, err = tip.RunCaptured(w, capture, stats, rc)
+		res, err = tip.RunCaptured(context.Background(), w, capture, stats, rc)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,93 @@
+package tip_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/trace"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// TestGenerateFuzzCorpus regenerates the committed seed corpus for the trace
+// decoder fuzz targets from real benchmark captures. It is a maintenance
+// tool, not a test: it only runs when TIP_GEN_FUZZ_CORPUS is set.
+//
+//	TIP_GEN_FUZZ_CORPUS=1 go test -run TestGenerateFuzzCorpus .
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("TIP_GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set TIP_GEN_FUZZ_CORPUS to regenerate internal/trace/testdata/fuzz")
+	}
+	for _, bench := range []string{"imagick", "gcc"} {
+		data := encodeBenchTrace(t, bench, 4000, 2048)
+		writeCorpus(t, "FuzzDecodeRecord", bench, data)
+		writeCorpus(t, "FuzzReplayBytes", bench, data)
+		// A truncated real trace exercises the error paths from a realistic
+		// prefix instead of pure mutation noise.
+		trunc := data[:len(data)*3/4]
+		writeCorpus(t, "FuzzReplayBytes", bench+"-truncated", trunc)
+	}
+}
+
+// encodeBenchTrace captures a scaled-down run of the benchmark and re-encodes
+// its first maxRecords cycles through a trace.Writer, yielding a small but
+// complete TIPTRC2 byte stream with real pipeline behaviour.
+func encodeBenchTrace(t *testing.T, bench string, scale uint64, maxRecords int) []byte {
+	t.Helper()
+	w, err := workload.LoadScaled(bench, 1, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, _, err := tip.CaptureWorkload(w, tip.DefaultRunConfig().Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capture.Close()
+	var buf bytes.Buffer
+	enc := &prefixEncoder{w: trace.NewWriter(&buf), max: maxRecords}
+	if _, _, err := capture.Replay(enc); err != nil {
+		t.Fatal(err)
+	}
+	if enc.w.Err() != nil {
+		t.Fatal(enc.w.Err())
+	}
+	return buf.Bytes()
+}
+
+// prefixEncoder re-encodes only the first max records of a replayed trace,
+// closing the stream at the prefix's own last cycle so the result is a valid
+// standalone trace.
+type prefixEncoder struct {
+	w         *trace.Writer
+	n, max    int
+	lastCycle uint64
+}
+
+func (p *prefixEncoder) OnCycle(r *trace.Record) {
+	if p.n < p.max {
+		p.w.OnCycle(r)
+		p.n++
+		p.lastCycle = r.Cycle
+	}
+}
+
+func (p *prefixEncoder) Finish(uint64) { p.w.Finish(p.lastCycle + 1) }
+
+// writeCorpus writes one seed in the `go test fuzz v1` file format.
+func writeCorpus(t *testing.T, target, name string, data []byte) {
+	t.Helper()
+	dir := filepath.Join("internal", "trace", "testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+	path := filepath.Join(dir, "seed-"+name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d bytes)", path, len(body))
+}

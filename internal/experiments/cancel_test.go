@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/tipprof/tip/internal/cpu"
+)
+
+// TestEvalSuiteTimedPreCancelled asserts an already-cancelled context stops
+// the suite before any cycle-level simulation starts.
+func TestEvalSuiteTimedPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := cpu.RunsStarted()
+	_, _, err := EvalSuiteTimed(ctx, detOpts("x264", "lbm"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started := cpu.RunsStarted() - before; started != 0 {
+		t.Fatalf("%d simulations started under a cancelled context", started)
+	}
+}
+
+// TestEvalSuiteTimedReportsRootCause asserts the first real failure wins over
+// the secondary context.Canceled errors it triggers in sibling evaluations.
+func TestEvalSuiteTimedReportsRootCause(t *testing.T) {
+	opt := detOpts("x264", "no-such-benchmark", "lbm")
+	opt.Parallelism = 2
+	_, _, err := EvalSuiteTimed(context.Background(), opt)
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("root cause masked by cancellation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-benchmark") {
+		t.Fatalf("error does not name the failing benchmark: %v", err)
+	}
+}
+
+// TestEvalSuiteTimedPhaseSplit sanity-checks the reported timing: both phases
+// ran, and their sum is consistent with having actually timed something.
+func TestEvalSuiteTimedPhaseSplit(t *testing.T) {
+	opt := detOpts("x264")
+	opt.ReplayWorkers = 2
+	opt.Parallelism = 2
+	evals, timing, err := EvalSuiteTimed(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 1 || evals[0] == nil {
+		t.Fatalf("expected one evaluation, got %+v", evals)
+	}
+	if timing.Capture <= 0 || timing.Replay <= 0 {
+		t.Fatalf("phase timings not recorded: %+v", timing)
+	}
+	if timing.Wall < timing.Capture {
+		t.Fatalf("wall %v below the sequential capture phase %v", timing.Wall, timing.Capture)
+	}
+	if timing.MaxReplayWorkers < 1 || timing.MaxReplayWorkers > 2 {
+		t.Fatalf("MaxReplayWorkers = %d, want 1..2", timing.MaxReplayWorkers)
+	}
+}

@@ -57,6 +57,63 @@ func TestEvalSuiteParallelismInvariant(t *testing.T) {
 	}
 }
 
+// TestEvalReplayWorkersInvariant is the metamorphic worker-count check for
+// sharded replay: evaluating with 1, 2, and GOMAXPROCS replay workers — with
+// the conservation checker attached — must produce byte-identical results.
+// The decode-once broadcast hands every worker the same record stream, so
+// the only thing allowed to vary is which goroutine a profiler runs on.
+func TestEvalReplayWorkersInvariant(t *testing.T) {
+	workers := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var ref *BenchmarkEval
+	for _, w := range workers {
+		opt := detOpts("imagick")
+		opt.Checked = true
+		// Grant exactly the slots the replay wants so the borrow is
+		// deterministic and the run really fans out over w workers.
+		opt.Parallelism = w
+		opt.ReplayWorkers = w
+		ev, err := EvalBenchmark("imagick", opt)
+		if err != nil {
+			t.Fatalf("ReplayWorkers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = ev
+			continue
+		}
+		if !reflect.DeepEqual(ref, ev) {
+			t.Fatalf("evaluation differs between ReplayWorkers=%d and ReplayWorkers=%d",
+				workers[0], w)
+		}
+	}
+}
+
+// TestEvalSuiteReplayWorkersInvariant repeats the worker-count check at the
+// suite level, where replay workers are borrowed from the shared parallelism
+// budget while several benchmarks evaluate at once.
+func TestEvalSuiteReplayWorkersInvariant(t *testing.T) {
+	benchmarks := []string{"x264", "lbm"}
+
+	seqOpt := detOpts(benchmarks...)
+	seqOpt.Parallelism = 1
+	seqOpt.ReplayWorkers = 1
+	seq, err := EvalSuite(seqOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parOpt := detOpts(benchmarks...)
+	parOpt.Parallelism = 4
+	parOpt.ReplayWorkers = 3
+	par, err := EvalSuite(parOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("suite evaluation depends on ReplayWorkers")
+	}
+}
+
 // TestEvalSuiteChecked runs the suite with the invariant checker attached to
 // every profiled run.
 func TestEvalSuiteChecked(t *testing.T) {

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	tip "github.com/tipprof/tip"
 	"github.com/tipprof/tip/internal/check"
@@ -38,9 +41,16 @@ type Options struct {
 	Benchmarks []string
 	// Frequencies are the sensitivity sweep points (nil = Default).
 	Frequencies []uint64
-	// Parallelism bounds concurrent benchmark evaluations
-	// (0 = GOMAXPROCS).
+	// Parallelism is the evaluation's total worker budget: it bounds the
+	// concurrent benchmark evaluations AND the extra replay workers they
+	// spawn, all drawing from one shared semaphore (0 = GOMAXPROCS).
 	Parallelism int
+	// ReplayWorkers asks each benchmark's captured-trace replay to fan
+	// out over up to this many workers (0 or 1 = sequential). Workers
+	// beyond the first only materialize when the shared Parallelism
+	// budget has idle slots, so a saturated suite never oversubscribes
+	// the host; results are byte-identical at any worker count.
+	ReplayWorkers int
 	// Checked attaches a cycle-level invariant checker (internal/check)
 	// to every profiled run and fails the evaluation on any violation.
 	Checked bool
@@ -119,23 +129,96 @@ func sweepKinds() []profiler.Kind {
 	return []profiler.Kind{profiler.KindNCI, profiler.KindTIPILP, profiler.KindTIP}
 }
 
+// budget is the evaluation's shared worker semaphore: suite-level
+// benchmark evaluations and replay-level shard workers all draw slots from
+// the same pool, so nested parallelism can never oversubscribe the host.
+type budget struct {
+	sem chan struct{}
+}
+
+func newBudget(slots int) *budget {
+	if slots < 1 {
+		slots = 1
+	}
+	return &budget{sem: make(chan struct{}, slots)}
+}
+
+// acquire blocks until a slot is free.
+func (b *budget) acquire() { b.sem <- struct{}{} }
+
+// tryExtra grabs up to max idle slots without blocking and returns how many
+// it got. Extra slots must never be acquired blockingly while holding one:
+// a suite full of evaluations each waiting for replay workers would
+// deadlock.
+func (b *budget) tryExtra(max int) int {
+	got := 0
+	for got < max {
+		select {
+		case b.sem <- struct{}{}:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// release returns n slots.
+func (b *budget) release(n int) {
+	for ; n > 0; n-- {
+		<-b.sem
+	}
+}
+
+// Timing is one benchmark evaluation's phase split: the cycle-level capture
+// simulation vs the profiler-matrix replay of the capture.
+type Timing struct {
+	Capture time.Duration
+	Replay  time.Duration
+	// ReplayWorkers is the worker count the replay actually ran with
+	// (≤ Options.ReplayWorkers, depending on idle budget slots).
+	ReplayWorkers int
+}
+
 // EvalBenchmark runs one benchmark with the full profiler matrix.
 func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 	opt.fill()
+	b := newBudget(opt.Parallelism)
+	b.acquire()
+	defer b.release(1)
+	ev, _, err := evalBenchmark(context.Background(), b, name, opt)
+	return ev, err
+}
+
+// evalBenchmark is EvalBenchmark with the suite plumbing exposed: the
+// caller must already hold one budget slot; extra replay workers borrow
+// idle slots for the replay phase only. Cancelling ctx aborts the
+// evaluation at the next phase boundary (and, when the replay is sharded,
+// between record chunks).
+func evalBenchmark(ctx context.Context, b *budget, name string, opt Options) (*BenchmarkEval, Timing, error) {
+	var tm Timing
+	if err := ctx.Err(); err != nil {
+		return nil, tm, err
+	}
 	w, err := workload.LoadScaled(name, opt.Seed, opt.Scale)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 
 	cfg := tip.DefaultRunConfig()
 
 	// The single cycle-level simulation: measure cycles for calibration
 	// while capturing the encoded trace the profiler matrix will replay.
+	capStart := time.Now()
 	capture, stats, err := tip.CaptureWorkload(w, cfg.Core)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: capture %s: %w", name, err)
+		return nil, tm, fmt.Errorf("experiments: capture %s: %w", name, err)
 	}
 	defer capture.Close()
+	tm.Capture = time.Since(capStart)
+	if err := ctx.Err(); err != nil {
+		return nil, tm, err
+	}
 	// Prime the interval to avoid aliasing with cycle-deterministic
 	// synthetic loops (see sampling.NextPrime).
 	interval4k := tip.CalibrateInterval(stats.Cycles, opt.TargetSamples)
@@ -198,22 +281,34 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 
 	// Replay the captured trace through the matrix — the deterministic
 	// codec hands every consumer the byte-identical record stream the
-	// live core produced, without a second simulation.
-	res, err := tip.RunCaptured(w, capture, stats, tip.RunConfig{
+	// live core produced, without a second simulation. Extra replay
+	// workers borrow idle budget slots for the duration of the replay;
+	// the worker count never changes the results, only the wall-clock.
+	workers := 1
+	if opt.ReplayWorkers > 1 {
+		extra := b.tryExtra(opt.ReplayWorkers - 1)
+		workers += extra
+		defer b.release(extra)
+	}
+	tm.ReplayWorkers = workers
+	repStart := time.Now()
+	res, err := tip.RunCaptured(ctx, w, capture, stats, tip.RunConfig{
 		Core:           cfg.Core,
 		Profilers:      []profiler.Kind{}, // matrix supplied below
 		SampleInterval: interval4k,
 		ExtraConsumers: consumers,
+		ReplayWorkers:  workers,
 	})
+	tm.Replay = time.Since(repStart)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	if checker != nil {
 		// Audits are evaluated lazily by Err, so the Oracle built inside
 		// tip.Run can be registered after the run completes.
 		checker.AuditOracle("Oracle", res.Oracle)
 		if err := checker.Err(); err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			return nil, tm, fmt.Errorf("experiments: %s: %w", name, err)
 		}
 	}
 
@@ -264,42 +359,103 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 				sb.Profile.Aggregate(profile.GranInstruction, true))
 		}
 	}
-	return ev, nil
+	return ev, tm, nil
+}
+
+// SuiteTiming aggregates a suite evaluation's phase split: total wall-clock
+// plus the per-benchmark capture and replay durations summed across the
+// suite (with parallel evaluations these sums exceed the wall-clock).
+type SuiteTiming struct {
+	Wall    time.Duration
+	Capture time.Duration
+	Replay  time.Duration
+	// MaxReplayWorkers is the largest worker count any benchmark's replay
+	// actually ran with.
+	MaxReplayWorkers int
 }
 
 // EvalSuite evaluates the selected benchmarks, in parallel when the host
-// has spare cores. At most Parallelism evaluations (and their workload
-// allocations) are live at once: the semaphore is acquired before the
-// goroutine is spawned, so Parallelism=1 really is sequential. After the
-// first failure no further benchmarks are launched.
+// has spare cores. See EvalSuiteTimed for the scheduling rules.
 func EvalSuite(opt Options) ([]*BenchmarkEval, error) {
+	evals, _, err := EvalSuiteTimed(context.Background(), opt)
+	return evals, err
+}
+
+// EvalSuiteTimed evaluates the selected benchmarks and reports the suite's
+// capture/replay timing split. Benchmark evaluations and their replay
+// workers share one Parallelism-slot budget: each evaluation holds a slot
+// for its lifetime (acquired before the goroutine is spawned, so
+// Parallelism=1 really is sequential) and replays borrow idle slots for
+// extra workers. On the first failure no further benchmarks are launched
+// and the context handed to in-flight evaluations is cancelled, aborting
+// their replays between record chunks; the first root-cause error (rather
+// than a secondary cancellation error) is returned. Cancelling ctx aborts
+// the whole suite the same way.
+func EvalSuiteTimed(ctx context.Context, opt Options) ([]*BenchmarkEval, SuiteTiming, error) {
 	opt.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
 	evals := make([]*BenchmarkEval, len(opt.Benchmarks))
+	timings := make([]Timing, len(opt.Benchmarks))
 	errs := make([]error, len(opt.Benchmarks))
-	sem := make(chan struct{}, opt.Parallelism)
+	b := newBudget(opt.Parallelism)
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for i, name := range opt.Benchmarks {
-		sem <- struct{}{}
+		b.acquire()
 		if failed.Load() {
-			<-sem
+			b.release(1)
 			break
 		}
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			evals[i], errs[i] = EvalBenchmark(name, opt)
+			defer b.release(1)
+			evals[i], timings[i], errs[i] = evalBenchmark(ctx, b, name, opt)
 			if errs[i] != nil {
 				failed.Store(true)
+				// First failure: pull the plug on every in-flight
+				// evaluation instead of letting them run to completion.
+				cancel()
 			}
 		}(i, name)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", opt.Benchmarks[i], err)
+
+	var st SuiteTiming
+	st.Wall = time.Since(start)
+	for _, tm := range timings {
+		st.Capture += tm.Capture
+		st.Replay += tm.Replay
+		if tm.ReplayWorkers > st.MaxReplayWorkers {
+			st.MaxReplayWorkers = tm.ReplayWorkers
 		}
 	}
-	return evals, nil
+	// Prefer the root cause: an evaluation cancelled because a sibling
+	// failed reports context.Canceled, which would mask the real error
+	// when the failing benchmark sorts later in the suite.
+	var firstCancel error
+	var firstCancelName string
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if firstCancel == nil {
+				firstCancel = err
+				firstCancelName = opt.Benchmarks[i]
+			}
+			continue
+		}
+		return nil, st, fmt.Errorf("experiments: %s: %w", opt.Benchmarks[i], err)
+	}
+	if firstCancel != nil {
+		return nil, st, fmt.Errorf("experiments: %s: %w", firstCancelName, firstCancel)
+	}
+	return evals, st, nil
 }

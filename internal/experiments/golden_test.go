@@ -123,6 +123,36 @@ func TestEvalBenchmarkGolden(t *testing.T) {
 	}
 }
 
+// TestEvalBenchmarkGoldenParallelReplay re-renders the same evaluations with
+// sharded replay turned on and pins them to the unchanged golden file: the
+// decode-once broadcast must be byte-identical to sequential replay.
+func TestEvalBenchmarkGoldenParallelReplay(t *testing.T) {
+	benchmarks := []string{"x264", "imagick", "lbm"}
+	var b strings.Builder
+	for _, name := range benchmarks {
+		opt := goldenOpts(benchmarks...)
+		opt.Parallelism = 2
+		opt.ReplayWorkers = 2
+		ev, err := EvalBenchmark(name, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(renderEval(ev))
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "golden_eval.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run TestEvalBenchmarkGolden with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("parallel replay diverged from the sequential golden file %s.\n"+
+			"first differing line: %s", path, firstDiffLine(got, string(want)))
+	}
+}
+
 func firstDiffLine(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := 0; i < len(al) && i < len(bl); i++ {

@@ -57,6 +57,9 @@ type Dispatcher struct {
 	// per consumer per cycle.
 	active []*Sampled
 	facts  CycleFacts
+	// faultables are the attached consumers that can report a mid-stream
+	// failure; Err polls them so a sharded replay can abort early.
+	faultables []trace.Faultable
 }
 
 // heapEntry pairs a sampled profiler with the next cycle it must observe.
@@ -71,6 +74,22 @@ func NewDispatcher() *Dispatcher { return &Dispatcher{} }
 // AddEveryCycle attaches a consumer that must see every record.
 func (d *Dispatcher) AddEveryCycle(c trace.Consumer) {
 	d.every = append(d.every, c)
+	if f, ok := c.(trace.Faultable); ok {
+		d.faultables = append(d.faultables, f)
+	}
+}
+
+// Err implements trace.Faultable: it reports the first mid-stream failure
+// of any attached consumer that exposes one (a spilling capture, a trace
+// writer, an invariant checker with violations on record). Sharded replay
+// polls it between chunks to stop feeding a pipeline that already failed.
+func (d *Dispatcher) Err() error {
+	for _, f := range d.faultables {
+		if err := f.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AddSampled attaches a sampled profiler to the sample-aware tier, switching

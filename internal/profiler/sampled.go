@@ -126,6 +126,10 @@ func NewSampled(kind Kind, prog *program.Program, sched sampling.Schedule) *Samp
 	return s
 }
 
+// Period returns the profiler's nominal sampling period in cycles (the
+// shard balancer's cost model: expected wakeups per cycle is 1/Period).
+func (s *Sampled) Period() uint64 { return s.sched.Period() }
+
 // EnableCategories turns on §3.1 sample categorization (TIP exposes the
 // flags CSR; the post-processing needs the program binary). withBreakdown
 // additionally keeps the per-instruction category matrix.

@@ -1,0 +1,54 @@
+package profiler
+
+import "sort"
+
+// ShardSampled partitions sampled profilers into at most w groups for a
+// sharded replay, balancing each group's expected dispatcher wakeups. A
+// sampled profiler's steady-state cost is proportional to its sampling rate
+// — it wakes on roughly one cycle per period (plus the pending-resolution
+// tail each wakeup drags behind it) — so the cost model is 1/Period.
+//
+// Group 0 is assumed to also carry the every-cycle tier (Oracle, checker,
+// extra full-rate consumers); everyCost pre-loads it with that tier's
+// per-cycle cost (1.0 per every-cycle consumer) so the greedy assignment
+// steers sampled work away from the worker that already scans every record.
+//
+// The assignment is longest-processing-time greedy with deterministic
+// tie-breaking (cost, then registration order), so a given matrix always
+// shards the same way. Groups may come back empty when there are fewer
+// profilers than workers; callers should skip spawning workers for them.
+func ShardSampled(w int, sampled []*Sampled, everyCost float64) [][]*Sampled {
+	if w < 1 {
+		w = 1
+	}
+	groups := make([][]*Sampled, w)
+	load := make([]float64, w)
+	load[0] = everyCost
+
+	order := make([]int, len(sampled))
+	for i := range order {
+		order[i] = i
+	}
+	cost := func(s *Sampled) float64 {
+		p := s.Period()
+		if p == 0 {
+			return 1
+		}
+		return 1 / float64(p)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cost(sampled[order[a]]) > cost(sampled[order[b]])
+	})
+	for _, i := range order {
+		s := sampled[i]
+		min := 0
+		for g := 1; g < w; g++ {
+			if load[g] < load[min] {
+				min = g
+			}
+		}
+		groups[min] = append(groups[min], s)
+		load[min] += cost(s)
+	}
+	return groups
+}

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"fmt"
 	"io"
 	"os"
 )
@@ -152,10 +151,10 @@ func (c *Capture) Spilled() bool { return c.f != nil }
 // the buffer; spilled ones stream through a reader.
 func (c *Capture) Replay(consumers ...Consumer) (cycles uint64, records uint64, err error) {
 	if !c.finished {
-		return 0, 0, fmt.Errorf("trace: replay of unfinished capture")
+		return 0, 0, errReplayUnfinished
 	}
 	if c.err != nil {
-		return 0, 0, fmt.Errorf("trace: capture failed: %w", c.err)
+		return 0, 0, errCaptureFailed(c.err)
 	}
 	if c.f == nil {
 		return ReplayBytes(c.buf, consumers...)

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultChunkRecords is the per-chunk record count for chunked replay. At
+// roughly 350 bytes per decoded Record a chunk is a few hundred kilobytes:
+// large enough that per-chunk synchronization vanishes against the decode
+// and consumer work, small enough that a handful of in-flight chunks keep a
+// parallel replay's footprint modest.
+const DefaultChunkRecords = 1024
+
+// Chunk is a run of consecutive decoded trace records. During a sharded
+// replay every worker observes the same chunk read-only; refs counts the
+// outstanding readers and Release returns the chunk to its pool once the
+// last one is done, so the decode allocates a steady-state working set
+// instead of one Record per cycle.
+type Chunk struct {
+	// Records are the decoded records, in stream order.
+	Records []Record
+
+	refs atomic.Int32
+	pool *sync.Pool
+}
+
+// Release drops one reader reference, recycling the chunk when it was the
+// last. Callers must not touch the chunk afterwards.
+func (c *Chunk) Release() {
+	if c.refs.Add(-1) == 0 && c.pool != nil {
+		c.pool.Put(c)
+	}
+}
+
+// ChunkIter decodes an encoded trace into fixed-size record chunks. It is
+// the decode-once half of sharded replay: one iterator walks the capture a
+// single time and every decoded chunk can be handed to any number of
+// consumers, where the per-record Replay path would decode the stream once
+// per... consumer group. The iterator is not safe for concurrent use; the
+// chunks it returns are immutable and may be read from any goroutine.
+type ChunkIter struct {
+	// In-memory source (nil data selects the streaming source).
+	data []byte
+	pos  int
+	// Streaming source (spilled captures).
+	r *Reader
+
+	st   codecState
+	n    int
+	pool *sync.Pool
+
+	records    uint64
+	lastCommit uint64
+	done       bool
+}
+
+// NewChunkIterBytes returns a chunk iterator over an in-memory encoded
+// trace (the layout ReplayBytes accepts, magic header included).
+// chunkRecords bounds the records per chunk; 0 selects DefaultChunkRecords.
+func NewChunkIterBytes(data []byte, chunkRecords int) (*ChunkIter, error) {
+	if len(data) < len(formatMagic) || string(data[:len(formatMagic)]) != formatMagic {
+		if len(data) == 0 {
+			// Empty trace: iterate to an immediate EOF so the caller
+			// reports the same io.ErrUnexpectedEOF as ReplayBytes.
+			return newChunkIter(nil, nil, chunkRecords), nil
+		}
+		n := len(data)
+		if n > len(formatMagic) {
+			n = len(formatMagic)
+		}
+		return nil, badMagic(data[:n])
+	}
+	it := newChunkIter(data, nil, chunkRecords)
+	it.pos = len(formatMagic)
+	return it, nil
+}
+
+// NewChunkIter returns a chunk iterator over a streamed encoded trace.
+func NewChunkIter(r io.Reader, chunkRecords int) *ChunkIter {
+	return newChunkIter(nil, NewReader(r), chunkRecords)
+}
+
+func newChunkIter(data []byte, r *Reader, chunkRecords int) *ChunkIter {
+	if chunkRecords <= 0 {
+		chunkRecords = DefaultChunkRecords
+	}
+	it := &ChunkIter{data: data, r: r, n: chunkRecords}
+	if data == nil && r == nil {
+		it.done = true
+	}
+	it.pool = &sync.Pool{New: func() any {
+		return &Chunk{Records: make([]Record, 0, chunkRecords), pool: it.pool}
+	}}
+	return it
+}
+
+// Next decodes the next chunk of up to chunkRecords records and returns it
+// with its reference count set to refs — one per consumer the caller will
+// hand the chunk to; each must Release it. Next returns io.EOF at the end
+// of the trace and any decode error as-is; a partially decoded chunk is
+// recycled, never returned.
+func (it *ChunkIter) Next(refs int32) (*Chunk, error) {
+	if it.done {
+		return nil, io.EOF
+	}
+	ck := it.pool.Get().(*Chunk)
+	recs := ck.Records[:0]
+	var err error
+	for len(recs) < it.n {
+		recs = recs[:len(recs)+1]
+		rec := &recs[len(recs)-1]
+		if it.data != nil {
+			if it.pos >= len(it.data) {
+				recs = recs[:len(recs)-1]
+				err = io.EOF
+				break
+			}
+			it.pos, err = decodeRecord(it.data, it.pos, &it.st, rec)
+		} else {
+			err = it.r.Next(rec)
+		}
+		if err != nil {
+			recs = recs[:len(recs)-1]
+			break
+		}
+		it.records++
+		if rec.CommitCount > 0 {
+			it.lastCommit = rec.Cycle
+		}
+	}
+	ck.Records = recs
+	if err != nil {
+		it.done = true
+		if !errors.Is(err, io.EOF) {
+			ck.Records = ck.Records[:0]
+			it.pool.Put(ck)
+			return nil, err
+		}
+		// EOF mid-chunk: flush the records decoded so far.
+		if len(recs) == 0 {
+			it.pool.Put(ck)
+			return nil, io.EOF
+		}
+	}
+	ck.refs.Store(refs)
+	return ck, nil
+}
+
+// Records returns the number of records decoded so far (the stream total
+// once Next has returned io.EOF).
+func (it *ChunkIter) Records() uint64 { return it.records }
+
+// Cycles returns the replayed run length under the same rule as Replay: the
+// cycle of the last committing record plus one. Valid once Next has
+// returned io.EOF.
+func (it *ChunkIter) Cycles() uint64 { return it.lastCommit + 1 }
+
+// Chunks returns a chunk iterator over the finished capture, decoding the
+// trace exactly once regardless of how many consumers the chunks are
+// broadcast to. Like Replay it may be called any number of times;
+// concurrent iterations are independent.
+func (c *Capture) Chunks(chunkRecords int) (*ChunkIter, error) {
+	if !c.finished {
+		return nil, errReplayUnfinished
+	}
+	if c.err != nil {
+		return nil, errCaptureFailed(c.err)
+	}
+	if c.f == nil {
+		return NewChunkIterBytes(c.buf, chunkRecords)
+	}
+	src := io.NewSectionReader(c.f, 0, int64(c.fileBytes))
+	return NewChunkIter(src, chunkRecords), nil
+}

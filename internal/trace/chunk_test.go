@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/tipprof/tip/internal/xrand"
+)
+
+// syntheticTrace encodes n pseudo-random records with multi-cycle commit
+// bursts, so chunk boundaries of every size land mid-burst somewhere. It
+// returns the encoded bytes and the plaintext records.
+func syntheticTrace(n int, seed uint64) ([]byte, []Record) {
+	rng := xrand.New(seed)
+	recs := make([]Record, n)
+	cycle := uint64(0)
+	burst := 0
+	for i := range recs {
+		r := sampleRecord(cycle)
+		if burst == 0 && rng.Bool(0.3) {
+			// Start a commit burst: 2-5 consecutive committing cycles.
+			burst = 2 + int(rng.Uint64n(4))
+		}
+		if burst > 0 {
+			burst--
+			r.Banks[1].Committing = true
+			r.CommitCount = 1
+			if rng.Bool(0.3) {
+				r.Banks[2].Committing = true
+				r.CommitCount = 2
+			}
+		} else {
+			r.Banks[1].Committing = false
+			r.CommitCount = 0
+		}
+		if rng.Bool(0.1) {
+			r.ExceptionRaised = true
+			r.ExceptionPC = rng.Uint64n(1 << 40)
+			r.ExceptionFID = rng.Uint64n(1 << 30)
+			r.ExceptionInstIndex = int32(rng.Uint64n(64)) - 1
+		}
+		if rng.Bool(0.4) {
+			r.DispatchValid = true
+			r.DispatchPC = rng.Uint64n(1 << 40)
+			r.DispatchFID = rng.Uint64n(1 << 30)
+			r.DispatchInstIndex = int32(rng.Uint64n(64))
+		}
+		recs[i] = r
+		cycle += 1 + rng.Uint64n(3)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range recs {
+		w.OnCycle(&recs[i])
+	}
+	w.Finish(cycle)
+	return buf.Bytes(), recs
+}
+
+// drainChunks collects every record a chunk iterator yields, releasing each
+// chunk with the given reference count.
+func drainChunks(t *testing.T, it *ChunkIter, refs int32) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		ck, err := it.Next(refs)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ck.Records) == 0 {
+			t.Fatal("iterator returned an empty chunk before EOF")
+		}
+		out = append(out, ck.Records...)
+		for r := int32(0); r < refs; r++ {
+			ck.Release()
+		}
+	}
+}
+
+// TestChunkIterMatchesReplayBytes is the chunking property test: for any
+// chunk size — including 1-record chunks and sizes that split commit bursts
+// mid-group — the concatenated chunk records are exactly the record sequence
+// ReplayBytes delivers, with the same record and cycle totals.
+func TestChunkIterMatchesReplayBytes(t *testing.T) {
+	data, _ := syntheticTrace(501, 11)
+
+	var ref collect
+	wantCycles, wantRecords, err := ReplayBytes(data, &ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sizes := []int{1, 2, 3, 5, 17, 100, 500, 501, 502, DefaultChunkRecords, 0}
+	rng := xrand.New(23)
+	for i := 0; i < 8; i++ {
+		sizes = append(sizes, 1+int(rng.Uint64n(600)))
+	}
+	for _, size := range sizes {
+		it, err := NewChunkIterBytes(data, size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		got := drainChunks(t, it, 1)
+		if len(got) != len(ref.recs) {
+			t.Fatalf("size %d: %d records, want %d", size, len(got), len(ref.recs))
+		}
+		for j := range got {
+			if got[j] != ref.recs[j] {
+				t.Fatalf("size %d: record %d differs:\n got %+v\nwant %+v", size, j, got[j], ref.recs[j])
+			}
+		}
+		if it.Records() != wantRecords {
+			t.Fatalf("size %d: Records() = %d, want %d", size, it.Records(), wantRecords)
+		}
+		if it.Cycles() != wantCycles {
+			t.Fatalf("size %d: Cycles() = %d, want %d", size, it.Cycles(), wantCycles)
+		}
+	}
+}
+
+// TestChunkIterStreamingMatchesBytes pins the streaming (Reader-backed)
+// iterator to the in-memory one over the same encoded trace.
+func TestChunkIterStreamingMatchesBytes(t *testing.T) {
+	data, _ := syntheticTrace(257, 5)
+	var ref collect
+	wantCycles, wantRecords, err := ReplayBytes(data, &ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 7, 64, 1024} {
+		it := NewChunkIter(bytes.NewReader(data), size)
+		got := drainChunks(t, it, 2) // broadcast refcount > 1 must behave the same
+		if len(got) != len(ref.recs) {
+			t.Fatalf("size %d: %d records, want %d", size, len(got), len(ref.recs))
+		}
+		for j := range got {
+			if got[j] != ref.recs[j] {
+				t.Fatalf("size %d: record %d differs", size, j)
+			}
+		}
+		if it.Records() != wantRecords || it.Cycles() != wantCycles {
+			t.Fatalf("size %d: totals %d/%d, want %d/%d",
+				size, it.Records(), it.Cycles(), wantRecords, wantCycles)
+		}
+	}
+}
+
+func TestChunkIterEmptyAndBadMagic(t *testing.T) {
+	it, err := NewChunkIterBytes(nil, 8)
+	if err != nil {
+		t.Fatalf("empty data: %v", err)
+	}
+	if _, err := it.Next(1); err != io.EOF {
+		t.Fatalf("empty data Next = %v, want io.EOF", err)
+	}
+	if _, err := NewChunkIterBytes([]byte("NOTATRACE"), 8); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestChunkIterTruncatedTrace(t *testing.T) {
+	data, _ := syntheticTrace(64, 3)
+	trunc := data[:len(data)-4]
+	it, err := NewChunkIterBytes(trunc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawErr := false
+	for {
+		ck, err := it.Next(1)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sawErr = true
+			break
+		}
+		ck.Release()
+	}
+	if !sawErr {
+		t.Fatal("truncated trace chunked cleanly")
+	}
+}
+
+// TestCaptureChunksMatchesReplay pins Capture.Chunks — both the in-memory
+// and the spilled source — to Capture.Replay record for record.
+func TestCaptureChunksMatchesReplay(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		budget int
+	}{
+		{"in-memory", 0},
+		{"spilled", 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCapture(tc.budget)
+			defer c.Close()
+			captureRecords(t, c, 300)
+			if (tc.budget != 0) != c.Spilled() {
+				t.Fatalf("Spilled() = %v with budget %d", c.Spilled(), tc.budget)
+			}
+			var ref collect
+			wantCycles, wantRecords, err := c.Replay(&ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			it, err := c.Chunks(33)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainChunks(t, it, 1)
+			if uint64(len(got)) != wantRecords {
+				t.Fatalf("%d records, want %d", len(got), wantRecords)
+			}
+			for j := range got {
+				if got[j] != ref.recs[j] {
+					t.Fatalf("record %d differs", j)
+				}
+			}
+			if it.Cycles() != wantCycles {
+				t.Fatalf("Cycles() = %d, want %d", it.Cycles(), wantCycles)
+			}
+		})
+	}
+}
+
+func TestCaptureChunksUnfinishedErrors(t *testing.T) {
+	c := NewCapture(0)
+	defer c.Close()
+	r := sampleRecord(0)
+	c.OnCycle(&r)
+	if _, err := c.Chunks(8); err == nil {
+		t.Fatal("chunking an unfinished capture must error")
+	}
+}

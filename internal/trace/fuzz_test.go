@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// fuzzSeedTraces returns small valid encoded traces used to seed both fuzz
+// targets, so the fuzzer starts from well-formed inputs and mutates from
+// there.
+func fuzzSeedTraces() [][]byte {
+	var seeds [][]byte
+
+	one := func(recs []Record, total uint64) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := range recs {
+			w.OnCycle(&recs[i])
+		}
+		w.Finish(total)
+		return buf.Bytes()
+	}
+
+	r0 := sampleRecord(0)
+	seeds = append(seeds, one([]Record{r0}, 1))
+
+	burst := make([]Record, 8)
+	for i := range burst {
+		burst[i] = sampleRecord(uint64(i * 3))
+		burst[i].Banks[1].Committing = i%2 == 0
+		if burst[i].Banks[1].Committing {
+			burst[i].CommitCount = 1
+		} else {
+			burst[i].CommitCount = 0
+		}
+	}
+	burst[3].ExceptionRaised = true
+	burst[3].ExceptionPC = 0xfeed
+	burst[3].ExceptionFID = 42
+	burst[3].ExceptionInstIndex = -1
+	burst[5].DispatchValid = true
+	burst[5].DispatchPC = 0xbeef
+	burst[5].DispatchFID = 77
+	burst[5].DispatchInstIndex = 5
+	seeds = append(seeds, one(burst, 22))
+
+	synth, _ := syntheticTrace(40, 9)
+	seeds = append(seeds, synth)
+
+	// Degenerate inputs: empty, magic only, magic plus garbage, bad magic.
+	seeds = append(seeds,
+		nil,
+		[]byte(formatMagic),
+		append([]byte(formatMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+		[]byte("NOTATRACE"),
+	)
+	return seeds
+}
+
+// FuzzDecodeRecord drives the record decoder over arbitrary bytes. The
+// decoder must never panic and must always make progress (or error): a
+// malformed trace is an error to report, not a crash or an infinite loop.
+// Decoded records are run through the age-order accessors, which must
+// tolerate any field values the decoder lets through.
+func FuzzDecodeRecord(f *testing.F) {
+	for _, s := range fuzzSeedTraces() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var st codecState
+		var rec Record
+		pos := 0
+		for pos < len(data) {
+			next, err := decodeRecord(data, pos, &st, &rec)
+			if err != nil {
+				return
+			}
+			if next <= pos {
+				t.Fatalf("decodeRecord made no progress at %d", pos)
+			}
+			pos = next
+			// Accessors must clamp malformed bank counts, never index
+			// out of range.
+			rec.Oldest()
+			rec.YoungestCommitting()
+			rec.CommittingInAgeOrder(nil)
+		}
+	})
+}
+
+// FuzzReplayBytes is a differential fuzz of the three decode paths over the
+// same input: the slice-based ReplayBytes, the Reader-based Replay, and the
+// chunked iterator behind sharded replay. All three must agree — same
+// accept/reject decision and, on success, the identical record sequence and
+// totals. None may panic.
+func FuzzReplayBytes(f *testing.F) {
+	for _, s := range fuzzSeedTraces() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var viaBytes collect
+		cyB, recB, errB := ReplayBytes(data, &viaBytes)
+
+		var viaReader collect
+		cyR, recR, errR := Replay(NewReader(bytes.NewReader(data)), &viaReader)
+
+		if (errB == nil) != (errR == nil) {
+			t.Fatalf("slice/reader disagree: bytes err %v, reader err %v", errB, errR)
+		}
+
+		var viaChunks []Record
+		var cyC, recC uint64
+		var errC error
+		it, err := NewChunkIterBytes(data, 7)
+		if err != nil {
+			errC = err
+		} else {
+			for {
+				ck, err := it.Next(1)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					errC = err
+					break
+				}
+				viaChunks = append(viaChunks, ck.Records...)
+				ck.Release()
+			}
+			if errC == nil {
+				cyC, recC = it.Cycles(), it.Records()
+				if recC == 0 {
+					errC = io.ErrUnexpectedEOF
+				}
+			}
+		}
+		if (errB == nil) != (errC == nil) {
+			t.Fatalf("slice/chunk disagree: bytes err %v, chunk err %v", errB, errC)
+		}
+		if errB != nil {
+			return
+		}
+
+		if cyB != cyR || recB != recR || cyB != cyC || recB != recC {
+			t.Fatalf("totals disagree: bytes %d/%d, reader %d/%d, chunks %d/%d",
+				cyB, recB, cyR, recR, cyC, recC)
+		}
+		if len(viaBytes.recs) != len(viaReader.recs) || len(viaBytes.recs) != len(viaChunks) {
+			t.Fatalf("record counts disagree: %d/%d/%d",
+				len(viaBytes.recs), len(viaReader.recs), len(viaChunks))
+		}
+		for i := range viaBytes.recs {
+			if viaBytes.recs[i] != viaReader.recs[i] || viaBytes.recs[i] != viaChunks[i] {
+				t.Fatalf("record %d differs across decode paths", i)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsReplayCleanly sanity-checks that the valid seeds really are
+// valid (and the corrupted ones really are rejected) under the normal test
+// runner, so a codec change that invalidates the corpus fails fast here.
+func TestFuzzSeedsReplayCleanly(t *testing.T) {
+	seeds := fuzzSeedTraces()
+	for i, s := range seeds[:3] {
+		if _, _, err := ReplayBytes(s, &nullConsumer{}); err != nil {
+			t.Fatalf("seed %d does not replay: %v", i, err)
+		}
+	}
+	for i, s := range seeds[3:] {
+		if _, _, err := ReplayBytes(s, &nullConsumer{}); err == nil {
+			t.Fatalf("degenerate seed %d replayed cleanly", i)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// newFinishedCapture builds a finished in-memory capture of n sample records.
+func newFinishedCapture(t *testing.T, n int) *Capture {
+	t.Helper()
+	c := NewCapture(0)
+	t.Cleanup(func() { c.Close() })
+	captureRecords(t, c, n)
+	return c
+}
+
+// TestReplayShardsMatchesReplay pins the parallel path to the sequential
+// one: every shard sees the identical record sequence and the identical
+// Finish total, at several worker counts and chunk sizes.
+func TestReplayShardsMatchesReplay(t *testing.T) {
+	c := newFinishedCapture(t, 777)
+	var ref collect
+	wantCycles, wantRecords, err := c.Replay(&ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 8} {
+		for _, chunk := range []int{1, 13, 256, 0} {
+			t.Run(fmt.Sprintf("shards=%d/chunk=%d", shards, chunk), func(t *testing.T) {
+				cons := make([]*collect, shards)
+				args := make([]Consumer, shards)
+				for i := range cons {
+					cons[i] = &collect{}
+					args[i] = cons[i]
+				}
+				cycles, records, err := c.ReplayShards(context.Background(), chunk, args...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cycles != wantCycles || records != wantRecords {
+					t.Fatalf("totals %d/%d, want %d/%d", cycles, records, wantCycles, wantRecords)
+				}
+				for i, cc := range cons {
+					if len(cc.recs) != len(ref.recs) {
+						t.Fatalf("shard %d saw %d records, want %d", i, len(cc.recs), len(ref.recs))
+					}
+					for j := range cc.recs {
+						if cc.recs[j] != ref.recs[j] {
+							t.Fatalf("shard %d record %d differs", i, j)
+						}
+					}
+					if cc.total != wantCycles {
+						t.Fatalf("shard %d Finish(%d), want %d", i, cc.total, wantCycles)
+					}
+				}
+			})
+		}
+	}
+}
+
+// faultingConsumer fails (via the Faultable interface) once it has seen
+// failAt records.
+type faultingConsumer struct {
+	seen     uint64
+	failAt   uint64
+	err      error
+	finished bool
+}
+
+func (f *faultingConsumer) OnCycle(*Record) {
+	f.seen++
+	if f.seen >= f.failAt && f.err == nil {
+		f.err = errors.New("injected consumer failure")
+	}
+}
+func (f *faultingConsumer) Finish(uint64) { f.finished = true }
+func (f *faultingConsumer) Err() error    { return f.err }
+
+func TestReplayShardsAbortsOnConsumerFault(t *testing.T) {
+	c := newFinishedCapture(t, 4096)
+	bad := &faultingConsumer{failAt: 100}
+	good := &collect{}
+	_, _, err := c.ReplayShards(context.Background(), 64, bad, good)
+	if err == nil || err.Error() != "injected consumer failure" {
+		t.Fatalf("err = %v, want the injected consumer failure", err)
+	}
+	if bad.finished || good.total != 0 {
+		t.Fatal("Finish must not be delivered on an aborted replay")
+	}
+	// The abort is polled per chunk, so the healthy shard stops well short
+	// of the full stream.
+	if uint64(len(good.recs)) == c.Records() {
+		t.Fatal("healthy shard consumed the entire stream despite the abort")
+	}
+}
+
+func TestReplayShardsContextCancel(t *testing.T) {
+	c := newFinishedCapture(t, 4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cc := &collect{}
+	_, _, err := c.ReplayShards(ctx, 64, cc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if cc.total != 0 {
+		t.Fatal("Finish must not be delivered on a cancelled replay")
+	}
+}
+
+func TestReplayShardsEmptyCaptureErrors(t *testing.T) {
+	c := NewCapture(0)
+	defer c.Close()
+	c.Finish(0)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := c.ReplayShards(context.Background(), 0, &collect{})
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReplayShardsNilContext(t *testing.T) {
+	c := newFinishedCapture(t, 32)
+	cc := &collect{}
+	cycles, records, err := c.ReplayShards(nil, 8, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 || records != 32 || cc.total != cycles {
+		t.Fatalf("cycles=%d records=%d finish=%d", cycles, records, cc.total)
+	}
+}

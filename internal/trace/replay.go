@@ -6,6 +6,19 @@ import (
 	"io"
 )
 
+// errReplayUnfinished rejects replay of a capture that never saw Finish.
+var errReplayUnfinished = errors.New("trace: replay of unfinished capture")
+
+// errCaptureFailed wraps the capture-side error that poisoned a capture.
+func errCaptureFailed(err error) error {
+	return fmt.Errorf("trace: capture failed: %w", err)
+}
+
+// badMagic reports a stream that does not start with the TIPTRC2 header.
+func badMagic(prefix []byte) error {
+	return fmt.Errorf("trace: bad magic %q", prefix)
+}
+
 // Replay streams a stored trace through consumers, exactly as the live core
 // would have: one OnCycle per record, then Finish with the cycle count of
 // the last committing record plus one. This is the workflow the paper uses
@@ -53,7 +66,7 @@ func ReplayBytes(data []byte, consumers ...Consumer) (cycles uint64, records uin
 		if n > len(formatMagic) {
 			n = len(formatMagic)
 		}
-		return 0, 0, fmt.Errorf("trace: bad magic %q", data[:n])
+		return 0, 0, badMagic(data[:n])
 	}
 	pos := len(formatMagic)
 	var rec Record

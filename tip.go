@@ -17,6 +17,7 @@
 package tip
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tipprof/tip/internal/check"
@@ -128,6 +129,14 @@ type RunConfig struct {
 	// the trace stream and fails the run on any violated trace invariant
 	// or profiler conservation law.
 	Check bool
+	// ReplayWorkers is the number of goroutines a captured-trace replay
+	// fans the profiler matrix out over (0 or 1 = sequential). The capture
+	// is decoded once and the decoded chunks are broadcast to every
+	// worker, each owning a disjoint subset of the profilers behind its
+	// own dispatcher; results are byte-identical at any worker count. Only
+	// replays shard — a live profiled run (explicit SampleInterval with no
+	// capture) always streams sequentially.
+	ReplayWorkers int
 }
 
 // DefaultRunConfig returns the standard evaluation configuration.
@@ -209,18 +218,28 @@ func CaptureWorkload(w *Workload, cfg CoreConfig) (*TraceCapture, CoreStats, err
 	return cap, stats, nil
 }
 
-// buildConsumers assembles the profiler fan-out for one evaluation: the
-// Oracle (plus checker and any non-sampled extras) on the every-cycle tier,
-// all sampled profilers on the dispatcher's sample-aware tier.
-func buildConsumers(w *Workload, rc RunConfig, interval uint64) (*profiler.Dispatcher, *profiler.Oracle, map[Kind]*profiler.Sampled, *check.Checker) {
+// consumerMatrix is one evaluation's profiler fan-out, split into the
+// every-cycle tier (Oracle, checker, non-sampled extras — pinned together
+// on one replay shard) and the sample-aware tier (balanced across shards).
+type consumerMatrix struct {
+	every   []trace.Consumer
+	sampled []*profiler.Sampled
+	oracle  *profiler.Oracle
+	byKind  map[Kind]*profiler.Sampled
+	checker *check.Checker
+}
+
+// buildMatrix assembles the profiler matrix for one evaluation.
+func buildMatrix(w *Workload, rc RunConfig, interval uint64) consumerMatrix {
 	kinds := rc.Profilers
 	if kinds == nil {
 		kinds = profiler.AllKinds()
 	}
-	oracle := profiler.NewOracle(w.Prog, rc.WithBreakdown)
-	d := profiler.NewDispatcher()
-	d.AddEveryCycle(oracle)
-	sampled := make(map[Kind]*profiler.Sampled, len(kinds))
+	m := consumerMatrix{
+		oracle: profiler.NewOracle(w.Prog, rc.WithBreakdown),
+		byKind: make(map[Kind]*profiler.Sampled, len(kinds)),
+	}
+	m.every = append(m.every, m.oracle)
 	for _, k := range kinds {
 		var sched sampling.Schedule
 		if rc.RandomSampling {
@@ -234,32 +253,73 @@ func buildConsumers(w *Workload, rc RunConfig, interval uint64) (*profiler.Dispa
 			// §3.1 categorization alongside the profile.
 			sp.EnableCategories(rc.WithBreakdown)
 		}
-		sampled[k] = sp
-		d.AddSampled(sp)
+		m.byKind[k] = sp
+		m.sampled = append(m.sampled, sp)
 	}
 	for _, c := range rc.ExtraConsumers {
 		if sp, ok := c.(*profiler.Sampled); ok {
-			d.AddSampled(sp)
+			m.sampled = append(m.sampled, sp)
 		} else {
-			d.AddEveryCycle(c)
+			m.every = append(m.every, c)
 		}
 	}
 
-	var checker *check.Checker
 	if rc.Check {
-		checker = check.New(check.Options{
+		m.checker = check.New(check.Options{
 			Benchmark:       w.Name,
 			CommitWidth:     rc.Core.CommitWidth,
 			ROBEntries:      rc.Core.ROBEntries,
 			FetchBufEntries: rc.Core.FetchBufEntries,
 		})
-		checker.AuditOracle("Oracle", oracle)
+		m.checker.AuditOracle("Oracle", m.oracle)
 		for _, k := range kinds {
-			checker.AuditSampled(k.String(), sampled[k])
+			m.checker.AuditSampled(k.String(), m.byKind[k])
 		}
-		d.AddEveryCycle(checker)
+		m.every = append(m.every, m.checker)
 	}
-	return d, oracle, sampled, checker
+	return m
+}
+
+// dispatcher assembles the matrix behind a single sequential dispatcher.
+func (m *consumerMatrix) dispatcher() *profiler.Dispatcher {
+	d := profiler.NewDispatcher()
+	for _, c := range m.every {
+		d.AddEveryCycle(c)
+	}
+	for _, sp := range m.sampled {
+		d.AddSampled(sp)
+	}
+	return d
+}
+
+// shards assembles the matrix into at most workers dispatchers for a
+// sharded replay: shard 0 carries the whole every-cycle tier (Oracle and
+// checker stay pinned together so the checker's per-cycle invariants see
+// the stream exactly once) plus its share of sampled profilers; the
+// remaining shards split the rest of the sample-aware tier balanced by
+// expected wakeups. Workers that would own no consumers are elided.
+func (m *consumerMatrix) shards(workers int) []trace.Consumer {
+	groups := profiler.ShardSampled(workers, m.sampled, float64(len(m.every)))
+	shards := make([]trace.Consumer, 0, workers)
+	d0 := profiler.NewDispatcher()
+	for _, c := range m.every {
+		d0.AddEveryCycle(c)
+	}
+	for _, sp := range groups[0] {
+		d0.AddSampled(sp)
+	}
+	shards = append(shards, d0)
+	for _, g := range groups[1:] {
+		if len(g) == 0 {
+			continue
+		}
+		d := profiler.NewDispatcher()
+		for _, sp := range g {
+			d.AddSampled(sp)
+		}
+		shards = append(shards, d)
+	}
+	return shards
 }
 
 // RunCaptured evaluates rc's profiler matrix by replaying a captured trace
@@ -267,7 +327,20 @@ func buildConsumers(w *Workload, rc RunConfig, interval uint64) (*profiler.Dispa
 // With rc.SampleInterval zero the interval is calibrated from stats.Cycles.
 // The capture is left open; the caller may replay it again (e.g. for another
 // configuration) before Closing it.
-func RunCaptured(w *Workload, cap *TraceCapture, stats CoreStats, rc RunConfig) (*Result, error) {
+//
+// With rc.ReplayWorkers > 1 the capture is decoded once and broadcast to
+// that many replay workers, each evaluating a disjoint subset of the matrix
+// (see RunConfig.ReplayWorkers); the result is byte-identical to the
+// sequential replay. ctx cancellation aborts a sharded replay between
+// chunks; the sequential path checks it only between phases. A nil ctx
+// means context.Background().
+func RunCaptured(ctx context.Context, w *Workload, cap *TraceCapture, stats CoreStats, rc RunConfig) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
+	}
 	if rc.TargetSamples == 0 {
 		rc.TargetSamples = 4096
 	}
@@ -275,20 +348,26 @@ func RunCaptured(w *Workload, cap *TraceCapture, stats CoreStats, rc RunConfig) 
 	if interval == 0 {
 		interval = CalibrateInterval(stats.Cycles, rc.TargetSamples)
 	}
-	d, oracle, sampled, checker := buildConsumers(w, rc, interval)
-	if _, _, err := cap.Replay(d); err != nil {
+	m := buildMatrix(w, rc, interval)
+	var err error
+	if rc.ReplayWorkers > 1 {
+		_, _, err = cap.ReplayShards(ctx, 0, m.shards(rc.ReplayWorkers)...)
+	} else {
+		_, _, err = cap.Replay(m.dispatcher())
+	}
+	if err != nil {
 		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
 	}
-	if checker != nil {
-		if err := checker.Err(); err != nil {
+	if m.checker != nil {
+		if err := m.checker.Err(); err != nil {
 			return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
 		}
 	}
 	return &Result{
 		Workload:       w,
 		Stats:          stats,
-		Oracle:         oracle,
-		Sampled:        sampled,
+		Oracle:         m.oracle,
+		Sampled:        m.byKind,
 		SampleInterval: interval,
 	}, nil
 }
@@ -309,24 +388,24 @@ func Run(w *Workload, rc RunConfig) (*Result, error) {
 			return nil, err
 		}
 		defer cap.Close()
-		return RunCaptured(w, cap, stats, rc)
+		return RunCaptured(context.Background(), w, cap, stats, rc)
 	}
 
-	d, oracle, sampled, checker := buildConsumers(w, rc, rc.SampleInterval)
-	stats, err := newCore(rc.Core, w).Run(d)
+	m := buildMatrix(w, rc, rc.SampleInterval)
+	stats, err := newCore(rc.Core, w).Run(m.dispatcher())
 	if err != nil {
 		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
 	}
-	if checker != nil {
-		if err := checker.Err(); err != nil {
+	if m.checker != nil {
+		if err := m.checker.Err(); err != nil {
 			return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
 		}
 	}
 	return &Result{
 		Workload:       w,
 		Stats:          stats,
-		Oracle:         oracle,
-		Sampled:        sampled,
+		Oracle:         m.oracle,
+		Sampled:        m.byKind,
 		SampleInterval: rc.SampleInterval,
 	}, nil
 }
