@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -46,6 +47,7 @@ func main() {
 		replayW   = flag.Int("replayworkers", 1, "replay worker goroutines per benchmark, borrowed from the -parallelism budget (decode-once broadcast; results are byte-identical at any count)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		exectrace = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 		benchjson = flag.String("benchjson", "", "write machine-readable suite timing (wall-clock, cycles/sec, simulations) to this JSON file")
 	)
 	flag.Parse()
@@ -62,6 +64,16 @@ func main() {
 	}
 	if *memprof != "" {
 		defer writeHeapProfile(*memprof)
+	}
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer rtrace.Stop()
 	}
 
 	var w io.Writer = os.Stdout

@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 
 	tip "github.com/tipprof/tip"
@@ -41,6 +42,7 @@ func main() {
 		replayW   = flag.Int("replayworkers", 1, "worker goroutines the captured-trace replay fans the profilers out over (decode-once broadcast; results are byte-identical at any count)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		exectrace = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +58,16 @@ func main() {
 	}
 	if *memprof != "" {
 		defer writeHeapProfile(*memprof)
+	}
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer rtrace.Stop()
 	}
 
 	if *list {

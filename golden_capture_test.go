@@ -1,0 +1,84 @@
+package tip
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// goldenCapturePath holds a gzipped TIPTRC2 stream captured from a pinned
+// workload. The capture hot path is aggressively optimized; this test pins
+// the contract that none of it may change the encoded stream — an
+// optimization that moves a single byte of the capture is a bug.
+const goldenCapturePath = "testdata/golden_capture_mcf.trc.gz"
+
+// TestCaptureMatchesGolden re-captures the pinned workload and compares the
+// encoded stream byte-for-byte against the committed golden capture.
+// Regenerate (only when the trace format or core model deliberately
+// changes) with:
+//
+//	TIP_GEN_GOLDEN_CAPTURE=1 go test -run TestCaptureMatchesGolden .
+func TestCaptureMatchesGolden(t *testing.T) {
+	w, err := workload.LoadScaled("mcf", 1, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt, _, err := CaptureWorkload(w, DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capt.Close()
+	var got bytes.Buffer
+	if _, err := capt.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("TIP_GEN_GOLDEN_CAPTURE") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenCapturePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var gz bytes.Buffer
+		zw := gzip.NewWriter(&gz)
+		if _, err := zw.Write(got.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenCapturePath, gz.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %d raw bytes (%d gzipped), %d cycles, %d records",
+			goldenCapturePath, got.Len(), gz.Len(), capt.Cycles(), capt.Records())
+		return
+	}
+
+	f, err := os.Open(goldenCapturePath)
+	if err != nil {
+		t.Fatalf("missing golden capture (regenerate with TIP_GEN_GOLDEN_CAPTURE=1): %v", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		i := 0
+		for i < len(want) && i < got.Len() && got.Bytes()[i] == want[i] {
+			i++
+		}
+		t.Fatalf("capture stream diverged from golden: got %d bytes, want %d, first difference at offset %d.\n"+
+			"The encoded capture must be byte-identical across optimizations; only a deliberate\n"+
+			"format or core-model change may regenerate it (TIP_GEN_GOLDEN_CAPTURE=1).",
+			got.Len(), len(want), i)
+	}
+}

@@ -1,0 +1,48 @@
+package branch
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/xrand"
+)
+
+// TestPredictorSteadyStateZeroAllocs guards the per-branch hot paths:
+// after warm-up (tables trained, BTB ways filled), TAGE predict/update
+// and BTB lookup/probe/insert must not allocate. The core calls these
+// once per control-flow instruction, every cycle of a branchy workload.
+func TestPredictorSteadyStateZeroAllocs(t *testing.T) {
+	tg := NewTage(DefaultTageConfig())
+	btb := NewBTB(512, 4)
+	ras := NewRAS(16)
+	rng := xrand.New(7)
+	const nPCs = 1024 // exceeds BTB capacity so insert/evict stays live
+	pcs := make([]uint64, nPCs)
+	outs := make([]bool, nPCs)
+	for i := range pcs {
+		pcs[i] = uint64(0x4000 + i*4)
+		outs[i] = rng.Bool(0.6)
+	}
+	pass := func() {
+		for i := 0; i < nPCs; i++ {
+			pc, taken := pcs[i], outs[i]
+			tg.PredictUpdate(pc, taken)
+			btb.Lookup(pc)
+			if taken {
+				if !btb.Probe(pc, pc+0x100) {
+					btb.Insert(pc, pc+0x100)
+				}
+			}
+			if i%13 == 0 {
+				ras.Push(pc + 4)
+			} else if i%13 == 7 {
+				ras.Pop(pc + 4)
+			}
+		}
+	}
+	for w := 0; w < 3; w++ {
+		pass()
+	}
+	if avg := testing.AllocsPerRun(5, pass); avg != 0 {
+		t.Fatalf("steady-state branch prediction allocates: %.2f allocs/pass, want 0", avg)
+	}
+}

@@ -53,6 +53,44 @@ func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 	return 0, false
 }
 
+// Probe is Lookup fused with Insert-on-miss: it reports whether pc hit, and
+// on a miss installs pc -> target. State transitions and statistics are
+// identical to Lookup followed by Insert, but the set is hashed and scanned
+// once — the pattern the core's fetch stage always uses for direct control
+// flow.
+func (b *BTB) Probe(pc, target uint64) bool {
+	base := b.setOf(pc) * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.Hits++
+			b.stamp++
+			b.lru[i] = b.stamp
+			return true
+		}
+	}
+	b.Misses++
+	// pc cannot be resident (the scan above missed), so the victim is the
+	// first invalid way, else LRU.
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if !b.valid[i] {
+			victim = i
+			break
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.tags[victim] = pc
+	b.targets[victim] = target
+	b.valid[victim] = true
+	b.stamp++
+	b.lru[victim] = b.stamp
+	return false
+}
+
 // Insert records pc -> target.
 func (b *BTB) Insert(pc, target uint64) {
 	base := b.setOf(pc) * b.ways
@@ -92,6 +130,7 @@ func (b *BTB) Reset() {
 type RAS struct {
 	stack []uint64
 	top   int // number of live entries, may exceed len (wrapped)
+	idx   int // top reduced into [0, len): next push slot, kept incrementally
 
 	Pushes, Pops, Mispredicts uint64
 }
@@ -106,7 +145,10 @@ func NewRAS(depth int) *RAS {
 
 // Push records a return address at a call.
 func (r *RAS) Push(ret uint64) {
-	r.stack[r.top%len(r.stack)] = ret
+	r.stack[r.idx] = ret
+	if r.idx++; r.idx == len(r.stack) {
+		r.idx = 0
+	}
 	r.top++
 	r.Pushes++
 }
@@ -120,7 +162,11 @@ func (r *RAS) Pop(actual uint64) (predicted uint64, correct bool) {
 		return 0, false
 	}
 	r.top--
-	predicted = r.stack[r.top%len(r.stack)]
+	if r.idx == 0 {
+		r.idx = len(r.stack)
+	}
+	r.idx--
+	predicted = r.stack[r.idx]
 	if predicted != actual {
 		r.Mispredicts++
 		return predicted, false
@@ -140,6 +186,7 @@ func (r *RAS) Depth() int {
 // Reset empties the stack.
 func (r *RAS) Reset() {
 	r.top = 0
+	r.idx = 0
 	r.Pushes, r.Pops, r.Mispredicts = 0, 0, 0
 }
 
@@ -152,6 +199,7 @@ func (r *RAS) CopyFrom(other *RAS) {
 	}
 	copy(r.stack, other.stack)
 	r.top = other.top
+	r.idx = other.idx
 }
 
 // hashPC mixes a PC for BTB indexing.

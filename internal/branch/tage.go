@@ -72,9 +72,13 @@ type Tage struct {
 	// registers for index and tag computation per tagged table.
 	hist     []uint8
 	histHead int
-	fIdx     []folded
-	fTag1    []folded
-	fTag2    []folded
+	// histOld[i] is the buffer position of the bit that falls out of table
+	// i's folded registers on the next shift. It advances in lockstep with
+	// histHead, replacing a modulo computation per table per branch.
+	histOld []int
+	fIdx    []folded
+	fTag1   []folded
+	fTag2   []folded
 
 	allocs uint64
 
@@ -99,8 +103,15 @@ func NewTage(cfg TageConfig) *Tage {
 		t.fIdx = append(t.fIdx, newFolded(cfg.Histories[i], cfg.TableBits))
 		t.fTag1 = append(t.fTag1, newFolded(cfg.Histories[i], cfg.TagBits))
 		t.fTag2 = append(t.fTag2, newFolded(cfg.Histories[i], cfg.TagBits-1))
+		t.histOld = append(t.histOld, initialHistOld(cfg.Histories[i], len(t.hist)))
 	}
 	return t
+}
+
+// initialHistOld returns where the first shift reads table i's outgoing bit:
+// (histHead+1 - olen) mod n with histHead starting at 0.
+func initialHistOld(olen, n int) int {
+	return ((1-olen)%n + n) % n
 }
 
 func (t *Tage) index(table int, pc uint64) int {
@@ -136,11 +147,31 @@ func (t *Tage) Predict(pc uint64) bool {
 	return pred
 }
 
+// PredictUpdate predicts the branch at pc, trains with the actual outcome,
+// and returns the prediction. It is Predict followed by Update — identical
+// state transitions and statistics — with a single table lookup: the core's
+// trace-driven use always pairs the two back to back on unchanged predictor
+// state, and the lookup (per-table index and tag hashing) is the expensive
+// half of each call.
+func (t *Tage) PredictUpdate(pc uint64, taken bool) bool {
+	t.Lookups++
+	provider, idx, pred := t.lookup(pc)
+	t.train(provider, idx, pred, pc, taken)
+	return pred
+}
+
 // Update trains the predictor with the actual outcome and shifts history.
 // It returns whether the pre-update prediction was correct, so callers can
 // do Predict and Update as one call when convenient.
 func (t *Tage) Update(pc uint64, taken bool) bool {
 	provider, idx, pred := t.lookup(pc)
+	t.train(provider, idx, pred, pc, taken)
+	return pred == taken
+}
+
+// train applies the outcome to the provider entry found by lookup, handles
+// mispredict allocation, and shifts history.
+func (t *Tage) train(provider, idx int, pred bool, pc uint64, taken bool) {
 	correct := pred == taken
 	if !correct {
 		t.Mispredicts++
@@ -193,7 +224,6 @@ func (t *Tage) Update(pc uint64, taken bool) bool {
 	}
 
 	t.shiftHistory(taken)
-	return correct
 }
 
 // shiftHistory pushes the outcome into global history and updates every
@@ -204,10 +234,17 @@ func (t *Tage) shiftHistory(taken bool) {
 		b = 1
 	}
 	n := len(t.hist)
-	t.histHead = (t.histHead + 1) % n
+	if t.histHead++; t.histHead == n {
+		t.histHead = 0
+	}
 	t.hist[t.histHead] = uint8(b)
 	for i := range t.fIdx {
-		old := uint64(t.hist[(t.histHead-int(t.fIdx[i].olen)+n)%n])
+		oi := t.histOld[i]
+		old := uint64(t.hist[oi])
+		if oi++; oi == n {
+			oi = 0
+		}
+		t.histOld[i] = oi
 		t.fIdx[i].update(b, old)
 		t.fTag1[i].update(b, old)
 		t.fTag2[i].update(b, old)
@@ -240,6 +277,7 @@ func (t *Tage) Reset() {
 		t.fIdx[i].comp = 0
 		t.fTag1[i].comp = 0
 		t.fTag2[i].comp = 0
+		t.histOld[i] = initialHistOld(int(t.fIdx[i].olen), len(t.hist))
 	}
 	t.allocs, t.Lookups, t.Mispredicts = 0, 0, 0
 }

@@ -1,0 +1,30 @@
+package cache
+
+import "testing"
+
+// TestAccessSteadyStateZeroAllocs guards the per-access hot path: once a
+// hierarchy has been warmed over its working set (all MSHR slices and
+// internal tables at final capacity), Access must not allocate at all.
+// A single simulated cycle can perform several cache accesses, so any
+// per-access allocation would dominate capture-time GC pressure.
+func TestAccessSteadyStateZeroAllocs(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	const lines = 4096 // working set larger than L1, exercises hits and misses
+	now := uint64(0)
+	pass := func() {
+		for i := 0; i < lines; i++ {
+			now = h.L1D.Access(uint64(i)*64, i%7 == 0, now)
+		}
+		for i := 0; i < lines; i++ {
+			now = h.L1I.Access(uint64(i)*64, false, now)
+		}
+	}
+	// Warm until every level has seen the full stream and transient
+	// slice growth (MSHR bookkeeping) has settled.
+	for w := 0; w < 3; w++ {
+		pass()
+	}
+	if avg := testing.AllocsPerRun(5, pass); avg != 0 {
+		t.Fatalf("steady-state cache access allocates: %.2f allocs/pass, want 0", avg)
+	}
+}

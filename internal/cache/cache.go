@@ -55,7 +55,9 @@ type Cache struct {
 	lineBits uint
 	setMask  uint64
 
-	// Flat arrays: index = set*ways + way.
+	// Flat arrays: index = set*ways + way. Empty slots hold invalidTag in
+	// tags so the hit-path scan compares tags alone; valid backs the
+	// replacement and eviction logic.
 	tags  []uint64
 	valid []bool
 	dirty []bool
@@ -95,7 +97,7 @@ func New(cfg Config, next Level) *Cache {
 		panic(fmt.Sprintf("cache %s: need at least one MSHR", cfg.Name))
 	}
 	n := sets * cfg.Ways
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		next:     next,
 		sets:     sets,
@@ -108,7 +110,17 @@ func New(cfg Config, next Level) *Cache {
 		lru:      make([]uint64, n),
 		mshrs:    make([]mshr, 0, cfg.MSHRs),
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
+
+// invalidTag marks an empty slot. Simulated addresses live far below the top
+// of the 64-bit space (synthetic code and data regions), so no real line
+// number can collide with ^0; seeding empty slots with it lets the hit path
+// skip the valid-bit load entirely.
+const invalidTag = ^uint64(0)
 
 // Name returns the cache's label.
 func (c *Cache) Name() string { return c.cfg.Name }
@@ -119,11 +131,13 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) lineOf(addr uint64) uint64 { return addr >> c.lineBits }
 func (c *Cache) setOf(line uint64) int     { return int(line & c.setMask) }
 
-// lookup returns the way index of line in its set, or -1.
+// lookup returns the way index of line in its set, or -1. Empty slots hold
+// invalidTag, so the scan needs no valid-bit check.
 func (c *Cache) lookup(line uint64) int {
 	base := c.setOf(line) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == line {
+	tags := c.tags[base : base+c.cfg.Ways]
+	for w := range tags {
+		if tags[w] == line {
 			return base + w
 		}
 	}
@@ -272,6 +286,7 @@ func (c *Cache) Reset() {
 		c.valid[i] = false
 		c.dirty[i] = false
 		c.lru[i] = 0
+		c.tags[i] = invalidTag
 	}
 	c.stamp = 0
 	c.mshrs = c.mshrs[:0]

@@ -19,41 +19,85 @@ type dep struct {
 	uop    uint64
 }
 
+// instMeta is the per-static-instruction decode packet the pipeline stages
+// consume: everything dispatch/issue/execute/commit need from program.Inst,
+// packed into eight bytes and indexed by Inst.Index. Building the table once
+// per core replaces the per-dynamic-instance pointer chase into the much
+// larger Inst struct (whose hot fields share cache lines with report strings
+// and behaviour pointers) with one dense-array load.
+type instMeta struct {
+	lat   uint16
+	kind  isa.Kind
+	class isa.IssueClass
+	dst   isa.Reg
+	srcs  [2]isa.Reg
+	flags uint8
+}
+
+const (
+	metaMem uint8 = 1 << iota
+	metaControlFlow
+	metaSerializing
+	metaFlushAtCommit
+)
+
+func buildInstMeta(prog *program.Program) []instMeta {
+	meta := make([]instMeta, prog.NumInsts())
+	for i := range meta {
+		in := prog.InstByIndex(i)
+		mi := &meta[i]
+		mi.lat = uint16(isa.Latency(in.Kind))
+		mi.kind = in.Kind
+		mi.class = isa.IssueClassOf(in.Kind)
+		mi.dst = in.Dst
+		mi.srcs = in.Srcs
+		if in.Kind.IsMem() {
+			mi.flags |= metaMem
+		}
+		if in.Kind.IsControlFlow() {
+			mi.flags |= metaControlFlow
+		}
+		if in.Kind.IsSerializing() {
+			mi.flags |= metaSerializing
+		}
+		if in.FlushAtCommit {
+			mi.flags |= metaFlushAtCommit
+		}
+	}
+	return meta
+}
+
 // robEntry is one reorder-buffer slot.
 type robEntry struct {
 	d   program.DynInst
 	fid uint64
 	uop uint64
+	// pc, instIdx and mi cache the static-instruction facts that commit,
+	// issue and execute read every cycle, so the per-cycle loops never
+	// dereference d.SI.
+	pc      uint64
+	instIdx int32
+	mi      instMeta
 
-	iq     isa.IssueClass
-	inIQ   bool
 	issued bool
 	// doneCycle is when the result is available (valid once issued).
 	doneCycle uint64
 
 	deps  [2]dep
 	ndeps int
-	// readyAt memoizes depsReady: once every still-matching producer has
-	// issued, the entry becomes ready at exactly max(doneCycle), and that
-	// bound never moves (tags are unique, commit waits for doneCycle, and a
-	// squashed producer implies this entry was squashed with it). Caching it
-	// turns the per-cycle dependence scan of a waiting instruction into one
-	// comparison.
-	readyAt      uint64
-	readyAtKnown bool
 
 	mispredicted     bool // resolved-mispredicted control flow
 	exceptionPending bool // raises when it reaches the ROB head
 	faultPage        uint64
-	flushAtCommit    bool
-	serialized       bool
 }
 
 // fetchedInst is a fetch-buffer element.
 type fetchedInst struct {
 	d            program.DynInst
+	pc           uint64
 	fid          uint64
 	readyAt      uint64
+	instIdx      int32
 	mispredicted bool
 }
 
@@ -63,6 +107,24 @@ const invalidFID = ^uint64(0)
 type Core struct {
 	cfg  Config
 	prog *program.Program
+	// meta is the per-static-instruction decode table, indexed by Inst.Index.
+	meta []instMeta
+
+	// Hot-path scalars hoisted out of cfg so the per-cycle loops read small
+	// adjacent fields (and index arrays) instead of a sprawling nested
+	// struct. All are fixed at construction.
+	commitWidth     int
+	robEntries      int
+	dispatchWidth   int
+	fetchWidth      int
+	lsqEntries      int
+	storeBufCap     int
+	maxBranches     int
+	fetchToDispatch uint64
+	redirectPenalty uint64
+	btbMissBubble   uint64
+	iqWidths        [isa.NumIssueClasses]int
+	iqCaps          [isa.NumIssueClasses]int
 
 	hier *cache.Hierarchy
 	l1i  *cache.Cache
@@ -90,22 +152,50 @@ type Core struct {
 	fetchBlockedUntil uint64
 	waitBranchFID     uint64 // invalidFID when not waiting
 	lastFetchLine     uint64
-	fetchBuf          []fetchedInst // FIFO; head at index 0 via fbHead
-	fbHead            int
-	nextFID           uint64
+	// fetchBuf is a fixed ring of FetchBufEntries slots; fbHead is the
+	// oldest element, fbCount the occupancy. A ring never memmoves, unlike
+	// the previous append-and-compact FIFO.
+	fetchBuf []fetchedInst
+	fbHead   int
+	fbCount  int
+	nextFID  uint64
 
 	// Rename state: architectural reg -> producing ROB slot + uop tag.
 	renameRob [isa.NumRegs]int32
 	renameUop [isa.NumRegs]uint64
 
-	// ROB ring buffer.
-	rob      []robEntry
-	robHead  int
-	robCount int
-	nextUop  uint64
+	// ROB ring buffer. robTail is the next free slot ((robHead+robCount) mod
+	// robEntries) and robHeadBank the head's commit bank (robHead mod
+	// CommitWidth); both are maintained incrementally so the per-cycle loops
+	// never divide. robHeadBank stays consistent across the robHead wrap
+	// because config validation enforces ROBEntries % CommitWidth == 0.
+	rob         []robEntry
+	robHead     int
+	robTail     int
+	robHeadBank int
+	robCount    int
+	nextUop     uint64
 
 	// Issue queues hold ROB slot indices in dispatch (age) order.
-	iqs [isa.NumIssueClasses][]int32
+	iqs [isa.NumIssueClasses][]iqEntry
+
+	// issueEpoch counts issued instructions. iqScanEpoch[class] is its value
+	// when that queue's wakeup scan last finished: while the two match, no
+	// instruction has issued since every blocked entry in the queue was
+	// (re)checked, so none of their producers can have issued either (an
+	// instruction cannot retire without issuing) and the scan skips the
+	// producer loads outright. uint32 wrap cannot alias: scans run every
+	// cycle and the epoch moves at most issue-width per cycle.
+	issueEpoch  uint32
+	iqScanEpoch [isa.NumIssueClasses]uint32
+
+	// iqMinReady[class] lower-bounds the next cycle at which any entry
+	// with a pinned ready time could issue (maintained by the scan and by
+	// dispatch). While cycle < iqMinReady[class] AND the epochs match, the
+	// whole scan is provably a no-op and is skipped: no pinned entry is
+	// due, and no blocked entry can have been woken (waking requires an
+	// issue, which would move issueEpoch).
+	iqMinReady [isa.NumIssueClasses]uint64
 
 	// Execution resources.
 	intDivBusyUntil uint64
@@ -120,6 +210,11 @@ type Core struct {
 
 	handlerSeed uint64
 	pmuPending  bool
+	// nextSample is the next cycle at which the PMU sampling interrupt
+	// fires (^0 when sampling is off); a countdown comparison instead of
+	// the previous per-cycle modulo.
+	nextSample  uint64
+	sampleEvery uint64
 
 	stats Stats
 }
@@ -144,18 +239,46 @@ func New(cfg Config, prog *program.Program, stream program.Stream) *Core {
 func NewWithCaches(cfg Config, prog *program.Program, stream program.Stream, l1i, l1d *cache.Cache) *Core {
 	cfg.validate()
 	c := &Core{
-		cfg:     cfg,
-		prog:    prog,
-		l1i:     l1i,
-		l1d:     l1d,
-		tage:    branch.NewTage(cfg.Tage),
-		btb:     branch.NewBTB(cfg.BTBEntries, cfg.BTBWays),
-		ras:     branch.NewRAS(cfg.RASDepth),
-		archRAS: branch.NewRAS(cfg.RASDepth),
-		stream:  stream,
-		rob:     make([]robEntry, cfg.ROBEntries),
+		cfg:      cfg,
+		prog:     prog,
+		meta:     buildInstMeta(prog),
+		l1i:      l1i,
+		l1d:      l1d,
+		tage:     branch.NewTage(cfg.Tage),
+		btb:      branch.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		ras:      branch.NewRAS(cfg.RASDepth),
+		archRAS:  branch.NewRAS(cfg.RASDepth),
+		stream:   stream,
+		rob:      make([]robEntry, cfg.ROBEntries),
+		fetchBuf: make([]fetchedInst, cfg.FetchBufEntries),
+
+		commitWidth:     cfg.CommitWidth,
+		robEntries:      cfg.ROBEntries,
+		dispatchWidth:   cfg.DispatchWidth,
+		fetchWidth:      cfg.FetchWidth,
+		lsqEntries:      cfg.LSQEntries,
+		storeBufCap:     cfg.StoreBufEntries,
+		maxBranches:     cfg.MaxBranches,
+		fetchToDispatch: cfg.FetchToDispatch,
+		redirectPenalty: cfg.RedirectPenalty,
+		btbMissBubble:   cfg.BTBMissBubble,
+		iqWidths: [isa.NumIssueClasses]int{
+			isa.IssueInt: cfg.IntIQ.Width,
+			isa.IssueMem: cfg.MemIQ.Width,
+			isa.IssueFP:  cfg.FPIQ.Width,
+		},
+		iqCaps: [isa.NumIssueClasses]int{
+			isa.IssueInt: cfg.IntIQ.Entries,
+			isa.IssueMem: cfg.MemIQ.Entries,
+			isa.IssueFP:  cfg.FPIQ.Entries,
+		},
 	}
 	c.mmu = tlb.New(cfg.TLB, c.l1d)
+	c.sampleEvery = cfg.SampleInterruptEvery
+	c.nextSample = ^uint64(0)
+	if c.sampleEvery > 0 {
+		c.nextSample = c.sampleEvery
+	}
 	c.waitBranchFID = invalidFID
 	c.lastFetchLine = ^uint64(0)
 	for i := range c.renameRob {
@@ -237,25 +360,26 @@ func (c *Core) anySupply() bool {
 	return c.la.valid || c.pi < len(c.pending) || !c.streamDone
 }
 
-func (c *Core) fbLen() int { return len(c.fetchBuf) - c.fbHead }
+func (c *Core) fbLen() int { return c.fbCount }
 
-func (c *Core) fbPush(f fetchedInst) { c.fetchBuf = append(c.fetchBuf, f) }
+func (c *Core) fbPush(f fetchedInst) {
+	t := c.fbHead + c.fbCount
+	if t >= len(c.fetchBuf) {
+		t -= len(c.fetchBuf)
+	}
+	c.fetchBuf[t] = f
+	c.fbCount++
+}
 
 func (c *Core) fbPeek() *fetchedInst { return &c.fetchBuf[c.fbHead] }
 
-func (c *Core) fbPop() fetchedInst {
-	f := c.fetchBuf[c.fbHead]
-	c.fbHead++
-	if c.fbHead == len(c.fetchBuf) {
-		c.fetchBuf = c.fetchBuf[:0]
-		c.fbHead = 0
-	} else if c.fbHead >= 64 {
-		// Compact so the backing array stays bounded in steady state.
-		n := copy(c.fetchBuf, c.fetchBuf[c.fbHead:])
-		c.fetchBuf = c.fetchBuf[:n]
+// fbPopFront drops the head element (the caller has already read it through
+// fbPeek).
+func (c *Core) fbPopFront() {
+	if c.fbHead++; c.fbHead == len(c.fetchBuf) {
 		c.fbHead = 0
 	}
-	return f
+	c.fbCount--
 }
 
 // runsStarted counts Core.Run invocations process-wide. Tests use the delta
@@ -299,17 +423,25 @@ func (c *Core) Run(consumer trace.Consumer) (Stats, error) {
 // reports whether the machine is fully drained with no supply left.
 func (c *Core) step(cycle uint64, rec *trace.Record) bool {
 	c.drainBranchResolve(cycle)
-	if c.cfg.SampleInterruptEvery > 0 && cycle > 0 && cycle%c.cfg.SampleInterruptEvery == 0 {
+	if cycle >= c.nextSample {
+		// >= (not ==) keeps the countdown correct even if a caller steps
+		// past the boundary cycle; Run and the lockstep multi-core driver
+		// both advance one cycle at a time, so in practice it fires exactly
+		// on the old cycle%SampleInterruptEvery == 0 schedule.
 		c.pmuPending = true
+		c.nextSample += c.sampleEvery
 	}
 	c.commit(cycle, rec)
 	c.issue(cycle)
 	c.dispatch(cycle)
 	c.fetch(cycle)
-	return c.robCount == 0 && c.fbLen() == 0 && !c.anySupply()
+	return c.robCount == 0 && c.fbCount == 0 && !c.anySupply()
 }
 
 func (c *Core) drainBranchResolve(cycle uint64) {
+	if len(c.branchResolve) == 0 {
+		return
+	}
 	out := c.branchResolve[:0]
 	for _, t := range c.branchResolve {
 		if t > cycle {
@@ -326,28 +458,35 @@ func (c *Core) drainBranchResolve(cycle uint64) {
 // CommitWidth executed instructions, handling exceptions, flushing CSRs,
 // and store-buffer pressure.
 func (c *Core) commit(cycle uint64, rec *trace.Record) {
-	*rec = trace.Record{Cycle: cycle, NumBanks: c.cfg.CommitWidth}
+	cw := c.commitWidth
+	rec.Reset(cycle, cw)
 
-	cw := c.cfg.CommitWidth
 	if c.robCount == 0 {
 		rec.ROBEmpty = true
 	} else {
-		rec.HeadBank = uint8(c.robHead % cw)
+		rec.HeadBank = uint8(c.robHeadBank)
 		n := c.robCount
 		if n > cw {
 			n = cw
 		}
+		slot := c.robHead
+		bank := c.robHeadBank
 		for i := 0; i < n; i++ {
-			slot := (c.robHead + i) % c.cfg.ROBEntries
 			e := &c.rob[slot]
-			b := &rec.Banks[slot%cw]
+			b := &rec.Banks[bank]
 			b.Valid = true
-			b.PC = e.d.PC()
+			b.PC = e.pc
 			b.FID = e.fid
-			b.InstIndex = int32(e.d.SI.Index)
+			b.InstIndex = e.instIdx
 			b.Mispredicted = e.mispredicted
-			b.Flush = e.flushAtCommit
+			b.Flush = e.mi.flags&metaFlushAtCommit != 0
 			b.Exception = e.exceptionPending
+			if slot++; slot == c.robEntries {
+				slot = 0
+			}
+			if bank++; bank == cw {
+				bank = 0
+			}
 		}
 	}
 
@@ -367,9 +506,9 @@ func (c *Core) commit(cycle uint64, rec *trace.Record) {
 		h := &c.rob[c.robHead]
 		if h.exceptionPending && h.issued && h.doneCycle <= cycle {
 			rec.ExceptionRaised = true
-			rec.ExceptionPC = h.d.PC()
+			rec.ExceptionPC = h.pc
 			rec.ExceptionFID = h.fid
-			rec.ExceptionInstIndex = int32(h.d.SI.Index)
+			rec.ExceptionInstIndex = h.instIdx
 			c.observeFrontEnd(cycle, rec)
 			c.raiseException(cycle, h)
 			return
@@ -386,36 +525,41 @@ func (c *Core) commit(cycle uint64, rec *trace.Record) {
 			// Became head mid-group; raise next cycle.
 			break
 		}
-		if e.d.SI.Kind == isa.KindStore {
+		kind := e.mi.kind
+		if kind == isa.KindStore {
 			if !c.retireStore(e, cycle) {
 				c.stats.StoreStallCycles++
 				break
 			}
 		}
-		slot := c.robHead
-		rec.Banks[slot%cw].Committing = true
+		rec.Banks[c.robHeadBank].Committing = true
 		committed++
 		c.stats.Committed++
-		switch e.d.SI.Kind {
+		switch kind {
 		case isa.KindCall:
-			c.archRAS.Push(e.d.PC() + isa.InstBytes)
+			c.archRAS.Push(e.pc + isa.InstBytes)
 		case isa.KindRet:
 			c.archRAS.Pop(e.d.NextPC)
 		}
 		// Clear rename mappings that point at the retiring entry.
-		if dst := e.d.SI.Dst; dst != isa.RegZero {
-			if c.renameRob[dst] == int32(slot) && c.renameUop[dst] == e.uop {
+		if dst := e.mi.dst; dst != isa.RegZero {
+			if c.renameRob[dst] == int32(c.robHead) && c.renameUop[dst] == e.uop {
 				c.renameRob[dst] = -1
 			}
 		}
-		if e.serialized {
+		if e.mi.flags&metaSerializing != 0 {
 			c.serializeActive = false
 		}
-		flush := e.flushAtCommit
+		flush := e.mi.flags&metaFlushAtCommit != 0
 		e.uop = 0 // invalidate tag so dependents see ready
-		c.robHead = (c.robHead + 1) % c.cfg.ROBEntries
+		if c.robHead++; c.robHead == c.robEntries {
+			c.robHead = 0
+		}
+		if c.robHeadBank++; c.robHeadBank == cw {
+			c.robHeadBank = 0
+		}
 		c.robCount--
-		if e.d.SI.Kind.IsMem() {
+		if e.mi.flags&metaMem != 0 {
 			c.lsqCount--
 		}
 		if flush {
@@ -441,7 +585,7 @@ func (c *Core) retireStore(e *robEntry, cycle uint64) bool {
 		}
 	}
 	c.storeBuf = out
-	if len(c.storeBuf) >= c.cfg.StoreBufEntries {
+	if len(c.storeBuf) >= c.storeBufCap {
 		return false
 	}
 	done := c.l1d.Access(e.d.MemAddr, true, cycle)
@@ -451,22 +595,28 @@ func (c *Core) retireStore(e *robEntry, cycle uint64) bool {
 
 // observeFrontEnd fills the dispatch-stage and youngest-in-flight fields.
 func (c *Core) observeFrontEnd(cycle uint64, rec *trace.Record) {
-	if c.fbLen() > 0 {
-		f := c.fbPeek()
+	switch {
+	case c.fbCount > 0:
+		f := &c.fetchBuf[c.fbHead]
 		if f.readyAt <= cycle {
 			rec.DispatchValid = true
-			rec.DispatchPC = f.d.PC()
+			rec.DispatchPC = f.pc
 			rec.DispatchFID = f.fid
-			rec.DispatchInstIndex = int32(f.d.SI.Index)
+			rec.DispatchInstIndex = f.instIdx
 		}
-	}
-	switch {
-	case c.fbLen() > 0:
 		rec.AnyInFlight = true
-		rec.YoungestFID = c.fetchBuf[len(c.fetchBuf)-1].fid
+		t := c.fbHead + c.fbCount - 1
+		if t >= len(c.fetchBuf) {
+			t -= len(c.fetchBuf)
+		}
+		rec.YoungestFID = c.fetchBuf[t].fid
 	case c.robCount > 0:
 		rec.AnyInFlight = true
-		tail := (c.robHead + c.robCount - 1) % c.cfg.ROBEntries
+		tail := c.robTail
+		if tail == 0 {
+			tail = c.robEntries
+		}
+		tail--
 		rec.YoungestFID = c.rob[tail].fid
 	default:
 		// The whole machine retired this cycle (commit has already
@@ -535,19 +685,26 @@ func (c *Core) raiseException(cycle uint64, h *robEntry) {
 // remain are all younger than the flush point because the caller has already
 // retired everything older.
 func (c *Core) flushPipeline(cycle uint64, prefix []program.DynInst) {
-	need := len(prefix) + c.robCount + c.fbLen() + 2 + len(c.pending) - c.pi
+	need := len(prefix) + c.robCount + c.fbCount + 2 + len(c.pending) - c.pi
 	replay := c.replayScratch[:0]
 	if cap(replay) < need {
 		replay = make([]program.DynInst, 0, need)
 	}
 	replay = append(replay, prefix...)
+	slot := c.robHead
 	for i := 0; i < c.robCount; i++ {
-		slot := (c.robHead + i) % c.cfg.ROBEntries
 		replay = append(replay, c.rob[slot].d)
 		c.rob[slot].uop = 0
+		if slot++; slot == c.robEntries {
+			slot = 0
+		}
 	}
-	for i := c.fbHead; i < len(c.fetchBuf); i++ {
-		replay = append(replay, c.fetchBuf[i].d)
+	fb := c.fbHead
+	for i := 0; i < c.fbCount; i++ {
+		replay = append(replay, c.fetchBuf[fb].d)
+		if fb++; fb == len(c.fetchBuf) {
+			fb = 0
+		}
 	}
 	if c.la.valid {
 		replay = append(replay, c.la.d)
@@ -563,13 +720,16 @@ func (c *Core) flushPipeline(cycle uint64, prefix []program.DynInst) {
 	c.pi = 0
 	c.robCount = 0
 	c.robHead = 0
-	c.fetchBuf = c.fetchBuf[:0]
+	c.robTail = 0
+	c.robHeadBank = 0
 	c.fbHead = 0
+	c.fbCount = 0
 	for i := range c.renameRob {
 		c.renameRob[i] = -1
 	}
 	for i := range c.iqs {
 		c.iqs[i] = c.iqs[i][:0]
+		c.iqMinReady[i] = 0
 	}
 	c.lsqCount = 0
 	c.branchResolve = c.branchResolve[:0]
@@ -577,61 +737,134 @@ func (c *Core) flushPipeline(cycle uint64, prefix []program.DynInst) {
 	c.waitBranchFID = invalidFID
 	c.lastFetchLine = ^uint64(0)
 	c.ras.CopyFrom(c.archRAS)
-	c.fetchBlockedUntil = cycle + c.cfg.RedirectPenalty
+	c.fetchBlockedUntil = cycle + c.redirectPenalty
 }
 
 // ---------------------------------------------------------------------------
 // Issue/execute
 
+// iqEntry is one issue-queue slot: the ROB index plus cached wakeup state, so
+// the per-cycle scan almost never chases a ROB pointer per waiting entry.
+// readyAt is the entry's pinned ready time once every producer has issued
+// (the bound never moves: doneCycle is immutable after issue, commit waits
+// for it, and a squashed producer implies the consumer was squashed too), or
+// iqReadyUnknown while some producer is unissued — then blockIdx/blockUop
+// name that producer, and the scan re-derives the bound only after it issues
+// or its slot is reused (retirement; the value is in the regfile).
+type iqEntry struct {
+	idx      int32
+	blockIdx int32
+	kind     isa.Kind
+	blockUop uint64
+	readyAt  uint64
+}
+
+// iqReadyUnknown marks an issue-queue entry whose ready time is not yet
+// computable (some producer has not issued). Cycle numbers never reach it.
+const iqReadyUnknown = ^uint64(0)
+
 // issue selects ready instructions from each queue, oldest first, and
 // computes their completion times.
 func (c *Core) issue(cycle uint64) {
 	for class := 0; class < isa.NumIssueClasses; class++ {
-		width := c.iqWidth(isa.IssueClass(class))
+		if cycle < c.iqMinReady[class] && c.issueEpoch == c.iqScanEpoch[class] {
+			continue // provably nothing to issue or wake this cycle
+		}
+		width := c.iqWidths[class]
 		iq := c.iqs[class]
 		issued := 0
 		w := 0
+		full := true
+		minNext := iqReadyUnknown
 		for r := 0; r < len(iq); r++ {
-			idx := iq[r]
-			e := &c.rob[idx]
-			if issued >= width || !c.depsReady(e, cycle) || !c.unitFree(e, cycle) {
-				iq[w] = idx
+			if issued == width {
+				// Width exhausted: everything younger stays queued; one
+				// bulk copy instead of per-entry moves. The unscanned
+				// tail was not rechecked, so the scan epoch must not
+				// advance below, and ready entries may be waiting there.
+				w += copy(iq[w:], iq[r:])
+				full = false
+				minNext = cycle + 1
+				break
+			}
+			en := iq[r]
+			if en.readyAt == iqReadyUnknown {
+				// The epoch comparison is live, not a scan-start
+				// snapshot: an issue earlier in this very scan makes it
+				// mismatch for the entries after it. A producer is
+				// always older than its consumer, so it sits at an
+				// earlier queue position (or an already-scanned or
+				// later-rechecked class) — a skipped entry's producer
+				// provably has not issued.
+				if c.issueEpoch == c.iqScanEpoch[class] {
+					if w != r {
+						iq[w] = en
+					}
+					w++
+					continue
+				}
+				if p := &c.rob[en.blockIdx]; p.uop == en.blockUop && !p.issued {
+					// Still blocked on the same producer.
+					if w != r {
+						iq[w] = en
+					}
+					w++
+					continue
+				}
+				if !c.tryReady(&c.rob[en.idx], &en) {
+					iq[w] = en
+					w++
+					continue
+				}
+				// tryReady mutated en (pinned readyAt): if the entry is
+				// kept below, the store must happen even when w == r, or
+				// the queue keeps the stale blocked copy and the next
+				// matching-epoch scan skips it forever.
+				if cycle < en.readyAt || !c.unitFree(en.kind, cycle) {
+					if ra := maxU64(en.readyAt, cycle+1); ra < minNext {
+						minNext = ra
+					}
+					iq[w] = en
+					w++
+					continue
+				}
+				c.execute(&c.rob[en.idx], cycle)
+				issued++
+				continue
+			}
+			if cycle < en.readyAt || !c.unitFree(en.kind, cycle) {
+				if ra := maxU64(en.readyAt, cycle+1); ra < minNext {
+					minNext = ra
+				}
+				if w != r {
+					iq[w] = en
+				}
 				w++
 				continue
 			}
-			c.execute(e, cycle)
+			c.execute(&c.rob[en.idx], cycle)
 			issued++
 		}
 		c.iqs[class] = iq[:w]
+		c.iqMinReady[class] = minNext
+		if full {
+			// Every blocked entry was checked against the current epoch
+			// (issues later in this scan are younger than any entry
+			// skipped before them, so they cannot be a skipped entry's
+			// producer). After a width break the old snapshot stays: the
+			// break implies issues this scan, so it mismatches and the
+			// tail is rechecked next cycle.
+			c.iqScanEpoch[class] = c.issueEpoch
+		}
 	}
 }
 
-func (c *Core) iqWidth(class isa.IssueClass) int {
-	switch class {
-	case isa.IssueInt:
-		return c.cfg.IntIQ.Width
-	case isa.IssueMem:
-		return c.cfg.MemIQ.Width
-	default:
-		return c.cfg.FPIQ.Width
-	}
-}
-
-func (c *Core) iqCap(class isa.IssueClass) int {
-	switch class {
-	case isa.IssueInt:
-		return c.cfg.IntIQ.Entries
-	case isa.IssueMem:
-		return c.cfg.MemIQ.Entries
-	default:
-		return c.cfg.FPIQ.Entries
-	}
-}
-
-func (c *Core) depsReady(e *robEntry, cycle uint64) bool {
-	if e.readyAtKnown {
-		return cycle >= e.readyAt
-	}
+// tryReady computes e's ready time if every still-matching producer has
+// issued, storing it in en.readyAt; otherwise it records the first unissued
+// producer as en's block pointer and reports false. The bound is identical
+// whenever it becomes computable, so evaluating eagerly (at dispatch, or the
+// cycle the blocking producer issues) matches a per-cycle dependence walk.
+func (c *Core) tryReady(e *robEntry, en *iqEntry) bool {
 	bound := uint64(0)
 	for i := 0; i < e.ndeps; i++ {
 		d := e.deps[i]
@@ -640,19 +873,20 @@ func (c *Core) depsReady(e *robEntry, cycle uint64) bool {
 			continue // producer retired or squashed: value in regfile
 		}
 		if !p.issued {
-			return false // completion cycle not knowable yet
+			en.blockIdx = d.robIdx
+			en.blockUop = d.uop
+			return false
 		}
 		if p.doneCycle > bound {
 			bound = p.doneCycle
 		}
 	}
-	e.readyAt = bound
-	e.readyAtKnown = true
-	return cycle >= bound
+	en.readyAt = bound
+	return true
 }
 
-func (c *Core) unitFree(e *robEntry, cycle uint64) bool {
-	switch e.d.SI.Kind {
+func (c *Core) unitFree(kind isa.Kind, cycle uint64) bool {
+	switch kind {
 	case isa.KindIntDiv:
 		return c.intDivBusyUntil <= cycle
 	case isa.KindFPDiv:
@@ -665,9 +899,9 @@ func (c *Core) unitFree(e *robEntry, cycle uint64) bool {
 // loads/stores and resolving control flow.
 func (c *Core) execute(e *robEntry, cycle uint64) {
 	e.issued = true
-	e.inIQ = false
-	kind := e.d.SI.Kind
-	lat := uint64(isa.Latency(kind))
+	c.issueEpoch++
+	kind := e.mi.kind
+	lat := uint64(e.mi.lat)
 
 	switch kind {
 	case isa.KindLoad:
@@ -708,12 +942,12 @@ func (c *Core) execute(e *robEntry, cycle uint64) {
 		e.doneCycle = cycle + lat
 	}
 
-	if kind.IsControlFlow() {
+	if e.mi.flags&metaControlFlow != 0 {
 		c.branchResolve = append(c.branchResolve, e.doneCycle)
 		if e.fid == c.waitBranchFID {
 			// Mispredict resolved: fetch restarts on the correct path.
 			c.waitBranchFID = invalidFID
-			c.fetchBlockedUntil = maxU64(c.fetchBlockedUntil, e.doneCycle+c.cfg.RedirectPenalty)
+			c.fetchBlockedUntil = maxU64(c.fetchBlockedUntil, e.doneCycle+c.redirectPenalty)
 			c.lastFetchLine = ^uint64(0)
 		}
 	}
@@ -728,48 +962,50 @@ func (c *Core) dispatch(cycle uint64) {
 	if c.serializeActive {
 		return
 	}
-	for n := 0; n < c.cfg.DispatchWidth; n++ {
-		if c.fbLen() == 0 {
+	for n := 0; n < c.dispatchWidth; n++ {
+		if c.fbCount == 0 {
 			return
 		}
-		f := c.fbPeek()
+		f := &c.fetchBuf[c.fbHead]
 		if f.readyAt > cycle {
 			return
 		}
-		in := f.d.SI
-		if in.Kind.IsSerializing() && c.robCount != 0 {
+		mi := c.meta[f.instIdx]
+		if mi.flags&metaSerializing != 0 && c.robCount != 0 {
 			return // drain before dispatching a serialized instruction
 		}
-		if c.robCount == c.cfg.ROBEntries {
+		if c.robCount == c.robEntries {
 			return
 		}
-		class := isa.IssueClassOf(in.Kind)
-		if len(c.iqs[class]) >= c.iqCap(class) {
+		class := mi.class
+		if len(c.iqs[class]) >= c.iqCaps[class] {
 			return
 		}
-		if in.Kind.IsMem() && c.lsqCount >= c.cfg.LSQEntries {
+		if mi.flags&metaMem != 0 && c.lsqCount >= c.lsqEntries {
 			return
 		}
-		if in.Kind.IsControlFlow() && len(c.branchResolve) >= c.cfg.MaxBranches {
+		if mi.flags&metaControlFlow != 0 && len(c.branchResolve) >= c.maxBranches {
 			return
 		}
 
-		c.fbPop()
-		slot := (c.robHead + c.robCount) % c.cfg.ROBEntries
+		slot := c.robTail
+		if c.robTail++; c.robTail == c.robEntries {
+			c.robTail = 0
+		}
 		c.robCount++
 		c.nextUop++
 		e := &c.rob[slot]
 		*e = robEntry{
-			d:             f.d,
-			fid:           f.fid,
-			uop:           c.nextUop,
-			iq:            class,
-			inIQ:          true,
-			mispredicted:  f.mispredicted,
-			flushAtCommit: in.FlushAtCommit,
-			serialized:    in.Kind.IsSerializing(),
+			d:            f.d,
+			fid:          f.fid,
+			uop:          c.nextUop,
+			pc:           f.pc,
+			instIdx:      f.instIdx,
+			mi:           mi,
+			mispredicted: f.mispredicted,
 		}
-		for _, src := range in.Srcs {
+		c.fbPopFront()
+		for _, src := range mi.srcs {
 			if src == isa.RegZero {
 				continue
 			}
@@ -778,15 +1014,20 @@ func (c *Core) dispatch(cycle uint64) {
 				e.ndeps++
 			}
 		}
-		if dst := in.Dst; dst != isa.RegZero {
+		if dst := mi.dst; dst != isa.RegZero {
 			c.renameRob[dst] = int32(slot)
 			c.renameUop[dst] = c.nextUop
 		}
-		if in.Kind.IsMem() {
+		if mi.flags&metaMem != 0 {
 			c.lsqCount++
 		}
-		c.iqs[class] = append(c.iqs[class], int32(slot))
-		if e.serialized {
+		en := iqEntry{idx: int32(slot), kind: mi.kind, readyAt: iqReadyUnknown}
+		c.tryReady(e, &en)
+		if en.readyAt < c.iqMinReady[class] {
+			c.iqMinReady[class] = en.readyAt
+		}
+		c.iqs[class] = append(c.iqs[class], en)
+		if mi.flags&metaSerializing != 0 {
 			c.serializeActive = true
 			return
 		}
@@ -803,15 +1044,17 @@ func (c *Core) fetch(cycle uint64) {
 	if cycle < c.fetchBlockedUntil || c.waitBranchFID != invalidFID {
 		return
 	}
-	for delivered := 0; delivered < c.cfg.FetchWidth; delivered++ {
-		if c.fbLen() >= c.cfg.FetchBufEntries {
+	for delivered := 0; delivered < c.fetchWidth; delivered++ {
+		if c.fbCount >= len(c.fetchBuf) {
 			return
 		}
 		d, ok := c.supplyNext()
 		if !ok {
 			return
 		}
-		pc := d.PC()
+		si := d.SI
+		pc := si.PC
+		kind := si.Kind
 		line := pc >> 6
 		if line != c.lastFetchLine {
 			tr := c.mmu.TranslateFetch(pc, cycle)
@@ -834,29 +1077,18 @@ func (c *Core) fetch(cycle uint64) {
 		c.stats.Fetched++
 		mispred := false
 		bubble := false
-		switch d.SI.Kind {
+		switch kind {
 		case isa.KindBranch:
-			pred := c.tage.Predict(pc)
-			c.tage.Update(pc, d.Taken)
-			if pred != d.Taken {
+			if c.tage.PredictUpdate(pc, d.Taken) != d.Taken {
 				mispred = true
 			} else if d.Taken {
-				if _, ok := c.btb.Lookup(pc); !ok {
-					c.btb.Insert(pc, d.NextPC)
-					bubble = true
-				}
+				bubble = !c.btb.Probe(pc, d.NextPC)
 			}
 		case isa.KindJump:
-			if _, ok := c.btb.Lookup(pc); !ok {
-				c.btb.Insert(pc, d.NextPC)
-				bubble = true
-			}
+			bubble = !c.btb.Probe(pc, d.NextPC)
 		case isa.KindCall:
 			c.ras.Push(pc + isa.InstBytes)
-			if _, ok := c.btb.Lookup(pc); !ok {
-				c.btb.Insert(pc, d.NextPC)
-				bubble = true
-			}
+			bubble = !c.btb.Probe(pc, d.NextPC)
 		case isa.KindRet:
 			if d.NextPC != 0 { // 0 = end of program
 				if _, correct := c.ras.Pop(d.NextPC); !correct {
@@ -865,7 +1097,14 @@ func (c *Core) fetch(cycle uint64) {
 			}
 		}
 
-		c.fbPush(fetchedInst{d: d, fid: fid, readyAt: cycle + c.cfg.FetchToDispatch, mispredicted: mispred})
+		c.fbPush(fetchedInst{
+			d:            d,
+			pc:           pc,
+			fid:          fid,
+			readyAt:      cycle + c.fetchToDispatch,
+			instIdx:      int32(si.Index),
+			mispredicted: mispred,
+		})
 
 		if mispred {
 			c.stats.Mispredicts++
@@ -876,11 +1115,11 @@ func (c *Core) fetch(cycle uint64) {
 		}
 		if bubble {
 			c.stats.BTBBubbles++
-			c.fetchBlockedUntil = cycle + c.cfg.BTBMissBubble
+			c.fetchBlockedUntil = cycle + c.btbMissBubble
 			c.lastFetchLine = ^uint64(0)
 			return
 		}
-		if d.SI.Kind.IsControlFlow() && d.Taken {
+		if kind.IsControlFlow() && d.Taken {
 			// A taken redirect ends the fetch group.
 			c.lastFetchLine = ^uint64(0)
 			return
@@ -894,3 +1133,5 @@ func maxU64(a, b uint64) uint64 {
 	}
 	return b
 }
+
+// debugDump enables a pipeline-state dump on MaxCycles exhaustion (temporary).

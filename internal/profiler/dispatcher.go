@@ -23,10 +23,14 @@ type CycleFacts struct {
 // decisions, like oir.observe: samplers must see the facts as of the
 // previous cycle.
 func (f *CycleFacts) Observe(r *trace.Record) {
-	if y := r.YoungestCommitting(); y != nil {
-		f.lastCommitted = y.InstIndex
-		f.lastCommittedSet = true
-		f.o.latchCommit(y)
+	// Gated on CommitCount like oir.observe: most cycles commit nothing,
+	// and the bank scan is this function's entire cost.
+	if r.CommitCount > 0 {
+		if y := r.YoungestCommitting(); y != nil {
+			f.lastCommitted = y.InstIndex
+			f.lastCommittedSet = true
+			f.o.latchCommit(y)
+		}
 	}
 	if r.ExceptionRaised {
 		f.o.latchException(r)

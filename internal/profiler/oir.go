@@ -31,8 +31,13 @@ type oir struct {
 // when the current cycle's ROB is empty (no commits can have happened in an
 // empty-ROB cycle, so the order only matters for committing cycles).
 func (o *oir) observe(r *trace.Record) {
-	if y := r.YoungestCommitting(); y != nil {
-		o.latchCommit(y)
+	// CommitCount is authoritative for whether any bank commits (the same
+	// contract replay's cycle accounting relies on), so the bank scan only
+	// runs on committing cycles.
+	if r.CommitCount > 0 {
+		if y := r.YoungestCommitting(); y != nil {
+			o.latchCommit(y)
+		}
 	}
 	if r.ExceptionRaised {
 		o.latchException(r)

@@ -71,11 +71,14 @@ func (or *Oracle) OnCycle(r *trace.Record) {
 		}
 		if r.CommitCount > 0 {
 			w := 1.0 / float64(r.CommitCount)
-			for i := 0; i < r.NumBanks; i++ {
-				b := (int(r.HeadBank) + i) % r.NumBanks
+			n, b := scanStart(r)
+			for i := 0; i < n; i++ {
 				e := &r.Banks[b]
 				if e.Valid && e.Committing {
 					or.attr(e.InstIndex, w, profile.CatExecution)
+				}
+				if b++; b == n {
+					b = 0
 				}
 			}
 		} else if oldest != nil {

@@ -12,7 +12,7 @@ import (
 
 // fig4Program lays out the instructions used by the Figure 4 scenarios:
 // index 0,1 dummies, then I1, load, I3, I4, branch, I5, I6, I2.
-func fig4Program(t *testing.T) *program.Program {
+func fig4Program(t testing.TB) *program.Program {
 	t.Helper()
 	b := program.NewBuilder("fig4")
 	f := b.Func("main")
@@ -133,6 +133,31 @@ func checkCycles(t *testing.T, name string, prof *profile.Profile, want map[int]
 		if got := prof.InstCycles[idx]; math.Abs(got-w) > 1e-9 {
 			t.Errorf("%s: inst %d = %v cycles, want %v", name, idx, got, w)
 		}
+	}
+}
+
+// BenchmarkSampledObserve measures the per-cycle cost of the TIP sampled
+// profiler over a stall-heavy stream: bursts of commits separated by long
+// stalls on the load, the shape that dominates replay time. Exercises the
+// commit-gated fast path and the pendFID resolve bound.
+func BenchmarkSampledObserve(b *testing.B) {
+	p := fig4Program(b)
+	s := newSeq(p)
+	for burst := 0; burst < 64; burst++ {
+		s.cycle(ent{idx: idxI1, committing: true}, ent{idx: idxLoad})
+		for stall := 0; stall < 20; stall++ {
+			s.cycle(ent{idx: idxLoad}, ent{idx: idxI3})
+		}
+		s.cycle(ent{idx: idxLoad, committing: true}, ent{idx: idxI3, committing: true})
+		s.cycle(ent{idx: idxI4, committing: true}, ent{idx: idxI5, committing: true})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := NewSampled(KindTIP, p, everyCycle{})
+		for r := range s.recs {
+			sp.OnCycle(&s.recs[r])
+		}
+		sp.Finish(uint64(len(s.recs)))
 	}
 }
 

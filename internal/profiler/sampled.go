@@ -235,11 +235,14 @@ func (s *Sampled) take(r *trace.Record, w float64) {
 	case KindNCIILP:
 		if r.CommitCount > 0 {
 			split := w / float64(r.CommitCount)
-			for i := 0; i < r.NumBanks; i++ {
-				b := (int(r.HeadBank) + i) % r.NumBanks
+			n, b := scanStart(r)
+			for i := 0; i < n; i++ {
 				e := &r.Banks[b]
 				if e.Valid && e.Committing {
 					s.add(e.InstIndex, split)
+				}
+				if b++; b == n {
+					b = 0
 				}
 			}
 		} else {
@@ -258,12 +261,15 @@ func (s *Sampled) takeTIP(r *trace.Record, w float64) {
 			// Computing state.
 			if s.Kind == KindTIP {
 				split := w / float64(r.CommitCount)
-				for i := 0; i < r.NumBanks; i++ {
-					b := (int(r.HeadBank) + i) % r.NumBanks
+				n, b := scanStart(r)
+				for i := 0; i < n; i++ {
 					e := &r.Banks[b]
 					if e.Valid && e.Committing {
 						s.add(e.InstIndex, split)
 						s.cat(flags, e.InstIndex, split)
+					}
+					if b++; b == n {
+						b = 0
 					}
 				}
 			} else if old := oldestCommitting(r); old != nil {
@@ -308,11 +314,14 @@ func (s *Sampled) resolve(r *trace.Record) {
 	if len(s.pendNCISplit) > 0 && r.CommitCount > 0 {
 		split := 1.0 / float64(r.CommitCount)
 		for _, p := range s.pendNCISplit {
-			for i := 0; i < r.NumBanks; i++ {
-				b := (int(r.HeadBank) + i) % r.NumBanks
+			n, b := scanStart(r)
+			for i := 0; i < n; i++ {
 				e := &r.Banks[b]
 				if e.Valid && e.Committing {
 					s.add(e.InstIndex, p.weight*split)
+				}
+				if b++; b == n {
+					b = 0
 				}
 			}
 		}
@@ -328,16 +337,32 @@ func (s *Sampled) resolve(r *trace.Record) {
 		}
 	}
 	if len(s.pendFID) > 0 && r.CommitCount > 0 {
-		keep := s.pendFID[:0]
-		for _, p := range s.pendFID {
-			idx, ok := firstCommitAtOrAfter(r, p.targetFID)
-			if ok {
-				s.add(idx, p.weight)
-			} else {
-				keep = append(keep, p)
+		// The youngest committing FID bounds every pending target: an
+		// entry resolves this cycle iff its target is at or below it.
+		// One scan decides, so stall-heavy stretches skip the per-entry
+		// bank scans and the slice rebuild entirely.
+		if yc := r.YoungestCommitting(); yc != nil {
+			maxFID := yc.FID
+			resolvable := false
+			for i := range s.pendFID {
+				if s.pendFID[i].targetFID <= maxFID {
+					resolvable = true
+					break
+				}
+			}
+			if resolvable {
+				keep := s.pendFID[:0]
+				for _, p := range s.pendFID {
+					if p.targetFID <= maxFID {
+						idx, _ := firstCommitAtOrAfter(r, p.targetFID)
+						s.add(idx, p.weight)
+					} else {
+						keep = append(keep, p)
+					}
+				}
+				s.pendFID = keep
 			}
 		}
-		s.pendFID = keep
 	}
 }
 
@@ -357,13 +382,32 @@ func (s *Sampled) Finish(totalCycles uint64) {
 	s.pendFID = nil
 }
 
+// scanStart returns the bank count and the oldest bank's index reduced into
+// [0, n), for age-order scans that wrap-increment instead of taking a modulo
+// per step. n == 0 when the record carries no banks (callers' loops then do
+// not run, matching the old modulo scan).
+func scanStart(r *trace.Record) (n, b int) {
+	n = r.NumBanks
+	if n <= 0 {
+		return 0, 0
+	}
+	b = int(r.HeadBank)
+	if b >= n {
+		b %= n
+	}
+	return n, b
+}
+
 // oldestCommitting returns the oldest committing bank entry.
 func oldestCommitting(r *trace.Record) *trace.BankEntry {
-	for i := 0; i < r.NumBanks; i++ {
-		b := (int(r.HeadBank) + i) % r.NumBanks
+	n, b := scanStart(r)
+	for i := 0; i < n; i++ {
 		e := &r.Banks[b]
 		if e.Valid && e.Committing {
 			return e
+		}
+		if b++; b == n {
+			b = 0
 		}
 	}
 	return nil
@@ -372,11 +416,14 @@ func oldestCommitting(r *trace.Record) *trace.BankEntry {
 // firstCommitAtOrAfter returns the instruction index of the oldest
 // committing entry with FID >= target.
 func firstCommitAtOrAfter(r *trace.Record, target uint64) (int32, bool) {
-	for i := 0; i < r.NumBanks; i++ {
-		b := (int(r.HeadBank) + i) % r.NumBanks
+	n, b := scanStart(r)
+	for i := 0; i < n; i++ {
 		e := &r.Banks[b]
 		if e.Valid && e.Committing && e.FID >= target {
 			return e.InstIndex, true
+		}
+		if b++; b == n {
+			b = 0
 		}
 	}
 	return -1, false

@@ -41,14 +41,14 @@ func ShardSampled(w int, sampled []*Sampled, everyCost float64) [][]*Sampled {
 	})
 	for _, i := range order {
 		s := sampled[i]
-		min := 0
+		lightest := 0
 		for g := 1; g < w; g++ {
-			if load[g] < load[min] {
-				min = g
+			if load[g] < load[lightest] {
+				lightest = g
 			}
 		}
-		groups[min] = append(groups[min], s)
-		load[min] += cost(s)
+		groups[lightest] = append(groups[lightest], s)
+		load[lightest] += cost(s)
 	}
 	return groups
 }

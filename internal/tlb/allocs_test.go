@@ -1,0 +1,29 @@
+package tlb
+
+import "testing"
+
+// TestTranslateSteadyStateZeroAllocs guards the translation hot path:
+// with demand faulting disabled (PrefaultAll, as capture mode runs) and
+// the TLBs warmed over the working set, TranslateData and TranslateFetch
+// must not allocate. Translation runs at least once per simulated
+// instruction, so even one word per call would swamp the heap.
+func TestTranslateSteadyStateZeroAllocs(t *testing.T) {
+	m, _ := newMMU(10)
+	m.PrefaultAll()
+	const pages = 256 // spills the L1 TLBs so both hit and miss paths run
+	now := uint64(0)
+	pass := func() {
+		for p := 0; p < pages; p++ {
+			r := m.TranslateData(uint64(p)*PageSize, now)
+			now = r.Done
+			r = m.TranslateFetch(uint64(p)*PageSize, now)
+			now = r.Done
+		}
+	}
+	for w := 0; w < 3; w++ {
+		pass()
+	}
+	if avg := testing.AllocsPerRun(5, pass); avg != 0 {
+		t.Fatalf("steady-state translation allocates: %.2f allocs/pass, want 0", avg)
+	}
+}

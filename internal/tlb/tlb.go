@@ -49,27 +49,47 @@ type Result struct {
 	Walked bool
 }
 
-// l1tlb is a small fully associative TLB with LRU replacement.
+// invalidPage marks an empty TLB slot. Virtual page numbers are addresses
+// shifted right by PageBits, so ^0 can never be a real VPN; seeding empty
+// slots with it lets lookups compare page numbers alone.
+const invalidPage = ^uint64(0)
+
+// l1tlb is a small fully associative TLB with LRU replacement. Empty slots
+// hold invalidPage; valid backs the replacement scan.
 type l1tlb struct {
 	pages []uint64
 	valid []bool
 	lru   []uint64
 	stamp uint64
+	// mru is the slot touched by the last hit or insert. Translation
+	// streams hit the same page repeatedly (sequential fetch, stack data),
+	// so checking it first short-circuits the associative scan. Skipping
+	// the LRU re-stamp on an mru hit is invisible to replacement: the slot
+	// already holds the maximum stamp and no other slot changed.
+	mru int
 }
 
 func newL1(entries int) *l1tlb {
-	return &l1tlb{
+	t := &l1tlb{
 		pages: make([]uint64, entries),
 		valid: make([]bool, entries),
 		lru:   make([]uint64, entries),
 	}
+	for i := range t.pages {
+		t.pages[i] = invalidPage
+	}
+	return t
 }
 
 func (t *l1tlb) lookup(page uint64) bool {
+	if t.pages[t.mru] == page {
+		return true
+	}
 	for i := range t.pages {
-		if t.valid[i] && t.pages[i] == page {
+		if t.pages[i] == page {
 			t.stamp++
 			t.lru[i] = t.stamp
+			t.mru = i
 			return true
 		}
 	}
@@ -91,12 +111,15 @@ func (t *l1tlb) insert(page uint64) {
 	t.valid[victim] = true
 	t.stamp++
 	t.lru[victim] = t.stamp
+	t.mru = victim
 }
 
 func (t *l1tlb) invalidate() {
 	for i := range t.valid {
 		t.valid[i] = false
+		t.pages[i] = invalidPage
 	}
+	t.mru = 0
 }
 
 // MMU bundles the I-TLB, D-TLB, shared L2 TLB, walker and the present-page
@@ -106,8 +129,11 @@ type MMU struct {
 	itlb *l1tlb
 	dtlb *l1tlb
 
+	// l2pages is the direct-mapped L2 TLB; empty slots hold invalidPage.
+	// l2mask is L2Entries-1 when that is a power of two (the default 512),
+	// turning the index computation into an AND; zero otherwise.
 	l2pages []uint64
-	l2valid []bool
+	l2mask  uint64
 
 	// walkPath is the cache level the page-table walker reads through
 	// (the L1D in the real BOOM; configurable for tests).
@@ -125,15 +151,21 @@ func New(cfg Config, walkPath cache.Level) *MMU {
 	if cfg.L1Entries <= 0 || cfg.L2Entries <= 0 || cfg.WalkLevels <= 0 {
 		panic("tlb: invalid config")
 	}
-	return &MMU{
+	m := &MMU{
 		cfg:      cfg,
 		itlb:     newL1(cfg.L1Entries),
 		dtlb:     newL1(cfg.L1Entries),
 		l2pages:  make([]uint64, cfg.L2Entries),
-		l2valid:  make([]bool, cfg.L2Entries),
 		walkPath: walkPath,
 		present:  make(map[uint64]bool),
 	}
+	if n := uint64(cfg.L2Entries); n&(n-1) == 0 {
+		m.l2mask = n - 1
+	}
+	for i := range m.l2pages {
+		m.l2pages[i] = invalidPage
+	}
+	return m
 }
 
 // InstallPage marks a page present (what the OS fault handler does) without
@@ -150,15 +182,19 @@ func (m *MMU) PagePresent(page uint64) bool { return m.allPresent || m.present[p
 // PresentPages returns the number of installed pages.
 func (m *MMU) PresentPages() int { return len(m.present) }
 
+func (m *MMU) l2idx(page uint64) int {
+	if m.l2mask != 0 {
+		return int(page & m.l2mask)
+	}
+	return int(page % uint64(m.cfg.L2Entries))
+}
+
 func (m *MMU) l2lookup(page uint64) bool {
-	idx := int(page % uint64(m.cfg.L2Entries))
-	return m.l2valid[idx] && m.l2pages[idx] == page
+	return m.l2pages[m.l2idx(page)] == page
 }
 
 func (m *MMU) l2insert(page uint64) {
-	idx := int(page % uint64(m.cfg.L2Entries))
-	m.l2pages[idx] = page
-	m.l2valid[idx] = true
+	m.l2pages[m.l2idx(page)] = page
 }
 
 // translate performs a lookup through the given L1 TLB.
@@ -212,8 +248,8 @@ func (m *MMU) TranslateFetch(addr uint64, now uint64) Result {
 func (m *MMU) Reset() {
 	m.itlb.invalidate()
 	m.dtlb.invalidate()
-	for i := range m.l2valid {
-		m.l2valid[i] = false
+	for i := range m.l2pages {
+		m.l2pages[i] = invalidPage
 	}
 	m.present = make(map[uint64]bool)
 	m.allPresent = false

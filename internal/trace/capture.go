@@ -163,6 +163,29 @@ func (c *Capture) Replay(consumers ...Consumer) (cycles uint64, records uint64, 
 	return Replay(NewReader(src), consumers...)
 }
 
+// WriteTo copies the full encoded stream (header included) to w, leaving the
+// capture replayable. It is how captures are persisted: the written bytes are
+// exactly what Replay decodes, so a saved file can be compared or replayed
+// byte-for-byte later.
+func (c *Capture) WriteTo(w io.Writer) (int64, error) {
+	if !c.finished {
+		return 0, errReplayUnfinished
+	}
+	if c.err != nil {
+		return 0, errCaptureFailed(c.err)
+	}
+	var written int64
+	if c.f != nil {
+		n, err := io.Copy(w, io.NewSectionReader(c.f, 0, int64(c.fileBytes)))
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	n, err := w.Write(c.buf)
+	return written + int64(n), err
+}
+
 // Close releases the spill file, if any. The capture is not replayable
 // afterwards.
 func (c *Capture) Close() error {

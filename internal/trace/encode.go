@@ -43,31 +43,36 @@ type codecState struct {
 func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-// appendUvarint is binary.AppendUvarint with a fast path for the one-byte
-// values that dominate a delta-encoded trace.
-func appendUvarint(buf []byte, v uint64) []byte {
-	if v < 0x80 {
-		return append(buf, byte(v))
+// putUvarint writes v at b[n] and returns the position after it. The caller
+// guarantees capacity (appendRecord reserves maxRecordBytes up front); the
+// first loop test falls straight through for the one-byte deltas that
+// dominate a trace.
+func putUvarint(b []byte, n int, v uint64) int {
+	for v >= 0x80 {
+		b[n] = byte(v) | 0x80
+		n++
+		v >>= 7
 	}
-	return binary.AppendUvarint(buf, v)
+	b[n] = byte(v)
+	return n + 1
 }
 
-func (st *codecState) appendPC(buf []byte, pc uint64) []byte {
-	buf = appendUvarint(buf, zigzag(int64(pc)-int64(st.lastPC)))
+func (st *codecState) putPC(b []byte, n int, pc uint64) int {
+	n = putUvarint(b, n, zigzag(int64(pc)-int64(st.lastPC)))
 	st.lastPC = pc
-	return buf
+	return n
 }
 
-func (st *codecState) appendFID(buf []byte, fid uint64) []byte {
-	buf = appendUvarint(buf, zigzag(int64(fid)-int64(st.lastFID)))
+func (st *codecState) putFID(b []byte, n int, fid uint64) int {
+	n = putUvarint(b, n, zigzag(int64(fid)-int64(st.lastFID)))
 	st.lastFID = fid
-	return buf
+	return n
 }
 
-func (st *codecState) appendInst(buf []byte, idx int32) []byte {
-	buf = appendUvarint(buf, zigzag(int64(idx)-st.lastInst))
+func (st *codecState) putInst(b []byte, n int, idx int32) int {
+	n = putUvarint(b, n, zigzag(int64(idx)-st.lastInst))
 	st.lastInst = int64(idx)
-	return buf
+	return n
 }
 
 // Writer streams records to an io.Writer.
@@ -88,8 +93,24 @@ func NewWriter(w io.Writer) *Writer {
 // appendRecord encodes r onto buf and returns the extended slice, advancing
 // the codec state. It is the single encoder shared by the streaming Writer
 // and the in-memory Capture, so both produce identical bytes.
+//
+// It reserves maxRecordBytes of spare capacity once, then encodes with
+// indexed writes into the slice. The previous append-per-field form paid a
+// capacity check (and the append call overhead) per byte; this is the
+// hottest trace-side frame of a capture, so those per-field checks showed up
+// directly in the profile.
 func appendRecord(buf []byte, r *Record, st *codecState) []byte {
-	buf = appendUvarint(buf, r.Cycle-st.lastCycle)
+	if cap(buf)-len(buf) < maxRecordBytes {
+		// The Capture pre-grows with its own doubling policy, so only the
+		// Writer path (stable reused buffer) ever lands here, and only until
+		// its buffer reaches maxRecordBytes capacity.
+		grown := make([]byte, len(buf), 2*cap(buf)+maxRecordBytes)
+		copy(grown, buf)
+		buf = grown
+	}
+	b := buf[:cap(buf)]
+	n := len(buf)
+	n = putUvarint(b, n, r.Cycle-st.lastCycle)
 	st.lastCycle = r.Cycle
 	var flags byte
 	if r.ROBEmpty {
@@ -104,46 +125,51 @@ func appendRecord(buf []byte, r *Record, st *codecState) []byte {
 	if r.AnyInFlight {
 		flags |= 8
 	}
-	buf = append(buf, flags, byte(r.NumBanks), r.HeadBank, r.CommitCount)
+	b[n] = flags
+	b[n+1] = byte(r.NumBanks)
+	b[n+2] = r.HeadBank
+	b[n+3] = r.CommitCount
+	n += 4
 	for i := 0; i < r.NumBanks; i++ {
-		b := &r.Banks[i]
+		bk := &r.Banks[i]
 		var bf byte
-		if b.Valid {
+		if bk.Valid {
 			bf |= 1
 		}
-		if b.Committing {
+		if bk.Committing {
 			bf |= 2
 		}
-		if b.Mispredicted {
+		if bk.Mispredicted {
 			bf |= 4
 		}
-		if b.Flush {
+		if bk.Flush {
 			bf |= 8
 		}
-		if b.Exception {
+		if bk.Exception {
 			bf |= 16
 		}
-		buf = append(buf, bf)
-		if b.Valid {
-			buf = st.appendPC(buf, b.PC)
-			buf = st.appendFID(buf, b.FID)
-			buf = st.appendInst(buf, b.InstIndex)
+		b[n] = bf
+		n++
+		if bk.Valid {
+			n = st.putPC(b, n, bk.PC)
+			n = st.putFID(b, n, bk.FID)
+			n = st.putInst(b, n, bk.InstIndex)
 		}
 	}
 	if r.ExceptionRaised {
-		buf = st.appendPC(buf, r.ExceptionPC)
-		buf = st.appendFID(buf, r.ExceptionFID)
-		buf = st.appendInst(buf, r.ExceptionInstIndex)
+		n = st.putPC(b, n, r.ExceptionPC)
+		n = st.putFID(b, n, r.ExceptionFID)
+		n = st.putInst(b, n, r.ExceptionInstIndex)
 	}
 	if r.DispatchValid {
-		buf = st.appendPC(buf, r.DispatchPC)
-		buf = st.appendFID(buf, r.DispatchFID)
-		buf = st.appendInst(buf, r.DispatchInstIndex)
+		n = st.putPC(b, n, r.DispatchPC)
+		n = st.putFID(b, n, r.DispatchFID)
+		n = st.putInst(b, n, r.DispatchInstIndex)
 	}
 	if r.AnyInFlight {
-		buf = st.appendFID(buf, r.YoungestFID)
+		n = st.putFID(b, n, r.YoungestFID)
 	}
-	return buf
+	return buf[:n]
 }
 
 // OnCycle implements Consumer.
@@ -319,11 +345,17 @@ func unexpected(err error) error {
 }
 
 // sliceUvarint reads one uvarint from data at pos for the in-memory decode
-// path, with the same one-byte fast path as appendUvarint.
+// path, with the same one-byte fast path as putUvarint.
 func sliceUvarint(data []byte, pos int) (uint64, int, error) {
 	if pos < len(data) && data[pos] < 0x80 {
 		return uint64(data[pos]), pos + 1, nil
 	}
+	return sliceUvarintSlow(data, pos)
+}
+
+// sliceUvarintSlow is the multi-byte tail of sliceUvarint, split out so the
+// one-byte fast path stays under the inlining budget of its callers.
+func sliceUvarintSlow(data []byte, pos int) (uint64, int, error) {
 	v, n := binary.Uvarint(data[pos:])
 	if n <= 0 {
 		return 0, pos, io.ErrUnexpectedEOF
@@ -370,7 +402,15 @@ func decodeRecord(data []byte, pos int, st *codecState, rec *Record) (int, error
 	if err != nil {
 		return pos, err
 	}
-	*rec = Record{}
+	// Clear only what the previous decode into rec could have dirtied:
+	// every header field is overwritten below, bank flags are overwritten
+	// for i < NumBanks, and every flag-guarded payload block is explicitly
+	// zeroed on its flag-false branch — bit-identical to *rec = Record{}
+	// without re-zeroing the ~300-byte struct once per replayed cycle.
+	prevBanks := rec.NumBanks
+	if prevBanks > MaxBanks {
+		prevBanks = MaxBanks
+	}
 	st.lastCycle += delta
 	rec.Cycle = st.lastCycle
 	if pos+4 > len(data) {
@@ -388,6 +428,11 @@ func decodeRecord(data []byte, pos int, st *codecState, rec *Record) (int, error
 	rec.HeadBank = data[pos+2]
 	rec.CommitCount = data[pos+3]
 	pos += 4
+	// The delta bases live in locals across the whole record (written back
+	// on success; an error abandons the stream) and each varint load runs
+	// its one-byte fast path inline — the helpers are beyond the inliner's
+	// budget and this loop is the hottest part of replay.
+	lastPC, lastFID, lastInst := st.lastPC, st.lastFID, st.lastInst
 	for i := 0; i < rec.NumBanks; i++ {
 		if pos >= len(data) {
 			return pos, io.ErrUnexpectedEOF
@@ -401,43 +446,115 @@ func decodeRecord(data []byte, pos int, st *codecState, rec *Record) (int, error
 		b.Flush = bf&8 != 0
 		b.Exception = bf&16 != 0
 		if b.Valid {
-			if b.PC, pos, err = st.slicePC(data, pos); err != nil {
+			var u uint64
+			if pos < len(data) && data[pos] < 0x80 {
+				u = uint64(data[pos])
+				pos++
+			} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 				return pos, err
 			}
-			if b.FID, pos, err = st.sliceFID(data, pos); err != nil {
+			lastPC = uint64(int64(lastPC) + unzigzag(u))
+			b.PC = lastPC
+			if pos < len(data) && data[pos] < 0x80 {
+				u = uint64(data[pos])
+				pos++
+			} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 				return pos, err
 			}
-			if b.InstIndex, pos, err = st.sliceInst(data, pos); err != nil {
+			lastFID = uint64(int64(lastFID) + unzigzag(u))
+			b.FID = lastFID
+			if pos < len(data) && data[pos] < 0x80 {
+				u = uint64(data[pos])
+				pos++
+			} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 				return pos, err
 			}
+			lastInst += unzigzag(u)
+			b.InstIndex = int32(lastInst)
+		} else {
+			b.PC = 0
+			b.FID = 0
+			b.InstIndex = 0
 		}
+	}
+	for i := rec.NumBanks; i < prevBanks; i++ {
+		rec.Banks[i] = BankEntry{}
 	}
 	if rec.ExceptionRaised {
-		if rec.ExceptionPC, pos, err = st.slicePC(data, pos); err != nil {
+		var u uint64
+		if pos < len(data) && data[pos] < 0x80 {
+			u = uint64(data[pos])
+			pos++
+		} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 			return pos, err
 		}
-		if rec.ExceptionFID, pos, err = st.sliceFID(data, pos); err != nil {
+		lastPC = uint64(int64(lastPC) + unzigzag(u))
+		rec.ExceptionPC = lastPC
+		if pos < len(data) && data[pos] < 0x80 {
+			u = uint64(data[pos])
+			pos++
+		} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 			return pos, err
 		}
-		if rec.ExceptionInstIndex, pos, err = st.sliceInst(data, pos); err != nil {
+		lastFID = uint64(int64(lastFID) + unzigzag(u))
+		rec.ExceptionFID = lastFID
+		if pos < len(data) && data[pos] < 0x80 {
+			u = uint64(data[pos])
+			pos++
+		} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 			return pos, err
 		}
+		lastInst += unzigzag(u)
+		rec.ExceptionInstIndex = int32(lastInst)
+	} else {
+		rec.ExceptionPC = 0
+		rec.ExceptionFID = 0
+		rec.ExceptionInstIndex = 0
 	}
 	if rec.DispatchValid {
-		if rec.DispatchPC, pos, err = st.slicePC(data, pos); err != nil {
+		var u uint64
+		if pos < len(data) && data[pos] < 0x80 {
+			u = uint64(data[pos])
+			pos++
+		} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 			return pos, err
 		}
-		if rec.DispatchFID, pos, err = st.sliceFID(data, pos); err != nil {
+		lastPC = uint64(int64(lastPC) + unzigzag(u))
+		rec.DispatchPC = lastPC
+		if pos < len(data) && data[pos] < 0x80 {
+			u = uint64(data[pos])
+			pos++
+		} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 			return pos, err
 		}
-		if rec.DispatchInstIndex, pos, err = st.sliceInst(data, pos); err != nil {
+		lastFID = uint64(int64(lastFID) + unzigzag(u))
+		rec.DispatchFID = lastFID
+		if pos < len(data) && data[pos] < 0x80 {
+			u = uint64(data[pos])
+			pos++
+		} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 			return pos, err
 		}
+		lastInst += unzigzag(u)
+		rec.DispatchInstIndex = int32(lastInst)
+	} else {
+		rec.DispatchPC = 0
+		rec.DispatchFID = 0
+		rec.DispatchInstIndex = 0
 	}
 	if rec.AnyInFlight {
-		if rec.YoungestFID, pos, err = st.sliceFID(data, pos); err != nil {
+		var u uint64
+		if pos < len(data) && data[pos] < 0x80 {
+			u = uint64(data[pos])
+			pos++
+		} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
 			return pos, err
 		}
+		lastFID = uint64(int64(lastFID) + unzigzag(u))
+		rec.YoungestFID = lastFID
+	} else {
+		rec.YoungestFID = 0
 	}
+	st.lastPC, st.lastFID, st.lastInst = lastPC, lastFID, lastInst
 	return pos, nil
 }

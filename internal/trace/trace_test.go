@@ -264,6 +264,35 @@ func BenchmarkEncode(b *testing.B) {
 	w.Finish(uint64(b.N))
 }
 
+func BenchmarkDecodeRecord(b *testing.B) {
+	// Replay-side decode throughput over a realistic mixed stream:
+	// mostly committing records with small deltas, occasional gaps.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		rec := sampleRecord(uint64(i))
+		rec.Banks[1].PC = 0x10000 + uint64(i)*4
+		rec.Banks[1].FID = uint64(7 + i)
+		if i%17 == 0 { // idle cycle: no banks, nothing in flight
+			rec = Record{Cycle: uint64(i)}
+		}
+		w.OnCycle(&rec)
+	}
+	w.Finish(n)
+	if w.Err() != nil {
+		b.Fatal(w.Err())
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReplayBytes(data, &CountingConsumer{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTeeDispatch(b *testing.B) {
 	tee := &Tee{Consumers: []Consumer{&CountingConsumer{}, &CountingConsumer{}, &CountingConsumer{}}}
 	rec := sampleRecord(0)

@@ -75,7 +75,7 @@ func TestLoadDispatchesImagick(t *testing.T) {
 	}
 }
 
-func countDynInsts(t *testing.T, w *Workload, cap uint64) uint64 {
+func countDynInsts(t *testing.T, w *Workload, limit uint64) uint64 {
 	t.Helper()
 	it := w.Stream()
 	n := uint64(0)
@@ -85,8 +85,8 @@ func countDynInsts(t *testing.T, w *Workload, cap uint64) uint64 {
 			break
 		}
 		n++
-		if n > cap {
-			t.Fatalf("%s: stream exceeded %d instructions", w.Name, cap)
+		if n > limit {
+			t.Fatalf("%s: stream exceeded %d instructions", w.Name, limit)
 		}
 	}
 	return n

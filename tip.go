@@ -205,17 +205,17 @@ func CalibrateInterval(cycles, targetSamples uint64) uint64 {
 // capture feeds profilers the byte-identical record stream a live profiled
 // run would have seen.
 func CaptureWorkload(w *Workload, cfg CoreConfig) (*TraceCapture, CoreStats, error) {
-	cap := trace.NewCapture(0)
-	stats, err := newCore(cfg, w).Run(cap)
+	capt := trace.NewCapture(0)
+	stats, err := newCore(cfg, w).Run(capt)
 	if err != nil {
-		cap.Close()
+		capt.Close()
 		return nil, CoreStats{}, fmt.Errorf("tip: %s: %w", w.Name, err)
 	}
-	if err := cap.Err(); err != nil {
-		cap.Close()
+	if err := capt.Err(); err != nil {
+		capt.Close()
 		return nil, CoreStats{}, fmt.Errorf("tip: %s: capture: %w", w.Name, err)
 	}
-	return cap, stats, nil
+	return capt, stats, nil
 }
 
 // consumerMatrix is one evaluation's profiler fan-out, split into the
@@ -334,7 +334,7 @@ func (m *consumerMatrix) shards(workers int) []trace.Consumer {
 // sequential replay. ctx cancellation aborts a sharded replay between
 // chunks; the sequential path checks it only between phases. A nil ctx
 // means context.Background().
-func RunCaptured(ctx context.Context, w *Workload, cap *TraceCapture, stats CoreStats, rc RunConfig) (*Result, error) {
+func RunCaptured(ctx context.Context, w *Workload, capt *TraceCapture, stats CoreStats, rc RunConfig) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -351,9 +351,9 @@ func RunCaptured(ctx context.Context, w *Workload, cap *TraceCapture, stats Core
 	m := buildMatrix(w, rc, interval)
 	var err error
 	if rc.ReplayWorkers > 1 {
-		_, _, err = cap.ReplayShards(ctx, 0, m.shards(rc.ReplayWorkers)...)
+		_, _, err = capt.ReplayShards(ctx, 0, m.shards(rc.ReplayWorkers)...)
 	} else {
-		_, _, err = cap.Replay(m.dispatcher())
+		_, _, err = capt.Replay(m.dispatcher())
 	}
 	if err != nil {
 		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
@@ -383,12 +383,12 @@ func Run(w *Workload, rc RunConfig) (*Result, error) {
 		rc.TargetSamples = 4096
 	}
 	if rc.SampleInterval == 0 {
-		cap, stats, err := CaptureWorkload(w, rc.Core)
+		capt, stats, err := CaptureWorkload(w, rc.Core)
 		if err != nil {
 			return nil, err
 		}
-		defer cap.Close()
-		return RunCaptured(context.Background(), w, cap, stats, rc)
+		defer capt.Close()
+		return RunCaptured(context.Background(), w, capt, stats, rc)
 	}
 
 	m := buildMatrix(w, rc, rc.SampleInterval)
