@@ -196,6 +196,11 @@ func suiteNames(opt experiments.Options) []string {
 	return allNames()
 }
 
+// benchJSONSchemaVersion versions the -benchjson report layout. Bump it when
+// removing or re-meaning fields; consumers must tolerate unknown fields so
+// additions don't need a bump.
+const benchJSONSchemaVersion = 1
+
 // writeBenchJSON emits the machine-readable suite timing consumed by the CI
 // benchmark job (BENCH_3.json): wall-clock with its capture/replay phase
 // split, simulated throughput, and how many cycle-level simulations the
@@ -206,6 +211,7 @@ func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing expe
 		totalCycles += ev.Cycles
 	}
 	report := struct {
+		SchemaVersion  int     `json:"schema_version"`
 		Benchmarks     int     `json:"benchmarks"`
 		Simulations    uint64  `json:"simulations"`
 		SuiteSeconds   float64 `json:"suite_seconds"`
@@ -216,6 +222,7 @@ func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing expe
 		CyclesPerSec   float64 `json:"cycles_per_sec"`
 		SimsPerBench   float64 `json:"simulations_per_benchmark"`
 	}{
+		SchemaVersion:  benchJSONSchemaVersion,
 		Benchmarks:     len(evals),
 		Simulations:    sims,
 		SuiteSeconds:   timing.Wall.Seconds(),

@@ -1,0 +1,86 @@
+// Command tipd is the TIP profiling daemon: a long-running HTTP service
+// that accepts profiling jobs, runs them on a bounded worker pool over the
+// capture/replay pipeline, and serves the results as JSON profiles or
+// gzipped pprof protobufs.
+//
+// This is the paper's §3.1 deployment model as a service: the simulator
+// stands in for the TIP hardware, tipd plays the role of the perf server
+// that records samples online and rebuilds profiles offline on demand.
+// Repeated jobs for the same (bench, seed, scale, core) reuse the cached
+// capture and skip the cycle-level simulation entirely.
+//
+// Example:
+//
+//	tipd -listen :7171 -spill-dir /var/tmp/tipd &
+//	curl -s localhost:7171/v1/jobs -d '{"bench":"imagick","scale":200000}'
+//	curl -s localhost:7171/v1/jobs/j00000001
+//	curl -s -o prof.pb.gz localhost:7171/v1/jobs/j00000001/pprof?profiler=TIP
+//	go tool pprof -top prof.pb.gz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tipprof/tip/internal/server"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:7171", "address to serve HTTP on")
+		workers      = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 16, "max queued jobs before submissions get 429")
+		cacheEntries = flag.Int("cache-entries", 8, "max captures kept in the in-memory cache")
+		cacheMB      = flag.Int64("cache-mb", 1024, "max megabytes of encoded captures cached")
+		spillDir     = flag.String("spill-dir", "", "persist the capture cache here across restarts (empty = off)")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job execution deadline")
+		retain       = flag.Int("retain", 256, "finished jobs kept for retrieval")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before aborting them")
+	)
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      uint64(*cacheMB) << 20,
+		SpillDir:        *spillDir,
+		JobTimeout:      *jobTimeout,
+		MaxRetainedJobs: *retain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tipd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *listen, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("tipd: serving on %s", *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("tipd: %s received, draining (timeout %s)", sig, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "tipd:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	hs.Shutdown(ctx)
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("tipd: shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("tipd: drained cleanly")
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/tipprof/tip/internal/perfdata"
+	"github.com/tipprof/tip/internal/pprofenc"
 	"github.com/tipprof/tip/internal/workload"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		top   = flag.Int("top", 10, "functions to print")
 		fn    = flag.String("fn", "", "print the instruction profile of this function")
 		insts = flag.Int("insts", 0, "print the N hottest instructions")
+		pprof = flag.String("pprof", "", "also write the profile as a gzipped pprof protobuf to this file (open with `go tool pprof`)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -54,6 +56,25 @@ func main() {
 	prof, cats, err := perfdata.Postprocess(perfdata.NewReader(f), w.Prog)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *pprof != "" {
+		// Same encoding the tipd daemon serves at /v1/jobs/{id}/pprof.
+		// Raw TIP samples carry per-sample periods, so no single period
+		// is recorded in the pprof header.
+		out, err := os.Create(*pprof)
+		if err != nil {
+			fatal(err)
+		}
+		opt := pprofenc.JobOptions(*bench, *seed, *scale, "TIP", 0)
+		if err := pprofenc.Write(out, prof, opt); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote pprof profile to %s\n", *pprof)
 	}
 
 	fmt.Printf("%s: %.0f cycles attributed across %d instructions\n",

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -389,9 +390,24 @@ var runsStarted atomic.Uint64
 // RunsStarted returns the process-wide count of Core.Run invocations.
 func RunsStarted() uint64 { return runsStarted.Load() }
 
+// cancelMask gates how often RunContext polls its context: every
+// cancelMask+1 cycles. Simulated cores retire millions of cycles per second,
+// so an 8K-cycle granularity cancels within microseconds of wall-clock while
+// keeping the poll invisible in the hot loop.
+const cancelMask = 8191
+
 // Run simulates until the program finishes (or MaxCycles), emitting one
 // trace record per cycle to consumer. It returns the final statistics.
 func (c *Core) Run(consumer trace.Consumer) (Stats, error) {
+	return c.RunContext(nil, consumer)
+}
+
+// RunContext is Run with cooperative cancellation: every few thousand cycles
+// it polls ctx and, if cancelled, abandons the simulation and returns
+// ctx's error (wrapped). A nil ctx disables polling entirely — Run's hot
+// loop stays branch-predictable. The consumer's Finish is not delivered on
+// cancellation; a partially-fed capture must be Closed by the caller.
+func (c *Core) RunContext(ctx context.Context, consumer trace.Consumer) (Stats, error) {
 	runsStarted.Add(1)
 	var rec trace.Record
 	cycle := uint64(0)
@@ -399,6 +415,11 @@ func (c *Core) Run(consumer trace.Consumer) (Stats, error) {
 	for {
 		if c.cfg.MaxCycles > 0 && cycle > c.cfg.MaxCycles {
 			return c.stats, fmt.Errorf("cpu: exceeded MaxCycles=%d (committed %d)", c.cfg.MaxCycles, c.stats.Committed)
+		}
+		if ctx != nil && cycle&cancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return c.stats, fmt.Errorf("cpu: run aborted at cycle %d: %w", cycle, err)
+			}
 		}
 		done := c.step(cycle, &rec)
 		if consumer != nil {

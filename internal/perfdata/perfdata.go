@@ -121,21 +121,44 @@ func (w *Writer) Count() uint64 { return w.n }
 // Err returns the first write error.
 func (w *Writer) Err() error { return w.err }
 
+// ErrTruncated reports a sample file that ends mid-record — typically an
+// interrupted recording. It unwraps to io.ErrUnexpectedEOF so existing
+// errors.Is checks keep working.
+type ErrTruncated struct {
+	// Record is the zero-based index of the record that was cut short
+	// (equivalently: the number of complete records before the cut).
+	Record uint64
+}
+
+func (e *ErrTruncated) Error() string {
+	return fmt.Sprintf("perfdata: truncated sample file: record %d cut short after %d complete records", e.Record, e.Record)
+}
+
+func (e *ErrTruncated) Unwrap() error { return io.ErrUnexpectedEOF }
+
 // Reader decodes a sample file.
 type Reader struct {
 	r       io.Reader
 	buf     [RecordBytes]byte
 	readHdr bool
+	count   uint64
 }
 
 // NewReader returns a sample reader.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
-// Next reads the next sample; io.EOF at end of file.
+// Count returns the number of complete samples decoded so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Next reads the next sample; io.EOF at end of file, *ErrTruncated if the
+// file ends mid-record.
 func (r *Reader) Next(s *Sample) error {
 	if !r.readHdr {
 		hdr := make([]byte, len(Magic))
 		if _, err := io.ReadFull(r.r, hdr); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return &ErrTruncated{Record: 0}
+			}
 			return err
 		}
 		if string(hdr) != Magic {
@@ -145,10 +168,11 @@ func (r *Reader) Next(s *Sample) error {
 	}
 	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return io.ErrUnexpectedEOF
+			return &ErrTruncated{Record: r.count}
 		}
 		return err
 	}
+	r.count++
 	le := binary.LittleEndian
 	b := r.buf[:]
 	s.Core = le.Uint32(b[0:])

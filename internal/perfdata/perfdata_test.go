@@ -2,6 +2,7 @@ package perfdata
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math"
 	"testing"
@@ -71,15 +72,48 @@ func TestReaderBadMagic(t *testing.T) {
 }
 
 func TestReaderTruncated(t *testing.T) {
+	// Three complete records, then cut the file mid-way through the third:
+	// the reader must fail with a typed *ErrTruncated naming record 2.
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
-	s := Sample{Cycle: 5, ValidMask: 1}
-	w.Write(&s)
+	for i := 0; i < 3; i++ {
+		s := Sample{Cycle: uint64(5 + i), ValidMask: 1}
+		w.Write(&s)
+	}
 	data := buf.Bytes()[:buf.Len()-10]
 	r := NewReader(bytes.NewReader(data))
 	var got Sample
-	if err := r.Next(&got); err == nil {
+	for i := 0; i < 2; i++ {
+		if err := r.Next(&got); err != nil {
+			t.Fatalf("complete record %d: %v", i, err)
+		}
+	}
+	err := r.Next(&got)
+	if err == nil {
 		t.Fatal("truncated record decoded")
+	}
+	var trunc *ErrTruncated
+	if !errors.As(err, &trunc) {
+		t.Fatalf("err = %v (%T), want *ErrTruncated", err, err)
+	}
+	if trunc.Record != 2 {
+		t.Fatalf("truncated record index = %d, want 2", trunc.Record)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("reader count = %d, want 2", r.Count())
+	}
+	// Pre-existing callers matching the sentinel still work.
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatal("ErrTruncated does not unwrap to io.ErrUnexpectedEOF")
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	r := NewReader(bytes.NewBufferString(Magic[:4]))
+	var s Sample
+	var trunc *ErrTruncated
+	if err := r.Next(&s); !errors.As(err, &trunc) || trunc.Record != 0 {
+		t.Fatalf("partial header: err = %v, want *ErrTruncated{Record: 0}", err)
 	}
 }
 

@@ -1,0 +1,332 @@
+package pprofenc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// testProfile builds a deterministic synthetic profile over a real workload
+// program: every 7th instruction gets a fractional cycle weight.
+func testProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	w, err := workload.LoadScaled("x264", 1, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.New(w.Prog)
+	for i := 0; i < w.Prog.NumInsts(); i += 7 {
+		p.Add(int32(i), float64(i)*1.5+0.25)
+	}
+	p.TotalCycles = p.Attributed()
+	return p
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	p := testProfile(t)
+	opt := JobOptions("x264", 1, 30_000, "TIP", 1009)
+	a, err := Encode(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same profile and options encoded to different bytes")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty encoding")
+	}
+}
+
+// TestEncodeRoundTrip decodes the wire format with a minimal protobuf walker
+// and checks the per-function cycle attribution survives the encoding.
+func TestEncodeRoundTrip(t *testing.T) {
+	p := testProfile(t)
+	data, err := Encode(p, JobOptions("x264", 1, 30_000, "Oracle", 997))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := decodeProfile(t, data)
+
+	if dec.strings[0] != "" {
+		t.Fatalf("string table must start with empty string, got %q", dec.strings[0])
+	}
+	if dec.period != 997 {
+		t.Fatalf("period = %d, want 997", dec.period)
+	}
+	if got := dec.strings[dec.sampleTypeID]; got != "cycles" {
+		t.Fatalf("sample type = %q, want cycles", got)
+	}
+	if len(dec.comments) != 1 || !strings.Contains(dec.comments[0], "profiler=Oracle") {
+		t.Fatalf("comments = %q", dec.comments)
+	}
+
+	// Expected per-function totals: round each instruction's cycles like the
+	// encoder does, then sum by function.
+	want := map[string]int64{}
+	p.EachNonZero(func(idx int, cycles float64) {
+		fn := p.Prog.InstByIndex(idx).Func().Name
+		want[fn] += int64(math.Round(cycles))
+	})
+
+	got := map[string]int64{}
+	nSamples := 0
+	for _, s := range dec.samples {
+		nSamples++
+		if len(s.locIDs) != 1 || len(s.values) != 1 {
+			t.Fatalf("sample has %d locations, %d values; want 1, 1", len(s.locIDs), len(s.values))
+		}
+		loc, ok := dec.locations[s.locIDs[0]]
+		if !ok {
+			t.Fatalf("sample references unknown location %d", s.locIDs[0])
+		}
+		fn, ok := dec.functions[loc.funcID]
+		if !ok {
+			t.Fatalf("location %d references unknown function %d", s.locIDs[0], loc.funcID)
+		}
+		got[dec.strings[fn.nameID]] += s.values[0]
+
+		// The location address must be the instruction's PC.
+		in := p.Prog.InstByIndex(int(s.locIDs[0] - 1))
+		if loc.address != in.PC {
+			t.Fatalf("location %d address %#x, want PC %#x", s.locIDs[0], loc.address, in.PC)
+		}
+	}
+	if nSamples == 0 {
+		t.Fatal("no samples decoded")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d functions, want %d", len(got), len(want))
+	}
+	for fn, w := range want {
+		if got[fn] != w {
+			t.Fatalf("function %s: decoded %d cycles, want %d", fn, got[fn], w)
+		}
+	}
+}
+
+// TestGoToolPprofReads shells out to `go tool pprof -top` to prove the
+// emitted file opens in the real toolchain. Skipped when no go binary is on
+// PATH (e.g. stripped-down CI runners executing a prebuilt test binary).
+func TestGoToolPprofReads(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	p := testProfile(t)
+	data, err := Encode(p, JobOptions("x264", 1, 30_000, "TIP", 1009))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prof.pb.gz")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(goBin, "tool", "pprof", "-top", "-nodecount", "5", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -top failed: %v\n%s", err, out)
+	}
+	// The hottest function by rounded cycles must appear in the report.
+	var hot string
+	var hotV int64
+	agg := map[string]int64{}
+	p.EachNonZero(func(idx int, cycles float64) {
+		fn := p.Prog.InstByIndex(idx).Func().Name
+		agg[fn] += int64(math.Round(cycles))
+		if agg[fn] > hotV {
+			hot, hotV = fn, agg[fn]
+		}
+	})
+	if !strings.Contains(string(out), hot) {
+		t.Fatalf("pprof -top output does not mention hottest function %q:\n%s", hot, out)
+	}
+}
+
+// --- minimal pprof wire decoder for tests ----------------------------------
+
+type decSample struct {
+	locIDs []uint64
+	values []int64
+}
+
+type decLocation struct {
+	address uint64
+	funcID  uint64
+}
+
+type decFunction struct {
+	nameID int64
+}
+
+type decoded struct {
+	strings      []string
+	samples      []decSample
+	locations    map[uint64]decLocation
+	functions    map[uint64]decFunction
+	sampleTypeID int64
+	period       int64
+	comments     []string
+	commentIDs   []int64
+}
+
+func decodeProfile(t *testing.T, gz []byte) *decoded {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatalf("not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	d := &decoded{
+		locations: map[uint64]decLocation{},
+		functions: map[uint64]decFunction{},
+	}
+	walkFields(t, raw, func(field int, wire int, v uint64, body []byte) {
+		switch field {
+		case 1: // sample_type
+			walkFields(t, body, func(f, _ int, v uint64, _ []byte) {
+				if f == 1 {
+					d.sampleTypeID = int64(v)
+				}
+			})
+		case 2: // sample
+			var s decSample
+			walkFields(t, body, func(f, w int, v uint64, b []byte) {
+				switch f {
+				case 1:
+					s.locIDs = append(s.locIDs, packedOrScalar(t, w, v, b)...)
+				case 2:
+					for _, u := range packedOrScalar(t, w, v, b) {
+						s.values = append(s.values, int64(u))
+					}
+				}
+			})
+			d.samples = append(d.samples, s)
+		case 4: // location
+			var id uint64
+			var loc decLocation
+			walkFields(t, body, func(f, _ int, v uint64, b []byte) {
+				switch f {
+				case 1:
+					id = v
+				case 3:
+					loc.address = v
+				case 4: // line
+					walkFields(t, b, func(lf, _ int, lv uint64, _ []byte) {
+						if lf == 1 {
+							loc.funcID = lv
+						}
+					})
+				}
+			})
+			d.locations[id] = loc
+		case 5: // function
+			var id uint64
+			var fn decFunction
+			walkFields(t, body, func(f, _ int, v uint64, _ []byte) {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					fn.nameID = int64(v)
+				}
+			})
+			d.functions[id] = fn
+		case 6: // string table
+			d.strings = append(d.strings, string(body))
+		case 12:
+			d.period = int64(v)
+		case 13:
+			d.commentIDs = append(d.commentIDs, int64(v))
+		}
+	})
+	for _, id := range d.commentIDs {
+		if id < 0 || int(id) >= len(d.strings) {
+			t.Fatalf("comment index %d out of string table range", id)
+		}
+		d.comments = append(d.comments, d.strings[id])
+	}
+	return d
+}
+
+// walkFields iterates a protobuf message's fields. For wire type 0 the value
+// is passed as v; for wire type 2 the payload is passed as body.
+func walkFields(t *testing.T, data []byte, f func(field, wire int, v uint64, body []byte)) {
+	t.Helper()
+	pos := 0
+	for pos < len(data) {
+		tag, n := uvarint(data[pos:])
+		if n <= 0 {
+			t.Fatalf("bad tag varint at %d", pos)
+		}
+		pos += n
+		field, wire := int(tag>>3), int(tag&7)
+		switch wire {
+		case 0:
+			v, n := uvarint(data[pos:])
+			if n <= 0 {
+				t.Fatalf("bad varint at %d", pos)
+			}
+			pos += n
+			f(field, wire, v, nil)
+		case 2:
+			l, n := uvarint(data[pos:])
+			if n <= 0 {
+				t.Fatalf("bad length at %d", pos)
+			}
+			pos += n
+			if pos+int(l) > len(data) {
+				t.Fatalf("field %d overruns buffer", field)
+			}
+			f(field, wire, 0, data[pos:pos+int(l)])
+			pos += int(l)
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+}
+
+// packedOrScalar reads a repeated varint field that may arrive packed
+// (wire 2) or as a single scalar (wire 0).
+func packedOrScalar(t *testing.T, wire int, v uint64, body []byte) []uint64 {
+	t.Helper()
+	if wire == 0 {
+		return []uint64{v}
+	}
+	var out []uint64
+	pos := 0
+	for pos < len(body) {
+		u, n := uvarint(body[pos:])
+		if n <= 0 {
+			t.Fatalf("bad packed varint at %d", pos)
+		}
+		out = append(out, u)
+		pos += n
+	}
+	return out
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

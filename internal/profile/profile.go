@@ -117,6 +117,18 @@ func (p *Profile) Add(idx int32, w float64) {
 	p.InstCycles[idx] += w
 }
 
+// EachNonZero calls f for every instruction index with a nonzero attributed
+// cycle count, in ascending index order. It is the export hook encoders
+// (internal/pprofenc) iterate with: index order makes the emitted artifact
+// deterministic without materializing an intermediate slice.
+func (p *Profile) EachNonZero(f func(idx int, cycles float64)) {
+	for i, v := range p.InstCycles {
+		if v != 0 {
+			f(i, v)
+		}
+	}
+}
+
 // Attributed returns the total attributed cycles.
 func (p *Profile) Attributed() float64 {
 	s := 0.0

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// coreConfigHash fingerprints a core configuration for capture-cache keying:
+// two configurations with the same rendered parameter set produce
+// byte-identical traces, so their captures are interchangeable.
+func coreConfigHash(cfg cpu.Config) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%+v", cfg)))
+	return hex.EncodeToString(h[:8])
+}
+
+// captureKey names one cached capture: the full simulation input.
+type captureKey struct {
+	Bench string `json:"bench"`
+	Seed  uint64 `json:"seed"`
+	Scale uint64 `json:"scale"`
+	Core  string `json:"core"`
+}
+
+// id is the map key and spill-file basename. The hex core hash keeps it
+// filesystem-safe; bench names are lowercase alphanumerics.
+func (k captureKey) id() string {
+	return fmt.Sprintf("%s-%d-%d-%s", k.Bench, k.Seed, k.Scale, k.Core)
+}
+
+// cacheEntry is one cached capture plus the stats of the run that produced
+// it (needed to calibrate replays). Entries are refcounted: replays hold a
+// ref while streaming, and an entry evicted under load is only Closed once
+// the last ref drops.
+type cacheEntry struct {
+	key     captureKey
+	capture *trace.Capture
+	stats   cpu.Stats
+	bytes   uint64
+	refs    int
+	dead    bool
+	elem    *list.Element
+}
+
+// captureFn performs the cycle-level simulation on a cache miss.
+type captureFn func(ctx context.Context) (*trace.Capture, cpu.Stats, error)
+
+// captureCache is the LRU capture cache with singleflight capture dedup:
+// repeated jobs for the same (bench, seed, scale, core) skip the simulation
+// entirely and only replay, and concurrent identical misses perform exactly
+// one simulation between them.
+type captureCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   uint64
+	bytes      uint64
+	ll         *list.List // front = most recently used
+	byKey      map[string]*cacheEntry
+	flights    map[string]chan struct{} // closed when the leader finishes
+	hits       uint64
+	misses     uint64
+}
+
+func newCaptureCache(maxEntries int, maxBytes uint64) *captureCache {
+	return &captureCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		byKey:      map[string]*cacheEntry{},
+		flights:    map[string]chan struct{}{},
+	}
+}
+
+// getOrCapture returns a ref-held entry for key, running fn on a miss. When
+// a concurrent caller is already capturing the same key, it waits for that
+// flight and reuses the result (counted as a hit: the simulation was
+// shared). The caller must release() the entry when done replaying.
+func (c *captureCache) getOrCapture(ctx context.Context, key captureKey, fn captureFn) (ent *cacheEntry, hit bool, err error) {
+	id := key.id()
+	for {
+		c.mu.Lock()
+		if ent := c.byKey[id]; ent != nil {
+			ent.refs++
+			c.ll.MoveToFront(ent.elem)
+			c.hits++
+			c.mu.Unlock()
+			return ent, true, nil
+		}
+		if fl := c.flights[id]; fl != nil {
+			c.mu.Unlock()
+			// Another job is simulating this key right now; wait and
+			// re-check. If the leader fails (or is cancelled), the retry
+			// loop promotes this waiter to leader.
+			select {
+			case <-fl:
+				continue
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		// Miss: become the capture leader.
+		fl := make(chan struct{})
+		c.flights[id] = fl
+		c.misses++
+		c.mu.Unlock()
+
+		capt, stats, err := fn(ctx)
+
+		c.mu.Lock()
+		delete(c.flights, id)
+		if err != nil {
+			c.mu.Unlock()
+			close(fl)
+			return nil, false, err
+		}
+		ent := &cacheEntry{
+			key:     key,
+			capture: capt,
+			stats:   stats,
+			bytes:   capt.Bytes(),
+			refs:    1,
+		}
+		c.insertLocked(ent)
+		c.mu.Unlock()
+		close(fl)
+		return ent, false, nil
+	}
+}
+
+// insertLocked adds ent at the LRU front and evicts past capacity. Callers
+// hold c.mu.
+func (c *captureCache) insertLocked(ent *cacheEntry) {
+	ent.elem = c.ll.PushFront(ent)
+	c.byKey[ent.key.id()] = ent
+	c.bytes += ent.bytes
+	for c.ll.Len() > 1 &&
+		((c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		oldest := c.ll.Back()
+		c.evictLocked(oldest.Value.(*cacheEntry))
+	}
+}
+
+// evictLocked unlinks ent; the capture closes now or, if replays still hold
+// refs, when the last one releases.
+func (c *captureCache) evictLocked(ent *cacheEntry) {
+	c.ll.Remove(ent.elem)
+	delete(c.byKey, ent.key.id())
+	c.bytes -= ent.bytes
+	ent.dead = true
+	if ent.refs == 0 {
+		ent.capture.Close()
+	}
+}
+
+// release drops one ref taken by getOrCapture.
+func (c *captureCache) release(ent *cacheEntry) {
+	c.mu.Lock()
+	ent.refs--
+	if ent.dead && ent.refs == 0 {
+		ent.capture.Close()
+	}
+	c.mu.Unlock()
+}
+
+// counters returns (hits, misses, entries, bytes) for /metrics.
+func (c *captureCache) counters() (hits, misses uint64, entries int, bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.bytes
+}
+
+// spillMeta is the JSON sidecar persisted next to each spilled capture.
+type spillMeta struct {
+	Key     captureKey `json:"key"`
+	Records uint64     `json:"records"`
+	Cycles  uint64     `json:"cycles"`
+	Stats   cpu.Stats  `json:"stats"`
+}
+
+// persist writes every live entry to dir as <id>.trc (the encoded stream,
+// exactly what Capture.WriteTo emits) plus <id>.json (the sidecar), so a
+// restarted daemon starts warm. Entries are written most-recently-used
+// first so a truncated persist keeps the hottest captures.
+func (c *captureCache) persist(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	ents := make([]*cacheEntry, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*cacheEntry)
+		ent.refs++ // pin against concurrent eviction while writing
+		ents = append(ents, ent)
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, ent := range ents {
+		if err := writeSpill(dir, ent); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.release(ent)
+	}
+	return firstErr
+}
+
+func writeSpill(dir string, ent *cacheEntry) error {
+	id := ent.key.id()
+	trcPath := filepath.Join(dir, id+".trc")
+	f, err := os.Create(trcPath)
+	if err != nil {
+		return err
+	}
+	if _, err := ent.capture.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(trcPath)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(trcPath)
+		return err
+	}
+	meta := spillMeta{
+		Key:     ent.key,
+		Records: ent.capture.Records(),
+		Cycles:  ent.capture.Cycles(),
+		Stats:   ent.stats,
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".json"), append(data, '\n'), 0o644)
+}
+
+// load restores persisted captures from dir (written by persist). Unknown
+// or unreadable files are skipped — the spill directory is a cache, not a
+// durability contract.
+func (c *captureCache) load(dir string) error {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var metas []string
+	for _, de := range names {
+		if strings.HasSuffix(de.Name(), ".json") {
+			metas = append(metas, de.Name())
+		}
+	}
+	sort.Strings(metas)
+	for _, name := range metas {
+		var meta spillMeta
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil || json.Unmarshal(data, &meta) != nil {
+			continue
+		}
+		enc, err := os.ReadFile(filepath.Join(dir, meta.Key.id()+".trc"))
+		if err != nil {
+			continue
+		}
+		capt, err := trace.NewCaptureFromEncoded(enc, meta.Records, meta.Cycles)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if _, dup := c.byKey[meta.Key.id()]; dup {
+			c.mu.Unlock()
+			continue
+		}
+		c.insertLocked(&cacheEntry{
+			key:     meta.Key,
+			capture: capt,
+			stats:   meta.Stats,
+			bytes:   capt.Bytes(),
+		})
+		c.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/experiments"
+	"github.com/tipprof/tip/internal/profile"
+	"github.com/tipprof/tip/internal/profiler"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// Job states.
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// JobSpec is the body of POST /v1/jobs: which benchmark to profile and how.
+type JobSpec struct {
+	// Bench is the benchmark name (required; see tipsim -list).
+	Bench string `json:"bench"`
+	// Seed is the workload seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale is the approximate dynamic-instruction budget (0 = full).
+	Scale uint64 `json:"scale,omitempty"`
+	// Profilers restricts the sampled-profiler set (default: all).
+	Profilers []string `json:"profilers,omitempty"`
+	// Granularity selects the error-reporting symbol level:
+	// "instruction" (default), "block", or "function".
+	Granularity string `json:"granularity,omitempty"`
+	// TargetSamples calibrates the sampling interval (default 4096).
+	TargetSamples uint64 `json:"target_samples,omitempty"`
+	// ReplayWorkers fans the replay out over this many goroutines
+	// (default 2 — sharded replays cancel between chunks, so DELETE
+	// aborts promptly; results are byte-identical at any count).
+	ReplayWorkers int `json:"replay_workers,omitempty"`
+}
+
+// normalize validates the spec, applies defaults, and resolves the parsed
+// profiler kinds and granularity.
+func (sp *JobSpec) normalize() ([]profiler.Kind, profile.Granularity, error) {
+	if sp.Bench == "" {
+		return nil, 0, fmt.Errorf("bench is required")
+	}
+	if !validBench(sp.Bench) {
+		return nil, 0, fmt.Errorf("unknown benchmark %q", sp.Bench)
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.ReplayWorkers == 0 {
+		sp.ReplayWorkers = 2
+	}
+	if sp.ReplayWorkers < 1 || sp.ReplayWorkers > 16 {
+		return nil, 0, fmt.Errorf("replay_workers %d out of range [1,16]", sp.ReplayWorkers)
+	}
+	var kinds []profiler.Kind
+	if len(sp.Profilers) > 0 {
+		byName := map[string]profiler.Kind{}
+		for _, k := range profiler.AllKinds() {
+			byName[strings.ToLower(k.String())] = k
+		}
+		for _, name := range sp.Profilers {
+			k, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+			if !ok {
+				return nil, 0, fmt.Errorf("unknown profiler %q", name)
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	var gran profile.Granularity
+	switch strings.ToLower(sp.Granularity) {
+	case "", "instruction":
+		gran = profile.GranInstruction
+		sp.Granularity = "instruction"
+	case "block", "basic-block":
+		gran = profile.GranBlock
+		sp.Granularity = "block"
+	case "function":
+		gran = profile.GranFunction
+	default:
+		return nil, 0, fmt.Errorf("unknown granularity %q (instruction, block, function)", sp.Granularity)
+	}
+	return kinds, gran, nil
+}
+
+func validBench(name string) bool {
+	if name == "imagick-opt" {
+		return true
+	}
+	_, ok := workload.ByName(name)
+	return ok
+}
+
+// job is one profiling job's full lifecycle. Mutable fields are guarded by
+// the owning Server's mu.
+type job struct {
+	id   string
+	spec JobSpec
+
+	kinds []profiler.Kind
+	gran  profile.Granularity
+
+	state    string
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	cacheHit bool
+	// timing reuses the experiments phase-split struct: capture vs replay
+	// wall-clock plus the replay worker count actually used.
+	timing experiments.Timing
+
+	outcome *jobOutcome
+}
+
+// jobOutcome is what a successful execution hands back to the server.
+type jobOutcome struct {
+	res      *tip.Result
+	cacheHit bool
+	timing   experiments.Timing
+}
+
+// executeJob is the real job runner: resolve the capture through the cache
+// (simulating only on a miss), then replay the profiler matrix from the
+// capture. Cancelling ctx aborts either phase.
+func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
+	spec := jb.spec
+	w, err := workload.LoadScaled(spec.Bench, spec.Seed, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	key := captureKey{Bench: spec.Bench, Seed: spec.Seed, Scale: spec.Scale, Core: s.coreHash}
+	out := &jobOutcome{}
+	capStart := time.Now()
+	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, tip.CoreStats, error) {
+		return tip.CaptureWorkloadContext(ctx, w, s.cfg.Core)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.cache.release(ent)
+	out.cacheHit = hit
+	out.timing.Capture = time.Since(capStart)
+
+	rc := tip.DefaultRunConfig()
+	rc.Core = s.cfg.Core
+	rc.Profilers = jb.kinds
+	rc.TargetSamples = spec.TargetSamples
+	rc.ReplayWorkers = spec.ReplayWorkers
+	out.timing.ReplayWorkers = spec.ReplayWorkers
+	repStart := time.Now()
+	res, err := tip.RunCaptured(ctx, w, ent.capture, ent.stats, rc)
+	out.timing.Replay = time.Since(repStart)
+	if err != nil {
+		return nil, err
+	}
+	out.res = res
+	return out, nil
+}
+
+// --- JSON views ------------------------------------------------------------
+
+// TimingView is a job's phase split in seconds.
+type TimingView struct {
+	CaptureSeconds float64 `json:"capture_seconds"`
+	ReplaySeconds  float64 `json:"replay_seconds"`
+	ReplayWorkers  int     `json:"replay_workers"`
+}
+
+// FuncShare is one row of a function-granularity profile.
+type FuncShare struct {
+	Name   string  `json:"name"`
+	Cycles float64 `json:"cycles"`
+	Share  float64 `json:"share"`
+}
+
+// ResultView is a completed job's evaluation summary: run statistics, the
+// Oracle cycle stack, per-profiler errors at the requested granularity, and
+// function-granularity profiles for Oracle and every modelled profiler.
+type ResultView struct {
+	Cycles         uint64                 `json:"cycles"`
+	Committed      uint64                 `json:"committed"`
+	IPC            float64                `json:"ipc"`
+	SampleInterval uint64                 `json:"sample_interval"`
+	Class          string                 `json:"class"`
+	CycleStack     map[string]float64     `json:"cycle_stack"`
+	Errors         map[string]float64     `json:"errors"`
+	Profiles       map[string][]FuncShare `json:"profiles"`
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID       string      `json:"id"`
+	State    string      `json:"state"`
+	Spec     JobSpec     `json:"spec"`
+	Error    string      `json:"error,omitempty"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+	CacheHit bool        `json:"cache_hit"`
+	Timing   *TimingView `json:"timing,omitempty"`
+	Result   *ResultView `json:"result,omitempty"`
+}
+
+// view renders jb; the caller holds s.mu.
+func (s *Server) view(jb *job) JobView {
+	v := JobView{
+		ID:       jb.id,
+		State:    jb.state,
+		Spec:     jb.spec,
+		Error:    jb.errMsg,
+		Created:  jb.created,
+		CacheHit: jb.cacheHit,
+	}
+	if !jb.started.IsZero() {
+		t := jb.started
+		v.Started = &t
+	}
+	if !jb.finished.IsZero() {
+		t := jb.finished
+		v.Finished = &t
+	}
+	if jb.state == stateDone || jb.state == stateFailed {
+		v.Timing = &TimingView{
+			CaptureSeconds: jb.timing.Capture.Seconds(),
+			ReplaySeconds:  jb.timing.Replay.Seconds(),
+			ReplayWorkers:  jb.timing.ReplayWorkers,
+		}
+	}
+	if jb.outcome != nil && jb.outcome.res != nil {
+		v.Result = resultView(jb.outcome.res, jb.gran)
+	}
+	return v
+}
+
+func resultView(res *tip.Result, gran profile.Granularity) *ResultView {
+	stack := res.Stack()
+	norm := stack.Normalized()
+	rv := &ResultView{
+		Cycles:         res.Stats.Cycles,
+		Committed:      res.Stats.Committed,
+		IPC:            res.Stats.IPC(),
+		SampleInterval: res.SampleInterval,
+		Class:          stack.Class(),
+		CycleStack:     map[string]float64{},
+		Errors:         map[string]float64{},
+		Profiles:       map[string][]FuncShare{},
+	}
+	for i, frac := range norm {
+		rv.CycleStack[profile.Category(i).String()] = frac
+	}
+	for k := range res.Sampled {
+		rv.Errors[k.String()] = res.Err(k, gran)
+	}
+	rv.Profiles["Oracle"] = funcShares(res.Oracle.Profile)
+	for k, sp := range res.Sampled {
+		rv.Profiles[k.String()] = funcShares(sp.Profile)
+	}
+	return rv
+}
+
+// funcShares aggregates a profile to function granularity (application code
+// only, like the paper's evaluation).
+func funcShares(p *profile.Profile) []FuncShare {
+	agg := p.Aggregate(profile.GranFunction, true)
+	total := 0.0
+	for _, v := range agg {
+		total += v
+	}
+	out := []FuncShare{}
+	for i, v := range agg {
+		if v == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = v / total
+		}
+		out = append(out, FuncShare{Name: p.Prog.Funcs[i].Name, Cycles: v, Share: share})
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// histBuckets are the shared latency buckets (seconds) for the capture and
+// replay phase histograms: captures of scaled benchmarks land in the
+// sub-second range, full-scale suites in the tens of seconds.
+var histBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// histogram is a fixed-bucket Prometheus histogram.
+type histogram struct {
+	counts []uint64 // cumulative at write time; stored per-bucket here
+	sum    float64
+	count  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(histBuckets))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, ub := range histBuckets {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+}
+
+// write renders the histogram in Prometheus text exposition format.
+func (h *histogram) write(w io.Writer, name string) {
+	cum := uint64(0)
+	for i, ub := range histBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// metrics aggregates the daemon's counters. Gauges (queue depth, running
+// jobs, cache occupancy) are read live from server state at scrape time.
+type metrics struct {
+	mu             sync.Mutex
+	jobsTotal      map[string]uint64 // by terminal state
+	accepted       uint64
+	rejected       uint64 // 429 admission rejections
+	captureSeconds *histogram
+	replaySeconds  *histogram
+	simCycles      uint64 // cycles simulated by cache-miss captures
+	replayCycles   uint64 // cycles streamed through replays
+	lastCPS        float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		jobsTotal:      map[string]uint64{},
+		captureSeconds: newHistogram(),
+		replaySeconds:  newHistogram(),
+	}
+}
+
+func (m *metrics) jobAccepted() {
+	m.mu.Lock()
+	m.accepted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// jobFinished records a terminal transition. captureS/replayS are the phase
+// durations (zero for jobs that never ran), cycles the simulated cycle count
+// of the run, simulated whether the capture phase actually simulated (cache
+// miss) rather than hit the cache.
+func (m *metrics) jobFinished(state string, captureS, replayS float64, cycles uint64, simulated bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsTotal[state]++
+	if state != stateDone {
+		return
+	}
+	m.captureSeconds.observe(captureS)
+	m.replaySeconds.observe(replayS)
+	if simulated {
+		m.simCycles += cycles
+	}
+	m.replayCycles += cycles
+	if total := captureS + replayS; total > 0 {
+		m.lastCPS = float64(cycles) / total
+	}
+}
+
+// gauges is the live server state sampled at scrape time.
+type gauges struct {
+	queueDepth   int
+	running      int
+	workers      int
+	draining     bool
+	cacheHits    uint64
+	cacheMisses  uint64
+	cacheEntries int
+	cacheBytes   uint64
+}
+
+// writeProm renders the full exposition page.
+func (m *metrics) writeProm(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP tipd_jobs_total Terminal job transitions by state.\n")
+	fmt.Fprintf(w, "# TYPE tipd_jobs_total counter\n")
+	states := make([]string, 0, len(m.jobsTotal))
+	for s := range m.jobsTotal {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "tipd_jobs_total{state=%q} %d\n", s, m.jobsTotal[s])
+	}
+
+	fmt.Fprintf(w, "# HELP tipd_jobs_accepted_total Jobs admitted to the queue.\n")
+	fmt.Fprintf(w, "# TYPE tipd_jobs_accepted_total counter\n")
+	fmt.Fprintf(w, "tipd_jobs_accepted_total %d\n", m.accepted)
+	fmt.Fprintf(w, "# HELP tipd_jobs_rejected_total Submissions refused with 429 (queue saturated).\n")
+	fmt.Fprintf(w, "# TYPE tipd_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "tipd_jobs_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintf(w, "# HELP tipd_queue_depth Jobs waiting in the admission queue.\n")
+	fmt.Fprintf(w, "# TYPE tipd_queue_depth gauge\n")
+	fmt.Fprintf(w, "tipd_queue_depth %d\n", g.queueDepth)
+	fmt.Fprintf(w, "# HELP tipd_jobs_running Jobs currently executing on the worker pool.\n")
+	fmt.Fprintf(w, "# TYPE tipd_jobs_running gauge\n")
+	fmt.Fprintf(w, "tipd_jobs_running %d\n", g.running)
+	fmt.Fprintf(w, "# HELP tipd_workers Size of the worker pool.\n")
+	fmt.Fprintf(w, "# TYPE tipd_workers gauge\n")
+	fmt.Fprintf(w, "tipd_workers %d\n", g.workers)
+	fmt.Fprintf(w, "# HELP tipd_draining Whether the daemon is shutting down.\n")
+	fmt.Fprintf(w, "# TYPE tipd_draining gauge\n")
+	fmt.Fprintf(w, "tipd_draining %d\n", boolGauge(g.draining))
+
+	fmt.Fprintf(w, "# HELP tipd_capture_cache_hits_total Jobs served from a cached capture (including singleflight-shared simulations).\n")
+	fmt.Fprintf(w, "# TYPE tipd_capture_cache_hits_total counter\n")
+	fmt.Fprintf(w, "tipd_capture_cache_hits_total %d\n", g.cacheHits)
+	fmt.Fprintf(w, "# HELP tipd_capture_cache_misses_total Jobs that had to simulate.\n")
+	fmt.Fprintf(w, "# TYPE tipd_capture_cache_misses_total counter\n")
+	fmt.Fprintf(w, "tipd_capture_cache_misses_total %d\n", g.cacheMisses)
+	fmt.Fprintf(w, "# HELP tipd_capture_cache_hit_ratio Fraction of capture lookups served from cache.\n")
+	fmt.Fprintf(w, "# TYPE tipd_capture_cache_hit_ratio gauge\n")
+	ratio := 0.0
+	if total := g.cacheHits + g.cacheMisses; total > 0 {
+		ratio = float64(g.cacheHits) / float64(total)
+	}
+	fmt.Fprintf(w, "tipd_capture_cache_hit_ratio %g\n", ratio)
+	fmt.Fprintf(w, "# HELP tipd_capture_cache_entries Captures currently cached.\n")
+	fmt.Fprintf(w, "# TYPE tipd_capture_cache_entries gauge\n")
+	fmt.Fprintf(w, "tipd_capture_cache_entries %d\n", g.cacheEntries)
+	fmt.Fprintf(w, "# HELP tipd_capture_cache_bytes Encoded bytes held by the capture cache.\n")
+	fmt.Fprintf(w, "# TYPE tipd_capture_cache_bytes gauge\n")
+	fmt.Fprintf(w, "tipd_capture_cache_bytes %d\n", g.cacheBytes)
+
+	fmt.Fprintf(w, "# HELP tipd_capture_seconds Capture-phase duration of completed jobs (cache hits observe ~0).\n")
+	fmt.Fprintf(w, "# TYPE tipd_capture_seconds histogram\n")
+	m.captureSeconds.write(w, "tipd_capture_seconds")
+	fmt.Fprintf(w, "# HELP tipd_replay_seconds Replay-phase duration of completed jobs.\n")
+	fmt.Fprintf(w, "# TYPE tipd_replay_seconds histogram\n")
+	m.replaySeconds.write(w, "tipd_replay_seconds")
+
+	fmt.Fprintf(w, "# HELP tipd_simulated_cycles_total Core cycles simulated by cache-miss captures.\n")
+	fmt.Fprintf(w, "# TYPE tipd_simulated_cycles_total counter\n")
+	fmt.Fprintf(w, "tipd_simulated_cycles_total %d\n", m.simCycles)
+	fmt.Fprintf(w, "# HELP tipd_replayed_cycles_total Core cycles streamed through profiler replays.\n")
+	fmt.Fprintf(w, "# TYPE tipd_replayed_cycles_total counter\n")
+	fmt.Fprintf(w, "tipd_replayed_cycles_total %d\n", m.replayCycles)
+	fmt.Fprintf(w, "# HELP tipd_cycles_per_second Simulated-cycle throughput of the most recent completed job.\n")
+	fmt.Fprintf(w, "# TYPE tipd_cycles_per_second gauge\n")
+	fmt.Fprintf(w, "tipd_cycles_per_second %g\n", m.lastCPS)
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,640 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/pprofenc"
+	"github.com/tipprof/tip/internal/profiler"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// testScale keeps simulated workloads small enough that a full
+// capture+replay job completes in well under a second.
+const testScale = 20_000
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec JobSpec) (JobView, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	json.NewDecoder(resp.Body).Decode(&v)
+	return v, resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) (JobView, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	json.NewDecoder(resp.Body).Decode(&v)
+	return v, resp.StatusCode
+}
+
+// waitTerminal polls a job until it leaves queued/running.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v, code := getJob(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		if v.State != stateQueued && v.State != stateRunning {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal state", id)
+	return JobView{}
+}
+
+func testSpec() JobSpec {
+	return JobSpec{
+		Bench:         "x264",
+		Seed:          1,
+		Scale:         testScale,
+		Profilers:     []string{"TIP"},
+		TargetSamples: 256,
+	}
+}
+
+func kindByName(t *testing.T, name string) profiler.Kind {
+	t.Helper()
+	for _, k := range profiler.AllKinds() {
+		if k.String() == name {
+			return k
+		}
+	}
+	t.Fatalf("no profiler kind %q", name)
+	return 0
+}
+
+// TestJobLifecycle drives the full submit → poll → fetch-pprof → delete
+// flow against a real simulation, and checks the daemon's pprof payload is
+// bit-for-bit identical to the batch pipeline's encoding of the same run.
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	v, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if v.ID == "" || (v.State != stateQueued && v.State != stateRunning) {
+		t.Fatalf("submit returned %+v", v)
+	}
+
+	done := waitTerminal(t, ts, v.ID)
+	if done.State != stateDone {
+		t.Fatalf("job finished %s (%s), want done", done.State, done.Error)
+	}
+	if done.CacheHit {
+		t.Fatal("first job for a key must be a cache miss")
+	}
+	if done.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	if done.Result.Cycles == 0 || done.Result.SampleInterval == 0 {
+		t.Fatalf("implausible result: %+v", done.Result)
+	}
+	if len(done.Result.Profiles["Oracle"]) == 0 || len(done.Result.Profiles["TIP"]) == 0 {
+		t.Fatalf("missing profiles: have %v", len(done.Result.Profiles))
+	}
+	if _, ok := done.Result.Errors["TIP"]; !ok {
+		t.Fatalf("missing TIP error: %v", done.Result.Errors)
+	}
+	if done.Timing == nil || done.Timing.ReplayWorkers != 2 {
+		t.Fatalf("timing = %+v, want replay_workers 2", done.Timing)
+	}
+
+	// The listing includes the job (without the heavy result payload).
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != v.ID || listing.Jobs[0].Result != nil {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	// pprof export must match the batch pipeline bit-for-bit.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/pprof?profiler=TIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(got) == 0 {
+		t.Fatalf("pprof: status %d, %d bytes", resp.StatusCode, len(got))
+	}
+
+	spec := testSpec()
+	w, err := workload.LoadScaled(spec.Bench, spec.Seed, spec.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := tip.DefaultRunConfig()
+	rc.Profilers = []profiler.Kind{kindByName(t, "TIP")}
+	rc.TargetSamples = spec.TargetSamples
+	rc.ReplayWorkers = 2
+	res, err := tip.Run(w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pprofenc.Encode(res.Sampled[kindByName(t, "TIP")].Profile,
+		pprofenc.JobOptions(spec.Bench, spec.Seed, spec.Scale, "TIP", res.SampleInterval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("daemon pprof (%d bytes) differs from batch encoding (%d bytes)", len(got), len(want))
+	}
+
+	// Oracle export works too; an unknown profiler is a client error.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/pprof?profiler=Oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Oracle pprof: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/pprof?profiler=NCI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("pprof for profiler outside the job: status %d, want 400", resp.StatusCode)
+	}
+
+	// DELETE on a terminal job forgets it.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete finished job: status %d", resp.StatusCode)
+	}
+	if _, code := getJob(t, ts, v.ID); code != http.StatusNotFound {
+		t.Fatalf("deleted job still retrievable: status %d", code)
+	}
+}
+
+// TestCacheSingleSimulation submits several identical jobs concurrently and
+// asserts exactly one cycle-level simulation ran between them — the rest hit
+// the capture cache (or joined the in-flight capture) and only replayed.
+func TestCacheSingleSimulation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	const n = 4
+	runs0 := cpu.RunsStarted()
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, code := submit(t, ts, testSpec())
+			if code != http.StatusAccepted {
+				t.Errorf("submit %d: status %d", i, code)
+				return
+			}
+			mu.Lock()
+			ids[i] = v.ID
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	hits := 0
+	for _, id := range ids {
+		v := waitTerminal(t, ts, id)
+		if v.State != stateDone {
+			t.Fatalf("job %s finished %s (%s)", id, v.State, v.Error)
+		}
+		if v.CacheHit {
+			hits++
+		}
+	}
+	if got := cpu.RunsStarted() - runs0; got != 1 {
+		t.Fatalf("%d identical jobs started %d simulations, want exactly 1", n, got)
+	}
+	if hits != n-1 {
+		t.Fatalf("%d jobs reported cache hits, want %d", hits, n-1)
+	}
+
+	// The sharing is observable in /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"tipd_capture_cache_misses_total 1\n",
+		fmt.Sprintf("tipd_capture_cache_hits_total %d\n", n-1),
+		fmt.Sprintf("tipd_jobs_total{state=\"done\"} %d\n", n),
+		fmt.Sprintf("tipd_jobs_accepted_total %d\n", n),
+		"tipd_capture_seconds_count 4\n",
+		"tipd_capture_cache_entries 1\n",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", prom)
+	}
+}
+
+// blockingExecute stubs the job runner with one that parks until released
+// (or until the job's context is canceled).
+func blockingExecute(s *Server) (release func(), started chan string) {
+	started = make(chan string, 64)
+	gate := make(chan struct{})
+	s.execute = func(ctx context.Context, jb *job) (*jobOutcome, error) {
+		started <- jb.id
+		select {
+		case <-gate:
+			return &jobOutcome{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var once sync.Once
+	return func() { once.Do(func() { close(gate) }) }, started
+}
+
+// TestSaturationRejects fills the worker pool and the queue, then checks the
+// next submission is refused with 429 + Retry-After instead of blocking.
+func TestSaturationRejects(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	release, started := blockingExecute(s)
+	defer release()
+
+	// First job occupies the single worker.
+	a, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit a: status %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the first job")
+	}
+
+	// Second job fills the queue.
+	b, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit b: status %d", code)
+	}
+
+	// Third submission must be rejected, not block.
+	body, _ := json.Marshal(testSpec())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+
+	release()
+	for _, id := range []string{a.ID, b.ID} {
+		if v := waitTerminal(t, ts, id); v.State != stateDone {
+			t.Fatalf("job %s finished %s after release", id, v.State)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(prom), "tipd_jobs_rejected_total 1\n") {
+		t.Fatalf("/metrics does not count the rejection:\n%s", prom)
+	}
+}
+
+// TestDeleteCancelsRunning cancels an in-flight job via its context and
+// checks the worker pool survives to run the next job.
+func TestDeleteCancelsRunning(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	release, started := blockingExecute(s)
+	defer release()
+
+	v, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("delete running job: status %d, want 202", resp.StatusCode)
+	}
+	if got := waitTerminal(t, ts, v.ID); got.State != stateCanceled {
+		t.Fatalf("job finished %s, want canceled", got.State)
+	}
+
+	// The pool is not wedged: the next job still runs.
+	w2, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("post-cancel submit: status %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker wedged after cancellation")
+	}
+	release()
+	if got := waitTerminal(t, ts, w2.ID); got.State != stateDone {
+		t.Fatalf("post-cancel job finished %s", got.State)
+	}
+}
+
+// TestDeleteQueuedJob cancels a job before any worker picks it up.
+func TestDeleteQueuedJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	release, started := blockingExecute(s)
+	defer release()
+
+	a, _ := submit(t, ts, testSpec())
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first job never started")
+	}
+	b, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit b: status %d", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+b.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bv JobView
+	json.NewDecoder(resp.Body).Decode(&bv)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || bv.State != stateCanceled {
+		t.Fatalf("delete queued job: status %d state %s", resp.StatusCode, bv.State)
+	}
+
+	release()
+	if got := waitTerminal(t, ts, a.ID); got.State != stateDone {
+		t.Fatalf("job a finished %s", got.State)
+	}
+	// The canceled job must stay canceled even after the worker drains it.
+	if got, _ := getJob(t, ts, b.ID); got.State != stateCanceled {
+		t.Fatalf("queued-then-canceled job became %s", got.State)
+	}
+}
+
+// TestExecuteCanceledContext checks the real runner honors cancellation: a
+// canceled context aborts before (or during) the cycle-level simulation.
+func TestExecuteCanceledContext(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	spec := testSpec()
+	kinds, gran, err := spec.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb := &job{id: "jtest", spec: spec, kinds: kinds, gran: gran}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.executeJob(ctx, jb); err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("executeJob with canceled ctx: err = %v", err)
+	}
+}
+
+// TestShutdownDrainsAndSpills submits work, shuts the daemon down gracefully,
+// and checks (a) queued jobs finish rather than vanish, (b) new submissions
+// are refused while draining, and (c) a fresh daemon pointed at the same
+// spill directory serves the capture from disk without re-simulating.
+func TestShutdownDrainsAndSpills(t *testing.T) {
+	spill := t.TempDir()
+	s, err := New(Config{Workers: 2, SpillDir: spill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	a, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	b, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Both jobs drained to done.
+	for _, id := range []string{a.ID, b.ID} {
+		v, code := getJob(t, ts, id)
+		if code != http.StatusOK || v.State != stateDone {
+			t.Fatalf("after drain, job %s: status %d state %s (%s)", id, code, v.State, v.Error)
+		}
+	}
+	// Submissions are refused while draining.
+	if _, code := submit(t, ts, testSpec()); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", code)
+	}
+
+	// A fresh daemon restores the capture from the spill directory: the
+	// same job is a cache hit with zero new simulations.
+	runs0 := cpu.RunsStarted()
+	s2, err := New(Config{Workers: 1, SpillDir: spill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+
+	v, code := submit(t, ts2, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit to warm daemon: status %d", code)
+	}
+	done := waitTerminal(t, ts2, v.ID)
+	if done.State != stateDone {
+		t.Fatalf("warm job finished %s (%s)", done.State, done.Error)
+	}
+	if !done.CacheHit {
+		t.Fatal("warm-start job should hit the spilled capture")
+	}
+	if got := cpu.RunsStarted() - runs0; got != 0 {
+		t.Fatalf("warm daemon ran %d simulations, want 0", got)
+	}
+}
+
+// TestBadRequests exercises the client-error paths.
+func TestBadRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	release, started := blockingExecute(s)
+	defer release()
+
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"not json", "{"},
+		{"missing bench", `{}`},
+		{"unknown bench", `{"bench":"doom"}`},
+		{"unknown profiler", `{"bench":"x264","profilers":["perf"]}`},
+		{"bad granularity", `{"bench":"x264","granularity":"loop"}`},
+		{"replay workers out of range", `{"bench":"x264","replay_workers":99}`},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	if _, code := getJob(t, ts, "j99999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/j99999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("delete unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// pprof for a job that is not done is a conflict.
+	v, _ := submit(t, ts, testSpec())
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/pprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("pprof of running job: status %d, want 409", resp.StatusCode)
+	}
+	release()
+	waitTerminal(t, ts, v.ID)
+}
+
+// TestHealthz sanity-checks the liveness endpoint.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	var h struct {
+		OK      bool `json:"ok"`
+		Workers int  `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Workers != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}

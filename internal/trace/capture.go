@@ -144,6 +144,29 @@ func (c *Capture) Bytes() uint64 { return c.fileBytes + uint64(len(c.buf)) }
 // Spilled reports whether the capture overflowed to a temp file.
 func (c *Capture) Spilled() bool { return c.f != nil }
 
+// NewCaptureFromEncoded adopts an already-encoded trace stream — the bytes a
+// prior capture's WriteTo produced — as a finished, replayable in-memory
+// capture. records and cycles restore the Records/Cycles bookkeeping that is
+// not re-derivable without a full decode; callers persisting captures (the
+// tipd capture cache's spill directory) store them alongside the stream.
+// The data slice is retained, not copied.
+func NewCaptureFromEncoded(data []byte, records, cycles uint64) (*Capture, error) {
+	if len(data) < len(formatMagic) || string(data[:len(formatMagic)]) != formatMagic {
+		n := len(data)
+		if n > len(formatMagic) {
+			n = len(formatMagic)
+		}
+		return nil, badMagic(data[:n])
+	}
+	return &Capture{
+		limit:    len(data),
+		buf:      data,
+		count:    records,
+		cycles:   cycles,
+		finished: true,
+	}, nil
+}
+
 // Replay streams the captured trace through consumers exactly as the live
 // core did: one OnCycle per record, then Finish. It can be called any number
 // of times; concurrent replays of the same capture are safe because each

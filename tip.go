@@ -205,8 +205,17 @@ func CalibrateInterval(cycles, targetSamples uint64) uint64 {
 // capture feeds profilers the byte-identical record stream a live profiled
 // run would have seen.
 func CaptureWorkload(w *Workload, cfg CoreConfig) (*TraceCapture, CoreStats, error) {
+	return CaptureWorkloadContext(nil, w, cfg)
+}
+
+// CaptureWorkloadContext is CaptureWorkload with cooperative cancellation:
+// cancelling ctx aborts the cycle-level simulation within a few thousand
+// simulated cycles and returns ctx's error. It is the capture entry point
+// long-running services (tipd) use so an abandoned job never pins a worker
+// for the remainder of a simulation. A nil ctx disables cancellation.
+func CaptureWorkloadContext(ctx context.Context, w *Workload, cfg CoreConfig) (*TraceCapture, CoreStats, error) {
 	capt := trace.NewCapture(0)
-	stats, err := newCore(cfg, w).Run(capt)
+	stats, err := newCore(cfg, w).RunContext(ctx, capt)
 	if err != nil {
 		capt.Close()
 		return nil, CoreStats{}, fmt.Errorf("tip: %s: %w", w.Name, err)
