@@ -22,9 +22,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/metrics"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	tip "github.com/tipprof/tip"
@@ -45,6 +47,8 @@ func main() {
 		checked   = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation on every run; fail on any violation")
 		parallel  = flag.Int("parallelism", 0, "total worker budget shared by benchmark evaluations and replay workers (0 = GOMAXPROCS)")
 		replayW   = flag.Int("replayworkers", 1, "replay worker goroutines per benchmark, borrowed from the -parallelism budget (decode-once broadcast; results are byte-identical at any count)")
+		streaming = flag.Bool("streaming", false, "stream each simulation straight into its replay shards (fused capture+replay; peak memory bounded by the live chunk window)")
+		pilot     = flag.Uint64("pilot", 0, "streaming pilot-window length in cycles (0 = default 131072)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		exectrace = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
@@ -107,6 +111,8 @@ func main() {
 		Checked:       *checked,
 		Parallelism:   *parallel,
 		ReplayWorkers: *replayW,
+		Streaming:     *streaming,
+		PilotCycles:   *pilot,
 	}
 	if *benchs != "" {
 		opt.Benchmarks = strings.Split(*benchs, ",")
@@ -131,6 +137,10 @@ func main() {
 		sel("fig10") || sel("fig11a") || sel("fig11b") || sel("fig11c") || sel("validation")
 	if needSuite {
 		runsBefore := cpu.RunsStarted()
+		var heap *peakHeapTracker
+		if *benchjson != "" {
+			heap = startPeakHeapTracker()
+		}
 		fmt.Fprintf(w, "evaluating suite (%d benchmarks)...\n", len(suiteNames(opt)))
 		evals, timing, err := experiments.EvalSuiteTimed(context.Background(), opt)
 		if err != nil {
@@ -140,7 +150,7 @@ func main() {
 			timing.Wall.Round(time.Second), timing.Capture.Round(time.Millisecond),
 			timing.Replay.Round(time.Millisecond), timing.MaxReplayWorkers)
 		if *benchjson != "" {
-			if err := writeBenchJSON(*benchjson, evals, timing, cpu.RunsStarted()-runsBefore); err != nil {
+			if err := writeBenchJSON(*benchjson, evals, timing, cpu.RunsStarted()-runsBefore, *streaming, heap.Stop()); err != nil {
 				fatal(err)
 			}
 		}
@@ -203,9 +213,10 @@ const benchJSONSchemaVersion = 1
 
 // writeBenchJSON emits the machine-readable suite timing consumed by the CI
 // benchmark job (BENCH_3.json): wall-clock with its capture/replay phase
-// split, simulated throughput, and how many cycle-level simulations the
-// evaluation performed.
-func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing experiments.SuiteTiming, sims uint64) error {
+// split, simulated throughput, how many cycle-level simulations the
+// evaluation performed, and the suite's peak live-heap high-water mark (the
+// CI memory gate compares streaming vs non-streaming peaks).
+func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing experiments.SuiteTiming, sims uint64, streaming bool, peakAlloc uint64) error {
 	var totalCycles uint64
 	for _, ev := range evals {
 		totalCycles += ev.Cycles
@@ -214,6 +225,7 @@ func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing expe
 		SchemaVersion  int     `json:"schema_version"`
 		Benchmarks     int     `json:"benchmarks"`
 		Simulations    uint64  `json:"simulations"`
+		Streaming      bool    `json:"streaming"`
 		SuiteSeconds   float64 `json:"suite_seconds"`
 		CaptureSeconds float64 `json:"capture_seconds"`
 		ReplaySeconds  float64 `json:"replay_seconds"`
@@ -221,16 +233,19 @@ func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing expe
 		TotalCycles    uint64  `json:"total_cycles"`
 		CyclesPerSec   float64 `json:"cycles_per_sec"`
 		SimsPerBench   float64 `json:"simulations_per_benchmark"`
+		PeakAllocBytes uint64  `json:"peak_alloc_bytes"`
 	}{
 		SchemaVersion:  benchJSONSchemaVersion,
 		Benchmarks:     len(evals),
 		Simulations:    sims,
+		Streaming:      streaming,
 		SuiteSeconds:   timing.Wall.Seconds(),
 		CaptureSeconds: timing.Capture.Seconds(),
 		ReplaySeconds:  timing.Replay.Seconds(),
 		ReplayWorkers:  timing.MaxReplayWorkers,
 		TotalCycles:    totalCycles,
 		CyclesPerSec:   float64(totalCycles) / timing.Wall.Seconds(),
+		PeakAllocBytes: peakAlloc,
 	}
 	if len(evals) > 0 {
 		report.SimsPerBench = float64(sims) / float64(len(evals))
@@ -240,6 +255,47 @@ func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing expe
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// peakHeapTracker polls the runtime's live-object heap size in the
+// background and keeps the high-water mark. It measures what the streaming
+// pipeline claims to bound — bytes simultaneously live — rather than
+// cumulative allocation, which grows with trace length on every path.
+type peakHeapTracker struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startPeakHeapTracker() *peakHeapTracker {
+	t := &peakHeapTracker{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(t.done)
+		sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			metrics.Read(sample)
+			if v := sample[0].Value.Uint64(); v > t.peak.Load() {
+				t.peak.Store(v)
+			}
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return t
+}
+
+// Stop ends the polling goroutine and returns the observed peak. The
+// goroutine samples once immediately at startup, so even suites shorter
+// than a polling tick report a nonzero peak.
+func (t *peakHeapTracker) Stop() uint64 {
+	close(t.stop)
+	<-t.done
+	return t.peak.Load()
 }
 
 func writeHeapProfile(path string) {

@@ -38,6 +38,8 @@ func main() {
 		top       = flag.Int("top", 10, "functions to print")
 		fn        = flag.String("fn", "", "print the instruction-level profile of this function")
 		record    = flag.String("record", "", "record raw TIP samples (88 B/sample) to this file; post-process with tipreport")
+		streaming = flag.Bool("streaming", false, "stream the simulation straight into the replay shards (fused capture+replay; interval calibrated from a pilot window)")
+		pilot     = flag.Uint64("pilot", 0, "streaming pilot-window length in cycles (0 = default 131072)")
 		checkInv  = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation; fail on any violation")
 		replayW   = flag.Int("replayworkers", 1, "worker goroutines the captured-trace replay fans the profilers out over (decode-once broadcast; results are byte-identical at any count)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -96,11 +98,19 @@ func main() {
 	rc.WithBreakdown = true
 	rc.Check = *checkInv
 	rc.ReplayWorkers = *replayW
+	rc.Streaming = *streaming
+	rc.PilotCycles = *pilot
 
 	var recFile *os.File
 	var recWriter *perfdata.Writer
 	var res *tip.Result
 	if *record != "" {
+		if *streaming {
+			// The raw-sample collector needs the concrete interval before
+			// the run starts; streaming only knows it after the pilot
+			// window, so recording stays on the capture-then-replay path.
+			fatal(fmt.Errorf("-record is incompatible with -streaming"))
+		}
 		f, err := os.Create(*record)
 		if err != nil {
 			fatal(err)

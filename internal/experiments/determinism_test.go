@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	tip "github.com/tipprof/tip"
 )
 
 // detOpts keeps the metamorphic runs small: determinism does not get more
@@ -129,5 +131,37 @@ func TestEvalSuiteChecked(t *testing.T) {
 func TestEvalSuiteReportsError(t *testing.T) {
 	if _, err := EvalSuite(detOpts("x264", "no-such-benchmark", "lbm")); err == nil {
 		t.Fatal("unknown benchmark accepted by EvalSuite")
+	}
+}
+
+// TestEvalBenchmarkStreamingParity pins the fused evaluation to the
+// capture-then-replay one. The test workload finishes inside the default
+// pilot window, so streaming calibration is exact and the two paths must
+// agree bit for bit — including with the checker attached and the replay
+// sharded.
+func TestEvalBenchmarkStreamingParity(t *testing.T) {
+	opt := detOpts("x264")
+	opt.Checked = true
+	ref, err := EvalBenchmark("x264", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Cycles >= tip.DefaultPilotCycles {
+		t.Fatalf("test workload runs %d cycles, expected to end inside the %d-cycle pilot window",
+			ref.Cycles, uint64(tip.DefaultPilotCycles))
+	}
+	for _, workers := range []int{1, 4} {
+		sOpt := detOpts("x264")
+		sOpt.Checked = true
+		sOpt.Streaming = true
+		sOpt.Parallelism = workers
+		sOpt.ReplayWorkers = workers
+		got, err := EvalBenchmark("x264", sOpt)
+		if err != nil {
+			t.Fatalf("streaming workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("streaming evaluation differs from captured at ReplayWorkers=%d", workers)
+		}
 	}
 }

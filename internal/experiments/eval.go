@@ -54,6 +54,17 @@ type Options struct {
 	// Checked attaches a cycle-level invariant checker (internal/check)
 	// to every profiled run and fails the evaluation on any violation.
 	Checked bool
+	// Streaming fuses each benchmark's capture and replay phases: the
+	// cycle-level simulation streams into the profiler matrix through a
+	// bounded ring (see tip.RunConfig.Streaming), so peak memory stays
+	// independent of trace length and per-benchmark wall-clock approaches
+	// max(capture, replay). Intervals are pilot-calibrated, so errors can
+	// differ marginally from a non-streaming evaluation of the same suite;
+	// the default (non-streaming) path is unchanged.
+	Streaming bool
+	// PilotCycles overrides the streaming calibration window
+	// (0 = tip.DefaultPilotCycles). Ignored unless Streaming.
+	PilotCycles uint64
 }
 
 func (o *Options) fill() {
@@ -190,6 +201,83 @@ func EvalBenchmark(name string, opt Options) (*BenchmarkEval, error) {
 	return ev, err
 }
 
+// evalMatrix is one evaluation's full consumer fan-out, keyed for the
+// post-run error extraction.
+type evalMatrix struct {
+	consumers   []trace.Consumer
+	periodic    map[uint64]map[profiler.Kind]*profiler.Sampled
+	random      map[profiler.Kind]*profiler.Sampled
+	periodicRaw map[profiler.Kind]*profiler.Sampled
+	checker     *check.Checker
+}
+
+// buildEvalMatrix assembles the profiler matrix: all kinds at the base
+// frequency (periodic + random), sweep kinds at the other frequencies, plus
+// the raw (non-primed) base-frequency periodic tier. The Oracle reference
+// comes from tip.Run itself. interval4k is the calibrated base period;
+// rawInterval the non-primed equivalent.
+func buildEvalMatrix(name string, w *workload.Workload, core tip.CoreConfig, opt Options, interval4k, rawInterval uint64) *evalMatrix {
+	m := &evalMatrix{
+		periodic:    map[uint64]map[profiler.Kind]*profiler.Sampled{},
+		random:      map[profiler.Kind]*profiler.Sampled{},
+		periodicRaw: map[profiler.Kind]*profiler.Sampled{},
+	}
+	if opt.Checked {
+		m.checker = check.New(check.Options{
+			Benchmark:       name,
+			CommitWidth:     core.CommitWidth,
+			ROBEntries:      core.ROBEntries,
+			FetchBufEntries: core.FetchBufEntries,
+		})
+	}
+	for _, freq := range opt.Frequencies {
+		interval := interval4k * BaseFrequency / freq
+		if interval < 4 {
+			interval = 4
+		}
+		interval = sampling.NextPrime(interval)
+		kinds := sweepKinds()
+		if freq == BaseFrequency {
+			kinds = profiler.AllKinds()
+		}
+		m.periodic[freq] = map[profiler.Kind]*profiler.Sampled{}
+		for _, k := range kinds {
+			sp := profiler.NewSampled(k, w.Prog, sampling.NewPeriodic(interval))
+			m.periodic[freq][k] = sp
+			m.consumers = append(m.consumers, sp)
+			if m.checker != nil {
+				m.checker.AuditSampled(fmt.Sprintf("periodic@%d/%v", freq, k), sp)
+			}
+		}
+	}
+	for _, k := range profiler.AllKinds() {
+		sp := profiler.NewSampled(k, w.Prog, sampling.NewRandom(interval4k, opt.Seed^0x5eed))
+		m.random[k] = sp
+		m.consumers = append(m.consumers, sp)
+		spRaw := profiler.NewSampled(k, w.Prog, sampling.NewPeriodic(rawInterval))
+		m.periodicRaw[k] = spRaw
+		m.consumers = append(m.consumers, spRaw)
+		if m.checker != nil {
+			m.checker.AuditSampled(fmt.Sprintf("random/%v", k), sp)
+			m.checker.AuditSampled(fmt.Sprintf("periodic-raw/%v", k), spRaw)
+		}
+	}
+	if m.checker != nil {
+		m.consumers = append(m.consumers, m.checker)
+	}
+	return m
+}
+
+// rawIntervalFor is the non-primed base-frequency period derived from a
+// cycle count (exact on the captured path, pilot-estimated when streaming).
+func rawIntervalFor(cycles, targetSamples uint64) uint64 {
+	raw := cycles / targetSamples
+	if raw < 16 {
+		raw = 16
+	}
+	return raw
+}
+
 // evalBenchmark is EvalBenchmark with the suite plumbing exposed: the
 // caller must already hold one budget slot; extra replay workers borrow
 // idle slots for the replay phase only. Cancelling ctx aborts the
@@ -206,111 +294,94 @@ func evalBenchmark(ctx context.Context, b *budget, name string, opt Options) (*B
 	}
 
 	cfg := tip.DefaultRunConfig()
+	var res *tip.Result
+	var m *evalMatrix
+	var interval4k uint64
 
-	// The single cycle-level simulation: measure cycles for calibration
-	// while capturing the encoded trace the profiler matrix will replay.
-	capStart := time.Now()
-	capture, stats, err := tip.CaptureWorkload(w, cfg.Core)
-	if err != nil {
-		return nil, tm, fmt.Errorf("experiments: capture %s: %w", name, err)
-	}
-	defer capture.Close()
-	tm.Capture = time.Since(capStart)
-	if err := ctx.Err(); err != nil {
-		return nil, tm, err
-	}
-	// Prime the interval to avoid aliasing with cycle-deterministic
-	// synthetic loops (see sampling.NextPrime).
-	interval4k := tip.CalibrateInterval(stats.Cycles, opt.TargetSamples)
-
-	// Build the profiler matrix: all kinds at the base frequency
-	// (periodic + random), sweep kinds at the other frequencies. The
-	// Oracle reference comes from tip.Run itself.
-	var consumers []trace.Consumer
-	var checker *check.Checker
-	if opt.Checked {
-		checker = check.New(check.Options{
-			Benchmark:       name,
-			CommitWidth:     cfg.Core.CommitWidth,
-			ROBEntries:      cfg.Core.ROBEntries,
-			FetchBufEntries: cfg.Core.FetchBufEntries,
+	if opt.Streaming {
+		// Fused path: one simulation streams straight into the matrix. The
+		// base interval is pilot-calibrated inside the run, so the matrix is
+		// assembled by the post-calibration hook; simulation and replay
+		// overlap, and the whole fused wall-clock is attributed to Replay
+		// (Capture stays 0 — there is no separate capture phase).
+		workers := 1
+		if opt.ReplayWorkers > 1 {
+			extra := b.tryExtra(opt.ReplayWorkers - 1)
+			workers += extra
+			defer b.release(extra)
+		}
+		tm.ReplayWorkers = workers
+		runStart := time.Now()
+		res, err = tip.RunStreaming(ctx, w, tip.RunConfig{
+			Core:          cfg.Core,
+			Profilers:     []profiler.Kind{}, // matrix supplied by the hook
+			TargetSamples: opt.TargetSamples,
+			PilotCycles:   opt.PilotCycles,
+			ReplayWorkers: workers,
+			ExtraConsumersAt: func(interval, estCycles uint64) []trace.Consumer {
+				interval4k = interval
+				m = buildEvalMatrix(name, w, cfg.Core, opt, interval,
+					rawIntervalFor(estCycles, opt.TargetSamples))
+				return m.consumers
+			},
 		})
-	}
-	periodic := map[uint64]map[profiler.Kind]*profiler.Sampled{}
-	random := map[profiler.Kind]*profiler.Sampled{}
-	for _, freq := range opt.Frequencies {
-		interval := interval4k * BaseFrequency / freq
-		if interval < 4 {
-			interval = 4
+		tm.Replay = time.Since(runStart)
+		if err != nil {
+			return nil, tm, err
 		}
-		interval = sampling.NextPrime(interval)
-		kinds := sweepKinds()
-		if freq == BaseFrequency {
-			kinds = profiler.AllKinds()
+	} else {
+		// The single cycle-level simulation: measure cycles for calibration
+		// while capturing the encoded trace the profiler matrix will replay.
+		capStart := time.Now()
+		capture, stats, err := tip.CaptureWorkload(w, cfg.Core)
+		if err != nil {
+			return nil, tm, fmt.Errorf("experiments: capture %s: %w", name, err)
 		}
-		periodic[freq] = map[profiler.Kind]*profiler.Sampled{}
-		for _, k := range kinds {
-			sp := profiler.NewSampled(k, w.Prog, sampling.NewPeriodic(interval))
-			periodic[freq][k] = sp
-			consumers = append(consumers, sp)
-			if checker != nil {
-				checker.AuditSampled(fmt.Sprintf("periodic@%d/%v", freq, k), sp)
-			}
+		defer capture.Close()
+		tm.Capture = time.Since(capStart)
+		if err := ctx.Err(); err != nil {
+			return nil, tm, err
 		}
-	}
-	periodicRaw := map[profiler.Kind]*profiler.Sampled{}
-	rawInterval := stats.Cycles / opt.TargetSamples
-	if rawInterval < 16 {
-		rawInterval = 16
-	}
-	for _, k := range profiler.AllKinds() {
-		sp := profiler.NewSampled(k, w.Prog, sampling.NewRandom(interval4k, opt.Seed^0x5eed))
-		random[k] = sp
-		consumers = append(consumers, sp)
-		spRaw := profiler.NewSampled(k, w.Prog, sampling.NewPeriodic(rawInterval))
-		periodicRaw[k] = spRaw
-		consumers = append(consumers, spRaw)
-		if checker != nil {
-			checker.AuditSampled(fmt.Sprintf("random/%v", k), sp)
-			checker.AuditSampled(fmt.Sprintf("periodic-raw/%v", k), spRaw)
-		}
-	}
-	if checker != nil {
-		consumers = append(consumers, checker)
-	}
+		// Prime the interval to avoid aliasing with cycle-deterministic
+		// synthetic loops (see sampling.NextPrime).
+		interval4k = tip.CalibrateInterval(stats.Cycles, opt.TargetSamples)
+		m = buildEvalMatrix(name, w, cfg.Core, opt, interval4k,
+			rawIntervalFor(stats.Cycles, opt.TargetSamples))
 
-	// Replay the captured trace through the matrix — the deterministic
-	// codec hands every consumer the byte-identical record stream the
-	// live core produced, without a second simulation. Extra replay
-	// workers borrow idle budget slots for the duration of the replay;
-	// the worker count never changes the results, only the wall-clock.
-	workers := 1
-	if opt.ReplayWorkers > 1 {
-		extra := b.tryExtra(opt.ReplayWorkers - 1)
-		workers += extra
-		defer b.release(extra)
+		// Replay the captured trace through the matrix — the deterministic
+		// codec hands every consumer the byte-identical record stream the
+		// live core produced, without a second simulation. Extra replay
+		// workers borrow idle budget slots for the duration of the replay;
+		// the worker count never changes the results, only the wall-clock.
+		workers := 1
+		if opt.ReplayWorkers > 1 {
+			extra := b.tryExtra(opt.ReplayWorkers - 1)
+			workers += extra
+			defer b.release(extra)
+		}
+		tm.ReplayWorkers = workers
+		repStart := time.Now()
+		res, err = tip.RunCaptured(ctx, w, capture, stats, tip.RunConfig{
+			Core:           cfg.Core,
+			Profilers:      []profiler.Kind{}, // matrix supplied below
+			SampleInterval: interval4k,
+			ExtraConsumers: m.consumers,
+			ReplayWorkers:  workers,
+		})
+		tm.Replay = time.Since(repStart)
+		if err != nil {
+			return nil, tm, err
+		}
 	}
-	tm.ReplayWorkers = workers
-	repStart := time.Now()
-	res, err := tip.RunCaptured(ctx, w, capture, stats, tip.RunConfig{
-		Core:           cfg.Core,
-		Profilers:      []profiler.Kind{}, // matrix supplied below
-		SampleInterval: interval4k,
-		ExtraConsumers: consumers,
-		ReplayWorkers:  workers,
-	})
-	tm.Replay = time.Since(repStart)
-	if err != nil {
-		return nil, tm, err
-	}
-	if checker != nil {
+	if m.checker != nil {
 		// Audits are evaluated lazily by Err, so the Oracle built inside
 		// tip.Run can be registered after the run completes.
-		checker.AuditOracle("Oracle", res.Oracle)
-		if err := checker.Err(); err != nil {
+		m.checker.AuditOracle("Oracle", res.Oracle)
+		if err := m.checker.Err(); err != nil {
 			return nil, tm, fmt.Errorf("experiments: %s: %w", name, err)
 		}
 	}
+	periodic, random, periodicRaw := m.periodic, m.random, m.periodicRaw
 
 	oracle := res.Oracle
 	ev := &BenchmarkEval{

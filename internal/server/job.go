@@ -130,9 +130,15 @@ type jobOutcome struct {
 	timing   experiments.Timing
 }
 
-// executeJob is the real job runner: resolve the capture through the cache
-// (simulating only on a miss), then replay the profiler matrix from the
-// capture. Cancelling ctx aborts either phase.
+// executeJob is the real job runner. On a capture-cache hit the cached trace
+// is replayed through the job's profiler matrix; on a miss the whole job
+// runs fused — the cycle-level simulation streams straight into the replay
+// shards while the encoded trace is teed into the cache — so the miss costs
+// max(simulate, replay) instead of their sum. A fused miss calibrates its
+// sampling interval from the streaming pilot window, so its interval (and
+// result) can differ marginally from a later cache-hit rerun of the same
+// spec, which calibrates from the exact cycle count. Cancelling ctx aborts
+// either path.
 func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 	spec := jb.spec
 	w, err := workload.LoadScaled(spec.Bench, spec.Seed, spec.Scale)
@@ -141,23 +147,39 @@ func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 	}
 	key := captureKey{Bench: spec.Bench, Seed: spec.Seed, Scale: spec.Scale, Core: s.coreHash}
 	out := &jobOutcome{}
-	capStart := time.Now()
-	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, tip.CoreStats, error) {
-		return tip.CaptureWorkloadContext(ctx, w, s.cfg.Core)
-	})
-	if err != nil {
-		return nil, err
-	}
-	defer s.cache.release(ent)
-	out.cacheHit = hit
-	out.timing.Capture = time.Since(capStart)
-
 	rc := tip.DefaultRunConfig()
 	rc.Core = s.cfg.Core
 	rc.Profilers = jb.kinds
 	rc.TargetSamples = spec.TargetSamples
 	rc.ReplayWorkers = spec.ReplayWorkers
 	out.timing.ReplayWorkers = spec.ReplayWorkers
+
+	var fusedRes *tip.Result
+	start := time.Now()
+	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, tip.CoreStats, error) {
+		res, capt, stats, err := tip.RunStreamingTee(ctx, w, rc)
+		if err != nil {
+			return nil, tip.CoreStats{}, err
+		}
+		fusedRes = res
+		return capt, stats, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.cache.release(ent)
+	out.cacheHit = hit
+
+	if !hit && fusedRes != nil {
+		// Fused miss: this worker was the capture leader and the streaming
+		// run already evaluated the job's matrix. Simulation and replay
+		// overlapped, so the whole wall-clock is reported as replay time.
+		out.timing.Replay = time.Since(start)
+		out.res = fusedRes
+		return out, nil
+	}
+	out.timing.Capture = time.Since(start)
+
 	repStart := time.Now()
 	res, err := tip.RunCaptured(ctx, w, ent.capture, ent.stats, rc)
 	out.timing.Replay = time.Since(repStart)

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"reflect"
 	"runtime"
 	"sync"
 	"time"
@@ -60,7 +61,7 @@ type Config struct {
 	Core cpu.Config
 }
 
-func (c *Config) fill() {
+func (c *Config) fill() error {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -79,9 +80,16 @@ func (c *Config) fill() {
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 256
 	}
-	if c.Core.FetchWidth == 0 {
+	// Only a fully zero core config selects the Table 1 default. Anything
+	// else must stand on its own: keying the decision on a single field
+	// (the old FetchWidth==0 check) silently accepted partially-populated
+	// configs that later panicked the first worker that built a core.
+	if reflect.DeepEqual(c.Core, cpu.Config{}) {
 		c.Core = cpu.DefaultConfig()
+	} else if err := c.Core.Validate(); err != nil {
+		return fmt.Errorf("core config: %w", err)
 	}
+	return nil
 }
 
 // Server is the tipd daemon.
@@ -112,7 +120,9 @@ type Server struct {
 // New builds a Server, loads any persisted captures from cfg.SpillDir, and
 // starts the worker pool.
 func New(cfg Config) (*Server, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		cfg:      cfg,
 		coreHash: coreConfigHash(cfg.Core),

@@ -638,3 +638,63 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz = %+v", h)
 	}
 }
+
+// TestConfigRejectsPartialCore is the regression test for the fill bug that
+// keyed the "use the default core" decision on Core.FetchWidth alone: a
+// partially-populated config (FetchWidth set, everything else zero) was
+// accepted silently and panicked the first worker that built a core. New
+// must reject it up front.
+func TestConfigRejectsPartialCore(t *testing.T) {
+	cfg := Config{Workers: 1}
+	cfg.Core.FetchWidth = 8
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted a partially-populated core config")
+	} else if !strings.Contains(err.Error(), "core config") {
+		t.Fatalf("err = %v, want a core config rejection", err)
+	}
+
+	// A fully zero core config still selects the Table 1 default...
+	s, _ := newTestServer(t, Config{Workers: 1})
+	if s.cfg.Core.FetchWidth != cpu.DefaultConfig().FetchWidth {
+		t.Fatalf("zero core config not defaulted: %+v", s.cfg.Core)
+	}
+	// ...and an explicit complete config passes validation unchanged.
+	custom := cpu.DefaultConfig()
+	custom.ROBEntries = 64
+	s2, _ := newTestServer(t, Config{Workers: 1, Core: custom})
+	if s2.cfg.Core.ROBEntries != 64 {
+		t.Fatalf("valid custom core config was rewritten: %+v", s2.cfg.Core)
+	}
+}
+
+// TestFusedMissReportsReplayOnly checks a cache-miss job runs the fused
+// streaming path: simulation and replay overlap, so the job reports all its
+// wall-clock as replay and zero as a separate capture phase, while a
+// subsequent hit reports a capture phase of ~0 and a real replay.
+func TestFusedMissReportsReplayOnly(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	v, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	miss := waitTerminal(t, ts, v.ID)
+	if miss.State != stateDone || miss.CacheHit {
+		t.Fatalf("first job: state=%s hit=%v (%s)", miss.State, miss.CacheHit, miss.Error)
+	}
+	if miss.Timing == nil || miss.Timing.CaptureSeconds != 0 || miss.Timing.ReplaySeconds <= 0 {
+		t.Fatalf("fused miss timing = %+v, want capture 0 and replay > 0", miss.Timing)
+	}
+
+	v2, code := submit(t, ts, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit: status %d", code)
+	}
+	hit := waitTerminal(t, ts, v2.ID)
+	if hit.State != stateDone || !hit.CacheHit {
+		t.Fatalf("second job: state=%s hit=%v (%s)", hit.State, hit.CacheHit, hit.Error)
+	}
+	if hit.Timing == nil || hit.Timing.ReplaySeconds <= 0 {
+		t.Fatalf("cache hit timing = %+v, want a replay phase", hit.Timing)
+	}
+}

@@ -1,9 +1,17 @@
 package trace
 
 import (
+	"errors"
 	"io"
 	"os"
 )
+
+// errCaptureSealed is the sticky error set when records arrive at a capture
+// that has already been finished or closed. Appending to a sealed capture
+// would silently corrupt it — most dangerously an adopted
+// NewCaptureFromEncoded capture, whose buffer is the caller's persisted
+// bytes — so the first late record poisons the capture instead.
+var errCaptureSealed = errors.New("trace: record after capture Finish/Close")
 
 // DefaultSpillBytes is the in-memory capture budget before a capture spills
 // to a temporary file. Encoded records run ~10-25 bytes per cycle, so the
@@ -40,6 +48,7 @@ type Capture struct {
 	// cycles is the Finish total from the captured run.
 	cycles   uint64
 	finished bool
+	closed   bool
 	err      error
 }
 
@@ -52,9 +61,14 @@ func NewCapture(spillBytes int) *Capture {
 	return &Capture{limit: spillBytes}
 }
 
-// OnCycle implements Consumer.
+// OnCycle implements Consumer. Records arriving after Finish or Close set a
+// sticky error rather than corrupting the sealed trace.
 func (c *Capture) OnCycle(r *Record) {
 	if c.err != nil {
+		return
+	}
+	if c.finished || c.closed {
+		c.err = errCaptureSealed
 		return
 	}
 	if c.count == 0 && c.f == nil && len(c.buf) == 0 {
@@ -213,6 +227,7 @@ func (c *Capture) WriteTo(w io.Writer) (int64, error) {
 // afterwards.
 func (c *Capture) Close() error {
 	c.buf = nil
+	c.closed = true
 	if c.f == nil {
 		return nil
 	}

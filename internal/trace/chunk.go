@@ -91,9 +91,7 @@ func newChunkIter(data []byte, r *Reader, chunkRecords int) *ChunkIter {
 	if data == nil && r == nil {
 		it.done = true
 	}
-	it.pool = &sync.Pool{New: func() any {
-		return &Chunk{Records: make([]Record, 0, chunkRecords), pool: it.pool}
-	}}
+	it.pool = newChunkPool(chunkRecords)
 	return it
 }
 

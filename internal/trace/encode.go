@@ -172,6 +172,74 @@ func appendRecord(buf []byte, r *Record, st *codecState) []byte {
 	return buf[:n]
 }
 
+// normalizeRecord copies src into dst exactly as an encode→decode round
+// trip through the codec would: unconditional fields are copied, every
+// flag-guarded payload field is copied when its guard is set and zeroed
+// when it is not, and banks past NumBanks are zeroed. The producing core
+// reuses one Record and deliberately leaves unguarded payload fields stale
+// (see Record.Reset); a capture launders that staleness through
+// appendRecord/decodeRecord, and the streaming direct path must launder it
+// the same way so streamed and captured replays observe bit-identical
+// records. TestNormalizeRecordMatchesCodec pins the equivalence against
+// the real codec on fuzzed records.
+func normalizeRecord(dst, src *Record) {
+	dst.Cycle = src.Cycle
+	dst.ROBEmpty = src.ROBEmpty
+	dst.ExceptionRaised = src.ExceptionRaised
+	dst.DispatchValid = src.DispatchValid
+	dst.AnyInFlight = src.AnyInFlight
+	n := src.NumBanks
+	if n > MaxBanks {
+		n = MaxBanks
+	}
+	dst.NumBanks = n
+	dst.HeadBank = src.HeadBank
+	dst.CommitCount = src.CommitCount
+	for i := 0; i < n; i++ {
+		sb, db := &src.Banks[i], &dst.Banks[i]
+		db.Valid = sb.Valid
+		db.Committing = sb.Committing
+		db.Mispredicted = sb.Mispredicted
+		db.Flush = sb.Flush
+		db.Exception = sb.Exception
+		if sb.Valid {
+			db.PC = sb.PC
+			db.FID = sb.FID
+			db.InstIndex = sb.InstIndex
+		} else {
+			db.PC = 0
+			db.FID = 0
+			db.InstIndex = 0
+		}
+	}
+	for i := n; i < MaxBanks; i++ {
+		dst.Banks[i] = BankEntry{}
+	}
+	if src.ExceptionRaised {
+		dst.ExceptionPC = src.ExceptionPC
+		dst.ExceptionFID = src.ExceptionFID
+		dst.ExceptionInstIndex = src.ExceptionInstIndex
+	} else {
+		dst.ExceptionPC = 0
+		dst.ExceptionFID = 0
+		dst.ExceptionInstIndex = 0
+	}
+	if src.DispatchValid {
+		dst.DispatchPC = src.DispatchPC
+		dst.DispatchFID = src.DispatchFID
+		dst.DispatchInstIndex = src.DispatchInstIndex
+	} else {
+		dst.DispatchPC = 0
+		dst.DispatchFID = 0
+		dst.DispatchInstIndex = 0
+	}
+	if src.AnyInFlight {
+		dst.YoungestFID = src.YoungestFID
+	} else {
+		dst.YoungestFID = 0
+	}
+}
+
 // OnCycle implements Consumer.
 func (w *Writer) OnCycle(r *Record) {
 	if w.err != nil {

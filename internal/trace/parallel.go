@@ -21,29 +21,20 @@ type Faultable interface {
 	Err() error
 }
 
-// ReplayShards replays the captured trace through several consumer shards
-// in parallel: the trace is decoded exactly once into pooled record chunks,
-// and every chunk is broadcast to one goroutine per shard. Each shard
-// observes the complete stream — the same records, in the same order, with
-// one OnCycle per record and a final Finish — so any per-shard result is
-// byte-identical to a sequential Replay of the same consumers; sharding
-// chooses only how the consumer work is spread over cores.
-//
-// The decode runs on the calling goroutine and applies backpressure: a slow
-// shard stalls the decoder after shardChanDepth buffered chunks. Replay
-// stops early when ctx is cancelled, when decoding fails, or when a shard
-// implementing Faultable reports an error; Finish is not delivered on any
-// early stop. With a single shard and a background context this is
-// equivalent to Replay, minus the chunk indirection.
-func (c *Capture) ReplayShards(ctx context.Context, chunkRecords int, shards ...Consumer) (cycles uint64, records uint64, err error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	it, err := c.Chunks(chunkRecords)
-	if err != nil {
-		return 0, 0, err
-	}
+// chunkSource yields decoded chunks with their reference count pre-set; it
+// is the seam shared by capture replay (ChunkIter) and streaming replay
+// (streamIter).
+type chunkSource interface {
+	Next(refs int32) (*Chunk, error)
+}
 
+// shardBroadcast drives the decode-once broadcast shared by Capture and
+// Stream replay: one goroutine per shard, per-shard channels of depth
+// shardChanDepth, every chunk delivered to every shard exactly once. It
+// returns the first shard consumer error (the root cause when both fail) and
+// the decode/context error; Finish is never delivered here — the caller owns
+// the success epilogue.
+func shardBroadcast(ctx context.Context, src chunkSource, shards []Consumer) (workerErr, decodeErr error) {
 	w := len(shards)
 	chans := make([]chan *Chunk, w)
 	for i := range chans {
@@ -78,7 +69,6 @@ func (c *Capture) ReplayShards(ctx context.Context, chunkRecords int, shards ...
 		}(i, shard, chans[i])
 	}
 
-	var decodeErr error
 	for {
 		if e := ctx.Err(); e != nil {
 			decodeErr = e
@@ -87,7 +77,7 @@ func (c *Capture) ReplayShards(ctx context.Context, chunkRecords int, shards ...
 		if abort.Load() {
 			break
 		}
-		ck, e := it.Next(int32(w))
+		ck, e := src.Next(int32(w))
 		if e == io.EOF {
 			break
 		}
@@ -99,10 +89,6 @@ func (c *Capture) ReplayShards(ctx context.Context, chunkRecords int, shards ...
 			ch <- ck
 		}
 	}
-	// Publish the totals before closing the channels: the close is the
-	// happens-before edge that lets workers (and the caller) read them.
-	cycles = it.Cycles()
-	records = it.Records()
 	for _, ch := range chans {
 		close(ch)
 	}
@@ -112,10 +98,84 @@ func (c *Capture) ReplayShards(ctx context.Context, chunkRecords int, shards ...
 	// come second (an abort often cancels the decode as a side effect).
 	for _, e := range workerErrs {
 		if e != nil {
-			return 0, records, e
+			return e, decodeErr
 		}
 	}
+	return nil, decodeErr
+}
+
+// ReplayShards replays the captured trace through several consumer shards
+// in parallel: the trace is decoded exactly once into pooled record chunks,
+// and every chunk is broadcast to one goroutine per shard. Each shard
+// observes the complete stream — the same records, in the same order, with
+// one OnCycle per record and a final Finish — so any per-shard result is
+// byte-identical to a sequential Replay of the same consumers; sharding
+// chooses only how the consumer work is spread over cores.
+//
+// The decode runs on the calling goroutine and applies backpressure: a slow
+// shard stalls the decoder after shardChanDepth buffered chunks. Replay
+// stops early when ctx is cancelled, when decoding fails, or when a shard
+// implementing Faultable reports an error; Finish is not delivered on any
+// early stop. With a single shard and a background context this is
+// equivalent to Replay, minus the chunk indirection.
+func (c *Capture) ReplayShards(ctx context.Context, chunkRecords int, shards ...Consumer) (cycles uint64, records uint64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	it, err := c.Chunks(chunkRecords)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	workerErr, decodeErr := shardBroadcast(ctx, it, shards)
+	cycles = it.Cycles()
+	records = it.Records()
+	if workerErr != nil {
+		return 0, records, workerErr
+	}
 	if decodeErr != nil {
+		return 0, records, decodeErr
+	}
+	if records == 0 {
+		return 0, 0, io.ErrUnexpectedEOF
+	}
+	for _, shard := range shards {
+		shard.Finish(cycles)
+	}
+	return cycles, records, nil
+}
+
+// ReplayShards broadcasts the live stream through consumer shards exactly
+// like Capture.ReplayShards broadcasts a finished capture — same shard
+// semantics, same cycle accounting, same error precedence — but chunks are
+// consumed as the producer emits them, so profilers run concurrently with
+// the simulation and only the pilot buffer plus the ring window is ever
+// resident.
+//
+// It first waits for the pilot boundary (the caller typically already
+// consumed it via Pilot to calibrate the shards being passed in). On any
+// error it Aborts the stream so the producing core can never block on a full
+// ring; the caller must still stop the producer itself (cancel its context)
+// and wait for it. A Stream can be replayed at most once.
+func (s *Stream) ReplayShards(ctx context.Context, shards ...Consumer) (cycles uint64, records uint64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-s.pilotReady:
+	case <-ctx.Done():
+		s.Abort()
+		return 0, 0, ctx.Err()
+	}
+	it := &streamIter{s: s, ctx: ctx}
+	workerErr, decodeErr := shardBroadcast(ctx, it, shards)
+	cycles = it.lastCommit + 1
+	records = it.records
+	if workerErr != nil || decodeErr != nil {
+		s.Abort()
+		if workerErr != nil {
+			return 0, records, workerErr
+		}
 		return 0, records, decodeErr
 	}
 	if records == 0 {

@@ -1,0 +1,183 @@
+package tip
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// DefaultPilotCycles is the default streaming calibration window. At the
+// suite's simulated IPC it covers a few hundred thousand instructions —
+// enough pilot signal that the cycles-per-instruction extrapolation lands
+// the sampling interval within a few percent of the two-pass calibration,
+// while bounding the buffered prefix to a few megabytes of encoded trace.
+const DefaultPilotCycles = 1 << 17
+
+// PilotEstimateCycles extrapolates a run's total cycle count from its pilot
+// window: the pilot's cycles-per-instruction scaled to the workload's
+// dynamic-instruction budget (Workload.TargetDynInsts). Exact pilot stats —
+// the run ended inside the window — are returned as-is, making the estimate
+// (and therefore the calibrated interval) identical to the two-pass path.
+// The estimate saturates instead of overflowing and is never smaller than
+// the pilot itself.
+func PilotEstimateCycles(ps trace.PilotStats, targetDynInsts uint64) uint64 {
+	if ps.Exact || ps.Committed == 0 || targetDynInsts == 0 {
+		return ps.Cycles
+	}
+	hi, lo := bits.Mul64(ps.Cycles, targetDynInsts)
+	if hi >= ps.Committed {
+		return math.MaxUint64
+	}
+	est, _ := bits.Div64(hi, lo, ps.Committed)
+	if est < ps.Cycles {
+		est = ps.Cycles
+	}
+	return est
+}
+
+// appendConsumers appends extra to base without aliasing the caller's slice.
+func appendConsumers(base, extra []trace.Consumer) []trace.Consumer {
+	if len(extra) == 0 {
+		return base
+	}
+	out := make([]trace.Consumer, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
+// RunStreaming evaluates rc's profiler matrix in a single fused pass: the
+// cycle-level simulation streams trace chunks through a bounded ring
+// into the replay shards while it is still running, so peak memory is
+// independent of run length and wall-clock approaches max(simulate, replay).
+// With rc.SampleInterval zero the interval is calibrated from a pilot window
+// (rc.PilotCycles); see RunConfig.Streaming for the parity contract with the
+// captured path. A nil ctx means context.Background().
+func RunStreaming(ctx context.Context, w *Workload, rc RunConfig) (*Result, error) {
+	res, _, err := runStreaming(ctx, w, rc, nil)
+	return res, err
+}
+
+// RunStreamingTee is RunStreaming with the full encoded trace teed into a
+// capture as it streams past — the fused equivalent of CaptureWorkload
+// followed by RunCaptured, for callers that need both the profiler results
+// and a persistable capture (golden-file generation, the tipd capture
+// cache). On success the caller owns the returned capture and must Close
+// it; on error no capture is returned and any spill file is released.
+func RunStreamingTee(ctx context.Context, w *Workload, rc RunConfig) (*Result, *TraceCapture, CoreStats, error) {
+	capt := trace.NewCapture(0)
+	res, stats, err := runStreaming(ctx, w, rc, capt)
+	if err != nil {
+		if cerr := capt.Close(); cerr != nil {
+			err = fmt.Errorf("%w (also failed to close teed capture: %v)", err, cerr)
+		}
+		return nil, nil, CoreStats{}, err
+	}
+	return res, capt, stats, nil
+}
+
+// runStreaming is the fused capture→replay orchestrator. The producer
+// goroutine runs the core, feeding the stream (optionally teed into capt);
+// the calling goroutine calibrates from the pilot window, builds the
+// profiler matrix, and replays the stream through it. Error precedence
+// follows the captured path: a core/capture failure surfaces as the run
+// error, a shard consumer failure as the replay error, and any failure
+// cancels the other side before returning.
+func runStreaming(ctx context.Context, w *Workload, rc RunConfig, capt *TraceCapture) (*Result, CoreStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fail := func(err error) (*Result, CoreStats, error) {
+		return nil, CoreStats{}, fmt.Errorf("tip: %s: %w", w.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	if rc.TargetSamples == 0 {
+		rc.TargetSamples = 4096
+	}
+
+	var pilotCycles uint64
+	if rc.SampleInterval == 0 {
+		pilotCycles = rc.PilotCycles
+		if pilotCycles == 0 {
+			pilotCycles = DefaultPilotCycles
+		}
+	}
+	s := trace.NewStream(trace.StreamConfig{PilotCycles: pilotCycles})
+	var producer trace.Consumer = s
+	if capt != nil {
+		producer = &trace.Tee{Consumers: []trace.Consumer{capt, s}}
+	}
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var stats CoreStats
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		st, err := newCore(rc.Core, w).RunContext(runCtx, producer)
+		if err != nil {
+			// RunContext delivered no Finish; Fail closes the producer side
+			// so the replay drains and then observes this error.
+			s.Fail(err)
+			return
+		}
+		stats = st
+	}()
+	// stop tears down both sides on a consumer-side failure: the stream stops
+	// accepting records, the core's context is cancelled, and the producer
+	// goroutine is awaited so nothing races the return.
+	stop := func() {
+		s.Abort()
+		cancelRun()
+		<-prodDone
+	}
+
+	interval := rc.SampleInterval
+	estCycles := uint64(0)
+	if interval == 0 {
+		ps, err := s.Pilot(ctx)
+		if err != nil {
+			stop()
+			return fail(err)
+		}
+		estCycles = PilotEstimateCycles(ps, w.TargetDynInsts)
+		interval = CalibrateInterval(estCycles, rc.TargetSamples)
+	}
+	if rc.ExtraConsumersAt != nil {
+		rc.ExtraConsumers = appendConsumers(rc.ExtraConsumers, rc.ExtraConsumersAt(interval, estCycles))
+	}
+	m := buildMatrix(w, rc, interval)
+
+	workers := rc.ReplayWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if _, _, err := s.ReplayShards(ctx, m.shards(workers)...); err != nil {
+		stop()
+		return fail(err)
+	}
+	// A clean replay means the producer already Finished; the wait is only
+	// for the stats publication.
+	<-prodDone
+	if capt != nil {
+		if err := capt.Err(); err != nil {
+			return fail(fmt.Errorf("capture: %w", err))
+		}
+	}
+	if m.checker != nil {
+		if err := m.checker.Err(); err != nil {
+			return fail(err)
+		}
+	}
+	return &Result{
+		Workload:       w,
+		Stats:          stats,
+		Oracle:         m.oracle,
+		Sampled:        m.byKind,
+		SampleInterval: interval,
+	}, stats, nil
+}

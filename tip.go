@@ -18,6 +18,7 @@ package tip
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/tipprof/tip/internal/check"
@@ -125,6 +126,14 @@ type RunConfig struct {
 	WithBreakdown bool
 	// ExtraConsumers receive the trace alongside the profilers.
 	ExtraConsumers []trace.Consumer
+	// ExtraConsumersAt, when set, is invoked once the sampling interval is
+	// known — after calibration on the streaming path, where consumers must
+	// be built before the run's final cycle count exists — and its result
+	// is appended to ExtraConsumers. estCycles is the cycle-count estimate
+	// the interval was calibrated from (the exact total on the captured
+	// path, the pilot extrapolation on the streaming path, 0 when an
+	// explicit SampleInterval made no estimate necessary).
+	ExtraConsumersAt func(interval, estCycles uint64) []trace.Consumer
 	// Check attaches a cycle-level invariant checker (internal/check) to
 	// the trace stream and fails the run on any violated trace invariant
 	// or profiler conservation law.
@@ -137,6 +146,25 @@ type RunConfig struct {
 	// replays shard — a live profiled run (explicit SampleInterval with no
 	// capture) always streams sequentially.
 	ReplayWorkers int
+	// Streaming fuses capture and replay: Run simulates the core once,
+	// streaming trace chunks through a bounded ring into the
+	// profiler matrix while the simulation is still running, instead of
+	// capturing the whole trace first. Peak memory stays bounded by the
+	// pilot window plus the ring regardless of run length, and wall-clock
+	// approaches max(simulate, replay). Calibration uses a pilot window
+	// (see PilotCycles), so with SampleInterval zero the chosen interval is
+	// an estimate — identical to the captured path's only when the run ends
+	// inside the pilot window; profiler output is byte-identical between
+	// the two paths whenever the interval matches.
+	Streaming bool
+	// PilotCycles is the streaming calibration window in cycles (0 =
+	// DefaultPilotCycles). The pilot prefix is buffered, its
+	// cycles-per-instruction extrapolated against the workload's
+	// TargetDynInsts to estimate the total cycle count, and the sampling
+	// interval derived from that estimate; the buffered prefix is then
+	// replayed first so profilers observe every cycle. Ignored when
+	// SampleInterval is explicit.
+	PilotCycles uint64
 }
 
 // DefaultRunConfig returns the standard evaluation configuration.
@@ -217,12 +245,18 @@ func CaptureWorkloadContext(ctx context.Context, w *Workload, cfg CoreConfig) (*
 	capt := trace.NewCapture(0)
 	stats, err := newCore(cfg, w).RunContext(ctx, capt)
 	if err != nil {
-		capt.Close()
-		return nil, CoreStats{}, fmt.Errorf("tip: %s: %w", w.Name, err)
+		err = fmt.Errorf("tip: %s: %w", w.Name, err)
+	} else if cerr := capt.Err(); cerr != nil {
+		err = fmt.Errorf("tip: %s: capture: %w", w.Name, cerr)
 	}
-	if err := capt.Err(); err != nil {
-		capt.Close()
-		return nil, CoreStats{}, fmt.Errorf("tip: %s: capture: %w", w.Name, err)
+	if err != nil {
+		// A failed capture may still own a spill file; losing the Close
+		// error would leak the temp file silently (PR 1's no-ignored-Close
+		// policy).
+		if cerr := capt.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("tip: %s: close capture: %w", w.Name, cerr))
+		}
+		return nil, CoreStats{}, err
 	}
 	return capt, stats, nil
 }
@@ -354,8 +388,13 @@ func RunCaptured(ctx context.Context, w *Workload, capt *TraceCapture, stats Cor
 		rc.TargetSamples = 4096
 	}
 	interval := rc.SampleInterval
+	estCycles := uint64(0)
 	if interval == 0 {
+		estCycles = stats.Cycles
 		interval = CalibrateInterval(stats.Cycles, rc.TargetSamples)
+	}
+	if rc.ExtraConsumersAt != nil {
+		rc.ExtraConsumers = appendConsumers(rc.ExtraConsumers, rc.ExtraConsumersAt(interval, estCycles))
 	}
 	m := buildMatrix(w, rc, interval)
 	var err error
@@ -391,6 +430,9 @@ func Run(w *Workload, rc RunConfig) (*Result, error) {
 	if rc.TargetSamples == 0 {
 		rc.TargetSamples = 4096
 	}
+	if rc.Streaming {
+		return RunStreaming(context.Background(), w, rc)
+	}
 	if rc.SampleInterval == 0 {
 		capt, stats, err := CaptureWorkload(w, rc.Core)
 		if err != nil {
@@ -400,6 +442,9 @@ func Run(w *Workload, rc RunConfig) (*Result, error) {
 		return RunCaptured(context.Background(), w, capt, stats, rc)
 	}
 
+	if rc.ExtraConsumersAt != nil {
+		rc.ExtraConsumers = appendConsumers(rc.ExtraConsumers, rc.ExtraConsumersAt(rc.SampleInterval, 0))
+	}
 	m := buildMatrix(w, rc, rc.SampleInterval)
 	stats, err := newCore(rc.Core, w).Run(m.dispatcher())
 	if err != nil {
