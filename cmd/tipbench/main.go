@@ -38,21 +38,25 @@ func tipBenchmarks() []string { return tip.Benchmarks() }
 
 func main() {
 	var (
-		scale     = flag.Uint64("scale", 0, "dynamic-instruction budget per benchmark (0 = full scale)")
-		samples   = flag.Uint64("samples", 0, "4 kHz-equivalent sample count (0 = default 32768)")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		figures   = flag.String("figures", "", "comma-separated subset: fig1,fig7,fig8,fig9,fig10,fig11a,fig11b,fig11c,fig12,fig13,table1,overhead,sampling-overhead,validation")
-		benchs    = flag.String("benchmarks", "", "comma-separated benchmark subset")
-		out       = flag.String("out", "", "write output to this file instead of stdout")
-		checked   = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation on every run; fail on any violation")
-		parallel  = flag.Int("parallelism", 0, "total worker budget shared by benchmark evaluations and replay workers (0 = GOMAXPROCS)")
-		replayW   = flag.Int("replayworkers", 1, "replay worker goroutines per benchmark, borrowed from the -parallelism budget (decode-once broadcast; results are byte-identical at any count)")
-		streaming = flag.Bool("streaming", false, "stream each simulation straight into its replay shards (fused capture+replay; peak memory bounded by the live chunk window)")
-		pilot     = flag.Uint64("pilot", 0, "streaming pilot-window length in cycles (0 = default 131072)")
-		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		exectrace = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
-		benchjson = flag.String("benchjson", "", "write machine-readable suite timing (wall-clock, cycles/sec, simulations) to this JSON file")
+		scale       = flag.Uint64("scale", 0, "dynamic-instruction budget per benchmark (0 = full scale)")
+		samples     = flag.Uint64("samples", 0, "4 kHz-equivalent sample count (0 = default 32768)")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		figures     = flag.String("figures", "", "comma-separated subset: fig1,fig7,fig8,fig9,fig10,fig11a,fig11b,fig11c,fig12,fig13,table1,overhead,sampling-overhead,validation,sampled")
+		benchs      = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		out         = flag.String("out", "", "write output to this file instead of stdout")
+		checked     = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation on every run; fail on any violation")
+		parallel    = flag.Int("parallelism", 0, "total worker budget shared by benchmark evaluations and replay workers (0 = GOMAXPROCS)")
+		replayW     = flag.Int("replayworkers", 1, "replay worker goroutines per benchmark, borrowed from the -parallelism budget (decode-once broadcast; results are byte-identical at any count)")
+		streaming   = flag.Bool("streaming", false, "stream each simulation straight into its replay shards (fused capture+replay; peak memory bounded by the live chunk window)")
+		pilot       = flag.Uint64("pilot", 0, "streaming pilot-window length in cycles (0 = default 131072)")
+		cpuprof     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof     = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		exectrace   = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
+		benchjson   = flag.String("benchjson", "", "write machine-readable suite timing (wall-clock, cycles/sec, simulations) to this JSON file")
+		window      = flag.Uint64("window", 0, "sampled measurement-window cycles for -figures sampled (0 = default)")
+		interval    = flag.Uint64("interval", 0, "sampled window period in cycles for -figures sampled (0 = default)")
+		warmup      = flag.Uint64("warmup", 0, "detailed warmup cycles per sampled window for -figures sampled (0 = default)")
+		sampledjson = flag.String("sampledjson", "", "write machine-readable sampled-vs-full comparison (CPI error, effective cycles/sec, speedup) to this JSON file; requires -figures sampled")
 	)
 	flag.Parse()
 
@@ -103,6 +107,12 @@ func main() {
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	// The sampled comparison is opt-in (it reruns each benchmark in full as
+	// its own ground truth), so "everything" (no -figures) does not imply it.
+	sampledSel := want["sampled"]
+	if err := validateSampledFlags(sampledSel, *window, *interval, *warmup, *sampledjson); err != nil {
+		fatal(err)
+	}
 
 	opt := experiments.Options{
 		Seed:          *seed,
@@ -183,6 +193,36 @@ func main() {
 		}
 	}
 
+	if sampledSel {
+		sopt := experiments.SampledOptions{
+			Seed:           *seed,
+			Scale:          *scale,
+			TargetSamples:  *samples,
+			WindowCycles:   *window,
+			WindowInterval: *interval,
+			WarmupCycles:   *warmup,
+			Checked:        *checked,
+			ReplayWorkers:  *replayW,
+		}
+		// Sequential on purpose: each comparison times a full run against a
+		// sampled run of the same workload, and concurrent simulations would
+		// distort both wall-clocks (and so the reported speedup).
+		var comps []*experiments.SampledCompare
+		for _, name := range suiteNames(opt) {
+			c, err := experiments.CompareSampled(context.Background(), name, sopt)
+			if err != nil {
+				fatal(err)
+			}
+			comps = append(comps, c)
+		}
+		fmt.Fprintln(w, experiments.SampledTable(comps))
+		if *sampledjson != "" {
+			if err := writeSampledJSON(*sampledjson, comps); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	if sel("fig12") {
 		t, err := experiments.Fig12(opt)
 		if err != nil {
@@ -204,6 +244,41 @@ func suiteNames(opt experiments.Options) []string {
 		return opt.Benchmarks
 	}
 	return allNames()
+}
+
+// validateSampledFlags rejects the sampled-mode flags when the sampled
+// figure is not selected (the geometry would be silently ignored otherwise)
+// and, when it is selected, validates the window geometry after default
+// filling — so a bad schedule fails before any simulation starts.
+func validateSampledFlags(sampledSel bool, window, interval, warmup uint64, sampledjson string) error {
+	if !sampledSel {
+		switch {
+		case window != 0:
+			return fmt.Errorf("-window requires -figures sampled")
+		case interval != 0:
+			return fmt.Errorf("-interval requires -figures sampled")
+		case warmup != 0:
+			return fmt.Errorf("-warmup requires -figures sampled")
+		case sampledjson != "":
+			return fmt.Errorf("-sampledjson requires -figures sampled")
+		}
+		return nil
+	}
+	rc := tip.DefaultRunConfig()
+	rc.Sampled = true
+	rc.WindowCycles = window
+	rc.WindowInterval = interval
+	rc.WarmupCycles = warmup
+	if rc.WindowCycles == 0 {
+		rc.WindowCycles = experiments.DefaultSampledWindow
+	}
+	if rc.WindowInterval == 0 {
+		rc.WindowInterval = experiments.DefaultSampledInterval
+	}
+	if rc.WarmupCycles == 0 && rc.WindowCycles != rc.WindowInterval {
+		rc.WarmupCycles = experiments.DefaultSampledWarmup
+	}
+	return tip.ValidateSampled(rc)
 }
 
 // benchJSONSchemaVersion versions the -benchjson report layout. Bump it when
@@ -249,6 +324,52 @@ func writeBenchJSON(path string, evals []*experiments.BenchmarkEval, timing expe
 	}
 	if len(evals) > 0 {
 		report.SimsPerBench = float64(sims) / float64(len(evals))
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sampledJSONSchemaVersion versions the -sampledjson report layout, with the
+// same bump policy as benchJSONSchemaVersion.
+const sampledJSONSchemaVersion = 1
+
+// writeSampledJSON emits the machine-readable sampled-vs-full comparison
+// consumed by the CI sampled-accuracy gate: per benchmark, the full run's
+// cycle count against the stitched estimate, the resulting CPI error, and
+// the effective-throughput speedup.
+func writeSampledJSON(path string, comps []*experiments.SampledCompare) error {
+	type row struct {
+		Name             string  `json:"name"`
+		FullCycles       uint64  `json:"full_cycles"`
+		EstimatedCycles  uint64  `json:"estimated_cycles"`
+		CPIError         float64 `json:"cpi_error"`
+		Speedup          float64 `json:"speedup"`
+		FullCyclesPerSec float64 `json:"full_cycles_per_sec"`
+		EffCyclesPerSec  float64 `json:"effective_cycles_per_sec"`
+		Windows          uint64  `json:"windows"`
+		DetailedFraction float64 `json:"detailed_fraction"`
+		FFInstructions   uint64  `json:"ff_instructions"`
+	}
+	report := struct {
+		SchemaVersion int   `json:"schema_version"`
+		Benchmarks    []row `json:"benchmarks"`
+	}{SchemaVersion: sampledJSONSchemaVersion}
+	for _, c := range comps {
+		report.Benchmarks = append(report.Benchmarks, row{
+			Name:             c.Name,
+			FullCycles:       c.FullCycles,
+			EstimatedCycles:  c.EstCycles,
+			CPIError:         c.CPIError,
+			Speedup:          c.Speedup,
+			FullCyclesPerSec: c.FullRate(),
+			EffCyclesPerSec:  c.EffectiveRate(),
+			Windows:          c.Windows,
+			DetailedFraction: c.DetailedFraction,
+			FFInstructions:   c.FFInstructions,
+		})
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

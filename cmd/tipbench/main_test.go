@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateSampledFlags exercises every rejection of the sampled-figure
+// flags plus the accepted shapes.
+func TestValidateSampledFlags(t *testing.T) {
+	cases := []struct {
+		name                     string
+		sampledSel               bool
+		window, interval, warmup uint64
+		sampledjson              string
+		wantErr                  string
+	}{
+		{name: "window without figure", window: 4096, wantErr: "-window requires -figures sampled"},
+		{name: "interval without figure", interval: 65536, wantErr: "-interval requires -figures sampled"},
+		{name: "warmup without figure", warmup: 1024, wantErr: "-warmup requires -figures sampled"},
+		{name: "sampledjson without figure", sampledjson: "out.json", wantErr: "-sampledjson requires -figures sampled"},
+		{name: "window exceeds interval", sampledSel: true, window: 1 << 20, interval: 4096, wantErr: "exceeds WindowInterval"},
+		{name: "warmup overflows gap", sampledSel: true, window: 4096, interval: 8192, warmup: 8192, wantErr: "exceed WindowInterval"},
+		{name: "no sampled flags", wantErr: ""},
+		{name: "figure with defaults", sampledSel: true, wantErr: ""},
+		{name: "figure explicit", sampledSel: true, window: 2048, interval: 16384, warmup: 1024, sampledjson: "out.json", wantErr: ""},
+	}
+	for _, tc := range cases {
+		err := validateSampledFlags(tc.sampledSel, tc.window, tc.interval, tc.warmup, tc.sampledjson)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -7,7 +7,10 @@
 // stands in for the TIP hardware, tipd plays the role of the perf server
 // that records samples online and rebuilds profiles offline on demand.
 // Repeated jobs for the same (bench, seed, scale, core) reuse the cached
-// capture and skip the cycle-level simulation entirely.
+// capture and skip the cycle-level simulation entirely. Jobs submitted with
+// "sampled":true instead run under sampled simulation (detailed measurement
+// windows alternating with functional fast-forward) and bypass the capture
+// cache — there is no full trace to store.
 //
 // Example:
 //

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/experiments"
 	"github.com/tipprof/tip/internal/perfdata"
 	"github.com/tipprof/tip/internal/sampling"
 	"github.com/tipprof/tip/internal/workload"
@@ -40,6 +41,10 @@ func main() {
 		record    = flag.String("record", "", "record raw TIP samples (88 B/sample) to this file; post-process with tipreport")
 		streaming = flag.Bool("streaming", false, "stream the simulation straight into the replay shards (fused capture+replay; interval calibrated from a pilot window)")
 		pilot     = flag.Uint64("pilot", 0, "streaming pilot-window length in cycles (0 = default 131072)")
+		sampled   = flag.Bool("sampled", false, "sampled simulation: detailed measurement windows alternating with functional fast-forward (see -window/-interval/-warmup)")
+		window    = flag.Uint64("window", 0, "sampled measurement-window length in cycles (0 = default 8192; requires -sampled)")
+		interval  = flag.Uint64("interval", 0, "sampled window period in cycles (0 = default 131072; requires -sampled)")
+		warmup    = flag.Uint64("warmup", 0, "detailed warmup cycles before each sampled window (0 = default 8192; requires -sampled)")
 		checkInv  = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation; fail on any violation")
 		replayW   = flag.Int("replayworkers", 1, "worker goroutines the captured-trace replay fans the profilers out over (decode-once broadcast; results are byte-identical at any count)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -100,6 +105,9 @@ func main() {
 	rc.ReplayWorkers = *replayW
 	rc.Streaming = *streaming
 	rc.PilotCycles = *pilot
+	if err := configureSampled(&rc, *sampled, *window, *interval, *warmup, *record != ""); err != nil {
+		fatal(err)
+	}
 
 	var recFile *os.File
 	var recWriter *perfdata.Writer
@@ -153,6 +161,10 @@ func main() {
 
 	fmt.Printf("benchmark %s: %d cycles, %d instructions, IPC %.2f, sample interval %d cycles\n",
 		w.Name, res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC(), res.SampleInterval)
+	if sr := res.Sampling; sr != nil {
+		fmt.Printf("sampled: %d windows, %d measured cycles (%.1f%% detailed), %d instructions fast-forwarded; cycle total is the stitched estimate\n",
+			sr.Windows, sr.MeasuredCycles, sr.DetailedFraction()*100, sr.FFInstructions)
+	}
 	fmt.Printf("mispredicts %d, CSR flushes %d, exceptions %d\n",
 		res.Stats.Mispredicts, res.Stats.CSRFlushes, res.Stats.Exceptions)
 	fmt.Printf("cycle stack: %s  (class %s)\n\n", res.Stack().String(), res.Stack().Class())
@@ -190,6 +202,42 @@ func main() {
 			fmt.Printf("  %-28s %6.2f%%  %7s  %7s\n", r.Name, r.Share*100, tv, nv)
 		}
 	}
+}
+
+// configureSampled applies the sampled-simulation flags to rc. The geometry
+// flags are meaningless without -sampled, and -record needs the concrete
+// sample interval before the run starts while sampled mode calibrates from
+// a pilot window — both are rejected rather than silently ignored. Zero
+// geometry values take the evaluation-harness defaults.
+func configureSampled(rc *tip.RunConfig, sampled bool, window, interval, warmup uint64, recording bool) error {
+	if !sampled {
+		switch {
+		case window != 0:
+			return fmt.Errorf("-window requires -sampled")
+		case interval != 0:
+			return fmt.Errorf("-interval requires -sampled")
+		case warmup != 0:
+			return fmt.Errorf("-warmup requires -sampled")
+		}
+		return nil
+	}
+	if recording {
+		return fmt.Errorf("-record is incompatible with -sampled (raw-sample recording needs the full trace)")
+	}
+	rc.Sampled = true
+	rc.WindowCycles = window
+	rc.WindowInterval = interval
+	rc.WarmupCycles = warmup
+	if rc.WindowCycles == 0 {
+		rc.WindowCycles = experiments.DefaultSampledWindow
+	}
+	if rc.WindowInterval == 0 {
+		rc.WindowInterval = experiments.DefaultSampledInterval
+	}
+	if rc.WarmupCycles == 0 && rc.WindowCycles != rc.WindowInterval {
+		rc.WarmupCycles = experiments.DefaultSampledWarmup
+	}
+	return tip.ValidateSampled(*rc)
 }
 
 func parseKinds(s string) ([]tip.Kind, error) {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/experiments"
+)
+
+// TestConfigureSampledRejections exercises every sampled-mode flag rejection
+// and the accepted shapes (defaults filled, explicit geometry preserved).
+func TestConfigureSampledRejections(t *testing.T) {
+	cases := []struct {
+		name                     string
+		sampled                  bool
+		window, interval, warmup uint64
+		recording                bool
+		wantErr                  string
+	}{
+		{name: "window without sampled", window: 4096, wantErr: "-window requires -sampled"},
+		{name: "interval without sampled", interval: 65536, wantErr: "-interval requires -sampled"},
+		{name: "warmup without sampled", warmup: 1024, wantErr: "-warmup requires -sampled"},
+		{name: "sampled with record", sampled: true, recording: true, wantErr: "-record is incompatible with -sampled"},
+		{name: "window exceeds interval", sampled: true, window: 1 << 20, interval: 4096, wantErr: "exceeds WindowInterval"},
+		{name: "warmup overflows gap", sampled: true, window: 4096, interval: 8192, warmup: 8192, wantErr: "exceed WindowInterval"},
+		{name: "plain run", wantErr: ""},
+		{name: "sampled defaults", sampled: true, wantErr: ""},
+		{name: "sampled explicit", sampled: true, window: 2048, interval: 16384, warmup: 1024, wantErr: ""},
+	}
+	for _, tc := range cases {
+		rc := tip.DefaultRunConfig()
+		err := configureSampled(&rc, tc.sampled, tc.window, tc.interval, tc.warmup, tc.recording)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestConfigureSampledDefaults pins the zero-value geometry to the
+// evaluation-harness defaults, and that explicit values pass through.
+func TestConfigureSampledDefaults(t *testing.T) {
+	rc := tip.DefaultRunConfig()
+	if err := configureSampled(&rc, true, 0, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Sampled {
+		t.Fatal("rc.Sampled not set")
+	}
+	if rc.WindowCycles != experiments.DefaultSampledWindow ||
+		rc.WindowInterval != experiments.DefaultSampledInterval ||
+		rc.WarmupCycles != experiments.DefaultSampledWarmup {
+		t.Fatalf("defaults not applied: %d/%d/%d", rc.WindowCycles, rc.WindowInterval, rc.WarmupCycles)
+	}
+
+	rc = tip.DefaultRunConfig()
+	if err := configureSampled(&rc, true, 4096, 4096, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if rc.WarmupCycles != 0 {
+		t.Fatalf("full-fraction run got a defaulted warmup %d", rc.WarmupCycles)
+	}
+}

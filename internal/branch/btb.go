@@ -91,6 +91,38 @@ func (b *BTB) Probe(pc, target uint64) bool {
 	return false
 }
 
+// Warm is Probe without the hit/miss statistics: the functional
+// fast-forward's bulk warming entry point. Tag, target, valid and LRU
+// transitions are identical to Probe's, so a detailed window resumed after
+// a warmed skip sees the BTB contents full simulation would have built.
+func (b *BTB) Warm(pc, target uint64) {
+	base := b.setOf(pc) * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.stamp++
+			b.lru[i] = b.stamp
+			return
+		}
+	}
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if !b.valid[i] {
+			victim = i
+			break
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.tags[victim] = pc
+	b.targets[victim] = target
+	b.valid[victim] = true
+	b.stamp++
+	b.lru[victim] = b.stamp
+}
+
 // Insert records pc -> target.
 func (b *BTB) Insert(pc, target uint64) {
 	base := b.setOf(pc) * b.ways

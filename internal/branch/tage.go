@@ -156,8 +156,21 @@ func (t *Tage) Predict(pc uint64) bool {
 func (t *Tage) PredictUpdate(pc uint64, taken bool) bool {
 	t.Lookups++
 	provider, idx, pred := t.lookup(pc)
+	if pred != taken {
+		t.Mispredicts++
+	}
 	t.train(provider, idx, pred, pc, taken)
 	return pred
+}
+
+// Warm trains the predictor on a committed-path outcome without recording
+// lookup or mispredict statistics. It is the functional fast-forward's bulk
+// warming entry point: table, useful-counter and history transitions are
+// identical to PredictUpdate's, so a detailed window resumed after a warmed
+// skip sees the predictor state full simulation would roughly have built.
+func (t *Tage) Warm(pc uint64, taken bool) {
+	provider, idx, pred := t.lookup(pc)
+	t.train(provider, idx, pred, pc, taken)
 }
 
 // Update trains the predictor with the actual outcome and shifts history.
@@ -165,6 +178,9 @@ func (t *Tage) PredictUpdate(pc uint64, taken bool) bool {
 // do Predict and Update as one call when convenient.
 func (t *Tage) Update(pc uint64, taken bool) bool {
 	provider, idx, pred := t.lookup(pc)
+	if pred != taken {
+		t.Mispredicts++
+	}
 	t.train(provider, idx, pred, pc, taken)
 	return pred == taken
 }
@@ -173,9 +189,6 @@ func (t *Tage) Update(pc uint64, taken bool) bool {
 // mispredict allocation, and shifts history.
 func (t *Tage) train(provider, idx int, pred bool, pc uint64, taken bool) {
 	correct := pred == taken
-	if !correct {
-		t.Mispredicts++
-	}
 
 	if provider >= 0 {
 		e := &t.tabs[provider][idx]

@@ -1,0 +1,60 @@
+package branch
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/xrand"
+)
+
+// TestTageWarmMatchesPredictUpdate trains one predictor through the timed
+// path and one through the warming path on the same outcome sequence: the
+// table state must end up identical (probed via Predict agreement on a
+// fresh outcome stream) while the warmed predictor records no statistics.
+func TestTageWarmMatchesPredictUpdate(t *testing.T) {
+	timed := NewTage(DefaultTageConfig())
+	warmed := NewTage(DefaultTageConfig())
+	rng := xrand.New(7)
+	pcs := []uint64{0x1000, 0x1040, 0x2000, 0x2100}
+	for i := 0; i < 20000; i++ {
+		pc := pcs[rng.Uint64n(uint64(len(pcs)))]
+		taken := rng.Bool(0.6)
+		timed.PredictUpdate(pc, taken)
+		warmed.Warm(pc, taken)
+	}
+	if warmed.Lookups != 0 || warmed.Mispredicts != 0 {
+		t.Fatalf("Warm recorded stats: lookups=%d mispredicts=%d", warmed.Lookups, warmed.Mispredicts)
+	}
+	for i := 0; i < 2000; i++ {
+		pc := pcs[rng.Uint64n(uint64(len(pcs)))]
+		taken := rng.Bool(0.6)
+		pt := timed.PredictUpdate(pc, taken)
+		pw := warmed.PredictUpdate(pc, taken)
+		if pt != pw {
+			t.Fatalf("prediction diverged at probe %d: timed=%v warmed=%v", i, pt, pw)
+		}
+	}
+}
+
+// TestBTBWarmMatchesProbe checks Warm leaves the same contents as Probe
+// (hits on a re-probe) without recording hit/miss statistics.
+func TestBTBWarmMatchesProbe(t *testing.T) {
+	b := NewBTB(64, 4)
+	for pc := uint64(0); pc < 32; pc++ {
+		b.Warm(0x4000+pc*4, 0x8000+pc*4)
+	}
+	if b.Hits != 0 || b.Misses != 0 {
+		t.Fatalf("Warm recorded stats: hits=%d misses=%d", b.Hits, b.Misses)
+	}
+	for pc := uint64(0); pc < 32; pc++ {
+		target, ok := b.Lookup(0x4000 + pc*4)
+		if !ok || target != 0x8000+pc*4 {
+			t.Fatalf("warmed entry %d: ok=%v target=%#x", pc, ok, target)
+		}
+	}
+	// Warming a resident entry refreshes recency, exactly like a Probe hit.
+	hits := b.Hits
+	b.Warm(0x4000, 0x8000)
+	if b.Hits != hits {
+		t.Fatalf("Warm hit bumped Hits")
+	}
+}

@@ -72,6 +72,10 @@ type Cache struct {
 
 	// Stats.
 	Hits, Misses, Evictions, Writebacks, MSHRStalls, Prefetches uint64
+	// WarmFills counts lines installed through Warm (functional warming);
+	// kept apart so the timed hit/miss statistics describe detailed
+	// simulation only.
+	WarmFills uint64
 }
 
 // New builds a cache in front of next.
@@ -275,6 +279,49 @@ func (c *Cache) Access(addr uint64, write bool, now uint64) uint64 {
 	return fill
 }
 
+// Warm installs the line holding addr touching only the tag, LRU and dirty
+// arrays — no latency chain, no MSHR traffic, no Hits/Misses accounting.
+// It is the functional fast-forward's bulk warming entry point: after a
+// warmed skip a detailed window observes roughly the residency full
+// simulation would have left behind. A miss recurses into the next cache
+// level (DRAM has no tags to warm) and triggers the same next-line
+// prefetch a demand miss would; a dirty victim's writeback is dropped —
+// warming models residency, not bandwidth.
+func (c *Cache) Warm(addr uint64, write bool) {
+	line := c.lineOf(addr)
+	if i := c.lookup(line); i >= 0 {
+		c.touch(i)
+		if write {
+			c.dirty[i] = true
+		}
+		return
+	}
+	c.warmInstall(line, write)
+	if nc, ok := c.next.(*Cache); ok {
+		nc.Warm(addr, false)
+	}
+	if c.cfg.NextLinePrefetch {
+		if nl := line + 1; c.lookup(nl) < 0 {
+			c.warmInstall(nl, false)
+			if nc, ok := c.next.(*Cache); ok {
+				nc.Warm(nl<<c.lineBits, false)
+			}
+		}
+	}
+}
+
+// warmInstall places line without timing or eviction statistics; data is
+// treated as immediately available (readyAt 0 is always in the past).
+func (c *Cache) warmInstall(line uint64, write bool) {
+	c.WarmFills++
+	i := c.victim(line)
+	c.tags[i] = line
+	c.valid[i] = true
+	c.dirty[i] = write
+	c.readyAt[i] = 0
+	c.touch(i)
+}
+
 // Contains reports whether the line holding addr is present (for tests).
 func (c *Cache) Contains(addr uint64) bool {
 	return c.lookup(c.lineOf(addr)) >= 0
@@ -291,6 +338,7 @@ func (c *Cache) Reset() {
 	c.stamp = 0
 	c.mshrs = c.mshrs[:0]
 	c.Hits, c.Misses, c.Evictions, c.Writebacks, c.MSHRStalls, c.Prefetches = 0, 0, 0, 0, 0, 0
+	c.WarmFills = 0
 }
 
 // MissRate returns misses/(hits+misses).

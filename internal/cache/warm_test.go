@@ -1,0 +1,57 @@
+package cache
+
+import "testing"
+
+// TestWarmInstallsWithoutTiming checks Warm fills tags (and the next level)
+// without touching the timed statistics or the MSHRs.
+func TestWarmInstallsWithoutTiming(t *testing.T) {
+	back := &FixedLatency{Lat: 100}
+	l2 := New(Config{Name: "L2", SizeBytes: 4096, LineBytes: 64, Ways: 4, Latency: 10, MSHRs: 4}, back)
+	l1 := New(Config{Name: "L1", SizeBytes: 1024, LineBytes: 64, Ways: 2, Latency: 2, MSHRs: 4}, l2)
+
+	l1.Warm(0x40, false)
+	if !l1.Contains(0x40) || !l2.Contains(0x40) {
+		t.Fatal("Warm should install the line at both levels")
+	}
+	if l1.Hits+l1.Misses+l2.Hits+l2.Misses != 0 {
+		t.Fatalf("Warm touched timed stats: l1 %d/%d l2 %d/%d", l1.Hits, l1.Misses, l2.Hits, l2.Misses)
+	}
+	if back.Accesses != 0 {
+		t.Fatalf("Warm reached the backing store: %d accesses", back.Accesses)
+	}
+	if l1.WarmFills == 0 || l2.WarmFills == 0 {
+		t.Fatal("WarmFills not counted")
+	}
+
+	// A later timed access to the warmed line is a hit at hit latency.
+	if done := l1.Access(0x40, false, 1000); done != 1002 {
+		t.Fatalf("access to warmed line done at %d, want 1002", done)
+	}
+}
+
+// TestWarmDirtyVictimDropped checks evicting a warm-dirty line through Warm
+// performs no writeback traffic.
+func TestWarmDirtyVictimDropped(t *testing.T) {
+	back := &FixedLatency{Lat: 10}
+	c := New(Config{Name: "T", SizeBytes: 128, LineBytes: 64, Ways: 1, Latency: 1, MSHRs: 2}, back)
+	c.Warm(0, true) // line 0 -> set 0, dirty
+	c.Warm(2*64, true)
+	c.Warm(4*64, true) // evicts line 0
+	if back.Accesses != 0 || c.Writebacks != 0 {
+		t.Fatalf("warm eviction wrote back: backing=%d writebacks=%d", back.Accesses, c.Writebacks)
+	}
+}
+
+// TestWarmNextLinePrefetch checks Warm mirrors the demand path's next-line
+// prefetch so warmed residency matches what full simulation builds.
+func TestWarmNextLinePrefetch(t *testing.T) {
+	back := &FixedLatency{Lat: 10}
+	c := New(Config{Name: "T", SizeBytes: 1024, LineBytes: 64, Ways: 2, Latency: 1, MSHRs: 2, NextLinePrefetch: true}, back)
+	c.Warm(0x100, false)
+	if !c.Contains(0x100) || !c.Contains(0x140) {
+		t.Fatal("next-line prefetch not warmed")
+	}
+	if c.Prefetches != 0 {
+		t.Fatalf("warm prefetch counted as timed prefetch: %d", c.Prefetches)
+	}
+}

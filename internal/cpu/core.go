@@ -153,6 +153,12 @@ type Core struct {
 	fetchBlockedUntil uint64
 	waitBranchFID     uint64 // invalidFID when not waiting
 	lastFetchLine     uint64
+	// ffLastLine is the fast-forward warming loop's fetch-line memo (the
+	// functional analogue of lastFetchLine); ^0 between fast-forwards.
+	ffLastLine uint64
+	// ffWarmTage gates direction-predictor training during fast-forward:
+	// on only within the bounded warm tail of each leg (ffTageWarmTail).
+	ffWarmTage bool
 	// fetchBuf is a fixed ring of FetchBufEntries slots; fbHead is the
 	// oldest element, fbCount the occupancy. A ring never memmoves, unlike
 	// the previous append-and-compact FIFO.
@@ -282,6 +288,7 @@ func NewWithCaches(cfg Config, prog *program.Program, stream program.Stream, l1i
 	}
 	c.waitBranchFID = invalidFID
 	c.lastFetchLine = ^uint64(0)
+	c.ffLastLine = ^uint64(0)
 	for i := range c.renameRob {
 		c.renameRob[i] = -1
 	}

@@ -1,0 +1,120 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// TestFastForwardConservesInstructions checks the checkpoint → fast-forward
+// → resume seam loses and duplicates nothing: detailed commits plus
+// functionally executed instructions equal a pure detailed run's commits on
+// the same (program, seed).
+func TestFastForwardConservesInstructions(t *testing.T) {
+	mk := func() *program.Program { return loadProgram(1<<20, program.MemStride, 20_000) }
+
+	full, _ := runProgram(t, mk(), 3)
+
+	p := mk()
+	cfg := DefaultConfig()
+	core := New(cfg, p, program.NewInterp(p, 3))
+	core.MMU().PrefaultAll()
+	ff := program.NewFastForward(p)
+
+	var rec trace.Record
+	cycle := uint64(0)
+	for ; cycle < 2000; cycle++ {
+		if core.Step(cycle, &rec) {
+			t.Fatal("program finished before the fast-forward point")
+		}
+	}
+	core.ArchCheckpoint(cycle)
+	executed, done := core.FastForward(ff, 5000)
+	if executed != 5000 || done {
+		t.Fatalf("FastForward executed %d (done=%v), want 5000", executed, done)
+	}
+	core.ResumeFrom(cycle)
+	for !core.Step(cycle, &rec) {
+		cycle++
+	}
+
+	total := core.Stats().Committed + ff.Executed()
+	if total != full.Committed {
+		t.Fatalf("committed+fast-forwarded = %d, full-run committed = %d", total, full.Committed)
+	}
+	var counted uint64
+	for _, n := range ff.Counts() {
+		counted += n
+	}
+	if counted != ff.Executed() {
+		t.Fatalf("per-instruction counts sum to %d, executed %d", counted, ff.Executed())
+	}
+}
+
+// TestFastForwardWarmsCaches checks a fast-forwarded working set is
+// resident afterwards: a detailed window resumed on it should not start
+// cold.
+func TestFastForwardWarmsCaches(t *testing.T) {
+	p := loadProgram(8<<10, program.MemStride, 100_000)
+	cfg := DefaultConfig()
+	core := New(cfg, p, program.NewInterp(p, 1))
+	core.MMU().PrefaultAll()
+	ff := program.NewFastForward(p)
+
+	core.ArchCheckpoint(0)
+	if executed, done := core.FastForward(ff, 10_000); done || executed != 10_000 {
+		t.Fatalf("FastForward executed %d (done=%v)", executed, done)
+	}
+	// The 8 KiB strided footprint cycles entirely through the L1D.
+	for off := uint64(0); off < 8<<10; off += 64 {
+		if !core.L1D().Contains((1 << 30) + off) {
+			t.Fatalf("line at offset %#x not warmed into L1D", off)
+		}
+	}
+	if core.L1D().Hits+core.L1D().Misses != 0 {
+		t.Fatalf("fast-forward touched timed L1D stats: %d/%d", core.L1D().Hits, core.L1D().Misses)
+	}
+}
+
+// TestFastForwardZeroAllocs pins the fast-forward inner loop's allocation
+// behavior, in the same style as the steady-state Step guard: once the
+// batch buffer and interpreter pools have settled, fast-forwarding must not
+// allocate at all.
+func TestFastForwardZeroAllocs(t *testing.T) {
+	p := loadProgram(64<<10, program.MemStride, 1<<28)
+	cfg := DefaultConfig()
+	core := New(cfg, p, program.NewInterp(p, 1))
+	core.MMU().PrefaultAll()
+	ff := program.NewFastForward(p)
+
+	core.ArchCheckpoint(0)
+	if _, done := core.FastForward(ff, 50_000); done {
+		t.Fatal("program finished during warmup; enlarge the loop")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, done := core.FastForward(ff, 10_000); done {
+			t.Fatal("program finished during measurement; enlarge the loop")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FastForward allocated %.1f times per 10k steady-state instructions; want 0", allocs)
+	}
+}
+
+// BenchmarkFastForward measures the functional fast-forward rate in
+// instructions per second (the denominator of sampled mode's speedup).
+func BenchmarkFastForward(b *testing.B) {
+	p := loadProgram(1<<20, program.MemStride, 1<<30)
+	cfg := DefaultConfig()
+	core := New(cfg, p, program.NewInterp(p, 1))
+	core.MMU().PrefaultAll()
+	ff := program.NewFastForward(p)
+	core.ArchCheckpoint(0)
+	b.ResetTimer()
+	executed, done := core.FastForward(ff, uint64(b.N))
+	if done || executed != uint64(b.N) {
+		b.Fatalf("program exhausted after %d instructions", executed)
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "insts/s")
+}

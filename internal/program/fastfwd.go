@@ -1,0 +1,71 @@
+package program
+
+// ffBatchCap is the fast-forward refill batch size. Large enough that the
+// per-batch overhead (bounds set-up, the interface call into the supply)
+// amortises away; small enough that a batch stays within the L1 data cache
+// of the simulating host.
+const ffBatchCap = 1024
+
+// FastForward is the batched functional fast-forward front end: it pulls
+// dynamic instructions from a Stream in batches (advancing architectural
+// state — branch outcomes, memory addresses, call depth — exactly as
+// detailed simulation would, since both consume the same deterministic
+// interpreter) and keeps a per-static-instruction execution count so
+// profilers and error harnesses can attribute the skipped work. It models
+// no time: the caller decides how many cycles the skipped instructions
+// represent.
+//
+// The batch buffer and count table are allocated once; steady-state Fill
+// calls allocate nothing (guarded by TestFastForwardZeroAllocs).
+type FastForward struct {
+	counts   []uint64
+	executed uint64
+	batch    []DynInst
+}
+
+// NewFastForward builds a fast-forward front end for p's instruction space.
+func NewFastForward(p *Program) *FastForward {
+	return &FastForward{
+		counts: make([]uint64, p.NumInsts()),
+		batch:  make([]DynInst, 0, ffBatchCap),
+	}
+}
+
+// Fill pulls up to max instructions (capped at the batch capacity) from src
+// into the internal batch, counting executions per static instruction. The
+// returned slice is valid until the next Fill. A batch shorter than the
+// requested amount means src is exhausted.
+func (f *FastForward) Fill(src Stream, max uint64) []DynInst {
+	n := uint64(cap(f.batch))
+	if max < n {
+		n = max
+	}
+	var batch []DynInst
+	if bs, ok := src.(BatchStream); ok {
+		batch = f.batch[:n]
+		batch = batch[:bs.NextBatch(batch)]
+		for i := range batch {
+			f.counts[batch[i].SI.Index]++
+		}
+	} else {
+		batch = f.batch[:0]
+		for uint64(len(batch)) < n {
+			d, ok := src.Next()
+			if !ok {
+				break
+			}
+			f.counts[d.SI.Index]++
+			batch = append(batch, d)
+		}
+	}
+	f.executed += uint64(len(batch))
+	f.batch = batch
+	return batch
+}
+
+// Executed returns the total number of instructions fast-forwarded.
+func (f *FastForward) Executed() uint64 { return f.executed }
+
+// Counts returns the per-static-instruction execution counts, indexed by
+// Inst.Index. The slice is live: later Fills keep accumulating into it.
+func (f *FastForward) Counts() []uint64 { return f.counts }

@@ -270,6 +270,31 @@ type Stream interface {
 
 var _ Stream = (*Interp)(nil)
 
+// BatchStream is an optional Stream extension: NextBatch fills dst and
+// returns how many instructions were delivered (less than len(dst) only at
+// end of stream). The fast-forward loop uses it to replace a per-
+// instruction interface dispatch with one call per batch.
+type BatchStream interface {
+	Stream
+	NextBatch(dst []DynInst) int
+}
+
+// NextBatch implements BatchStream.
+func (it *Interp) NextBatch(dst []DynInst) int {
+	n := 0
+	for n < len(dst) {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		dst[n] = d
+		n++
+	}
+	return n
+}
+
+var _ BatchStream = (*Interp)(nil)
+
 // CappedStream wraps a Stream and ends it after max instructions; used to
 // bound simulation length.
 type CappedStream struct {
@@ -292,6 +317,29 @@ func (c *CappedStream) Next() (DynInst, bool) {
 
 // Delivered returns how many instructions have been delivered.
 func (c *CappedStream) Delivered() uint64 { return c.n }
+
+// NextBatch implements BatchStream, honoring the cap and delegating to the
+// wrapped stream's batch path when it has one.
+func (c *CappedStream) NextBatch(dst []DynInst) int {
+	if remaining := c.Max - c.n; uint64(len(dst)) > remaining {
+		dst = dst[:remaining]
+	}
+	n := 0
+	if bs, ok := c.S.(BatchStream); ok {
+		n = bs.NextBatch(dst)
+	} else {
+		for n < len(dst) {
+			d, ok := c.S.Next()
+			if !ok {
+				break
+			}
+			dst[n] = d
+			n++
+		}
+	}
+	c.n += uint64(n)
+	return n
+}
 
 // Kind helpers used by profiler post-processing ("inspect the instruction
 // type in the binary", paper §3.1).

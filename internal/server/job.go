@@ -41,6 +41,18 @@ type JobSpec struct {
 	// (default 2 — sharded replays cancel between chunks, so DELETE
 	// aborts promptly; results are byte-identical at any count).
 	ReplayWorkers int `json:"replay_workers,omitempty"`
+	// Sampled runs the job under sampled simulation: detailed measurement
+	// windows alternating with functional fast-forward, with the cycle
+	// total stitched from the window CPIs. Sampled jobs bypass the capture
+	// cache — fast-forward legs emit no trace records, so there is no full
+	// capture to store or reuse.
+	Sampled bool `json:"sampled,omitempty"`
+	// WindowCycles, WindowInterval, and WarmupCycles set the sampled
+	// schedule geometry (0 = evaluation-harness defaults; all three
+	// require "sampled").
+	WindowCycles   uint64 `json:"window_cycles,omitempty"`
+	WindowInterval uint64 `json:"window_interval,omitempty"`
+	WarmupCycles   uint64 `json:"warmup_cycles,omitempty"`
 }
 
 // normalize validates the spec, applies defaults, and resolves the parsed
@@ -60,6 +72,34 @@ func (sp *JobSpec) normalize() ([]profiler.Kind, profile.Granularity, error) {
 	}
 	if sp.ReplayWorkers < 1 || sp.ReplayWorkers > 16 {
 		return nil, 0, fmt.Errorf("replay_workers %d out of range [1,16]", sp.ReplayWorkers)
+	}
+	if !sp.Sampled {
+		switch {
+		case sp.WindowCycles != 0:
+			return nil, 0, fmt.Errorf("window_cycles requires sampled")
+		case sp.WindowInterval != 0:
+			return nil, 0, fmt.Errorf("window_interval requires sampled")
+		case sp.WarmupCycles != 0:
+			return nil, 0, fmt.Errorf("warmup_cycles requires sampled")
+		}
+	} else {
+		if sp.WindowCycles == 0 {
+			sp.WindowCycles = experiments.DefaultSampledWindow
+		}
+		if sp.WindowInterval == 0 {
+			sp.WindowInterval = experiments.DefaultSampledInterval
+		}
+		if sp.WarmupCycles == 0 && sp.WindowCycles != sp.WindowInterval {
+			sp.WarmupCycles = experiments.DefaultSampledWarmup
+		}
+		rc := tip.DefaultRunConfig()
+		rc.Sampled = true
+		rc.WindowCycles = sp.WindowCycles
+		rc.WindowInterval = sp.WindowInterval
+		rc.WarmupCycles = sp.WarmupCycles
+		if err := tip.ValidateSampled(rc); err != nil {
+			return nil, 0, err
+		}
 	}
 	var kinds []profiler.Kind
 	if len(sp.Profilers) > 0 {
@@ -154,6 +194,27 @@ func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 	rc.ReplayWorkers = spec.ReplayWorkers
 	out.timing.ReplayWorkers = spec.ReplayWorkers
 
+	if spec.Sampled {
+		// Sampled jobs skip the capture cache: the fast-forward legs emit
+		// no trace records, so there is no full capture to store, and
+		// replaying someone else's cached full trace would charge this job
+		// the full-simulation cost it asked to avoid. The whole run is
+		// fused (simulate + profile in one pass), so its wall-clock is
+		// reported as replay time like a fused miss.
+		rc.Sampled = true
+		rc.WindowCycles = spec.WindowCycles
+		rc.WindowInterval = spec.WindowInterval
+		rc.WarmupCycles = spec.WarmupCycles
+		start := time.Now()
+		res, err := tip.RunSampled(ctx, w, rc)
+		if err != nil {
+			return nil, err
+		}
+		out.timing.Replay = time.Since(start)
+		out.res = res
+		return out, nil
+	}
+
 	var fusedRes *tip.Result
 	start := time.Now()
 	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, tip.CoreStats, error) {
@@ -199,6 +260,17 @@ type TimingView struct {
 	ReplayWorkers  int     `json:"replay_workers"`
 }
 
+// SamplingView summarises a sampled job's schedule and stitching: how many
+// measurement windows ran, how much of the estimate was actually simulated
+// in detail, and how many instructions were fast-forwarded. The job's
+// "cycles" field is the stitched estimate, not a measured count.
+type SamplingView struct {
+	Windows          uint64  `json:"windows"`
+	MeasuredCycles   uint64  `json:"measured_cycles"`
+	DetailedFraction float64 `json:"detailed_fraction"`
+	FFInstructions   uint64  `json:"ff_instructions"`
+}
+
 // FuncShare is one row of a function-granularity profile.
 type FuncShare struct {
 	Name   string  `json:"name"`
@@ -218,6 +290,7 @@ type ResultView struct {
 	CycleStack     map[string]float64     `json:"cycle_stack"`
 	Errors         map[string]float64     `json:"errors"`
 	Profiles       map[string][]FuncShare `json:"profiles"`
+	Sampling       *SamplingView          `json:"sampling,omitempty"`
 }
 
 // JobView is the wire representation of a job.
@@ -283,6 +356,14 @@ func resultView(res *tip.Result, gran profile.Granularity) *ResultView {
 	}
 	for k := range res.Sampled {
 		rv.Errors[k.String()] = res.Err(k, gran)
+	}
+	if sr := res.Sampling; sr != nil {
+		rv.Sampling = &SamplingView{
+			Windows:          sr.Windows,
+			MeasuredCycles:   sr.MeasuredCycles,
+			DetailedFraction: sr.DetailedFraction(),
+			FFInstructions:   sr.FFInstructions,
+		}
 	}
 	rv.Profiles["Oracle"] = funcShares(res.Oracle.Profile)
 	for k, sp := range res.Sampled {

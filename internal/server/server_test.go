@@ -297,6 +297,59 @@ func TestCacheSingleSimulation(t *testing.T) {
 	}
 }
 
+// TestSampledJobBypassesCache submits the same sampled spec twice and checks
+// that neither run touches the capture cache: sampled runs produce no full
+// trace to store, so both jobs must simulate (no cache hit, no cached
+// entries) and both results must carry the sampling summary.
+func TestSampledJobBypassesCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	spec := testSpec()
+	spec.Sampled = true
+	spec.WindowCycles = 2048
+	spec.WindowInterval = 8192
+	spec.WarmupCycles = 1024
+	for i := 0; i < 2; i++ {
+		v, code := submit(t, ts, spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		v = waitTerminal(t, ts, v.ID)
+		if v.State != stateDone {
+			t.Fatalf("job %d finished %s (%s)", i, v.State, v.Error)
+		}
+		if v.CacheHit {
+			t.Errorf("sampled job %d reported a capture-cache hit", i)
+		}
+		if v.Result == nil || v.Result.Sampling == nil {
+			t.Fatalf("job %d result missing sampling summary", i)
+		}
+		if v.Result.Sampling.Windows == 0 || v.Result.Sampling.DetailedFraction >= 1 {
+			t.Errorf("job %d sampling summary implausible: %+v", i, v.Result.Sampling)
+		}
+		// Normalized defaults are echoed back in the spec.
+		if v.Spec.WindowCycles != spec.WindowCycles || v.Spec.WindowInterval != spec.WindowInterval {
+			t.Errorf("job %d spec geometry not echoed: %+v", i, v.Spec)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"tipd_capture_cache_misses_total 0\n",
+		"tipd_capture_cache_hits_total 0\n",
+		"tipd_capture_cache_entries 0\n",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
 // blockingExecute stubs the job runner with one that parks until released
 // (or until the job's context is canceled).
 func blockingExecute(s *Server) (release func(), started chan string) {
@@ -570,6 +623,11 @@ func TestBadRequests(t *testing.T) {
 		{"unknown profiler", `{"bench":"x264","profilers":["perf"]}`},
 		{"bad granularity", `{"bench":"x264","granularity":"loop"}`},
 		{"replay workers out of range", `{"bench":"x264","replay_workers":99}`},
+		{"window_cycles without sampled", `{"bench":"x264","window_cycles":4096}`},
+		{"window_interval without sampled", `{"bench":"x264","window_interval":65536}`},
+		{"warmup_cycles without sampled", `{"bench":"x264","warmup_cycles":1024}`},
+		{"window exceeds interval", `{"bench":"x264","sampled":true,"window_cycles":1048576,"window_interval":4096}`},
+		{"warmup overflows gap", `{"bench":"x264","sampled":true,"window_cycles":4096,"window_interval":8192,"warmup_cycles":8192}`},
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
 		if err != nil {

@@ -144,6 +144,10 @@ type MMU struct {
 
 	// Stats.
 	ITLBMisses, DTLBMisses, L2TLBMisses, Walks, Faults uint64
+	// WarmInstalls counts pages first installed through Warm* (functional
+	// warming standing in for the OS fault handler); kept apart so the
+	// timed miss/walk/fault statistics describe detailed simulation only.
+	WarmInstalls uint64
 }
 
 // New builds an MMU whose page-table walks read through walkPath.
@@ -234,6 +238,52 @@ func (m *MMU) translate(t *l1tlb, isData bool, addr uint64, now uint64) Result {
 	return Result{Done: now, Walked: true}
 }
 
+// warmLevel is the optional warming extension of the walker's cache path.
+type warmLevel interface {
+	Warm(addr uint64, write bool)
+}
+
+// warm fills the translation path for addr without timing, statistics or
+// faulting: an L1 hit is a no-op (refreshing recency); otherwise the L2 and
+// L1 entries are filled, installing an absent page first — the functional
+// fast-forward carries the OS fault handler's architectural effect, just
+// not its cycles. Where the detailed walker would read page-table entries
+// through the cache hierarchy, warming installs those PTE lines as warm
+// fills: a workload that thrashes the L2 TLB walks on almost every access,
+// and resuming it with the page-table lines evicted (data warming floods
+// the caches' LRU) would charge a DRAM-latency walk per miss for the rest
+// of the window — a double-digit CPI overestimate on chase workloads.
+func (m *MMU) warm(t *l1tlb, addr uint64) {
+	page := PageOf(addr)
+	if t.lookup(page) {
+		return
+	}
+	if !m.l2lookup(page) {
+		if !m.allPresent && !m.present[page] {
+			m.present[page] = true
+			m.WarmInstalls++
+		}
+		if w, ok := m.walkPath.(warmLevel); ok {
+			for lvl := 0; lvl < m.cfg.WalkLevels; lvl++ {
+				shift := uint(9 * (m.cfg.WalkLevels - 1 - lvl))
+				idx := (page >> shift) & 0x1ff
+				pteAddr := m.cfg.PTBase + (page>>shift>>9)<<12 + idx*8
+				w.Warm(pteAddr, false)
+			}
+		}
+		m.l2insert(page)
+	}
+	t.insert(page)
+}
+
+// WarmData is the functional fast-forward's bulk warming entry point for
+// data accesses.
+func (m *MMU) WarmData(addr uint64) { m.warm(m.dtlb, addr) }
+
+// WarmFetch is the functional fast-forward's bulk warming entry point for
+// instruction fetches.
+func (m *MMU) WarmFetch(addr uint64) { m.warm(m.itlb, addr) }
+
 // TranslateData translates a data access.
 func (m *MMU) TranslateData(addr uint64, now uint64) Result {
 	return m.translate(m.dtlb, true, addr, now)
@@ -254,6 +304,7 @@ func (m *MMU) Reset() {
 	m.present = make(map[uint64]bool)
 	m.allPresent = false
 	m.ITLBMisses, m.DTLBMisses, m.L2TLBMisses, m.Walks, m.Faults = 0, 0, 0, 0, 0
+	m.WarmInstalls = 0
 }
 
 // PrefaultRange installs all pages covering [base, base+size) — used for

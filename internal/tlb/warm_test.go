@@ -1,0 +1,55 @@
+package tlb
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/cache"
+)
+
+// TestWarmDataInstallsTranslation checks WarmData installs an absent page
+// (standing in for the OS fault handler) and fills both TLB levels, all
+// without touching the timed statistics or the walker's cache path.
+func TestWarmDataInstallsTranslation(t *testing.T) {
+	back := &cache.FixedLatency{Lat: 5}
+	m := New(DefaultConfig(), back)
+
+	const addr = 0x1234_5000
+	m.WarmData(addr)
+	if !m.PagePresent(PageOf(addr)) {
+		t.Fatal("WarmData should install the absent page")
+	}
+	if m.WarmInstalls != 1 {
+		t.Fatalf("WarmInstalls = %d, want 1", m.WarmInstalls)
+	}
+	if m.DTLBMisses+m.L2TLBMisses+m.Walks+m.Faults != 0 {
+		t.Fatalf("WarmData touched timed stats: %+v", m)
+	}
+	if back.Accesses != 0 {
+		t.Fatalf("WarmData walked through the cache path: %d accesses", back.Accesses)
+	}
+
+	// The warmed translation hits the L1 D-TLB with zero added latency.
+	res := m.TranslateData(addr, 100)
+	if !res.L1Hit || res.Done != 100 || res.Fault {
+		t.Fatalf("translation after WarmData = %+v, want L1 hit", res)
+	}
+	// Re-warming a resident translation changes nothing.
+	m.WarmData(addr)
+	if m.WarmInstalls != 1 {
+		t.Fatalf("re-warm installed again: %d", m.WarmInstalls)
+	}
+}
+
+// TestWarmFetchFillsITLB checks the I-side warming path fills the I-TLB.
+func TestWarmFetchFillsITLB(t *testing.T) {
+	m := New(DefaultConfig(), &cache.FixedLatency{Lat: 5})
+	const pc = 0x40_0000
+	m.WarmFetch(pc)
+	res := m.TranslateFetch(pc, 7)
+	if !res.L1Hit || res.Done != 7 {
+		t.Fatalf("fetch translation after WarmFetch = %+v, want L1 hit", res)
+	}
+	if m.ITLBMisses != 0 {
+		t.Fatalf("WarmFetch counted an ITLB miss")
+	}
+}

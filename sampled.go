@@ -1,0 +1,410 @@
+package tip
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/program"
+	"github.com/tipprof/tip/internal/trace"
+	"github.com/tipprof/tip/internal/xrand"
+)
+
+// SampledRunStats describes one sampled run's schedule: how much of the
+// execution was simulated in detail, how much was fast-forwarded, and what
+// the stitched cycle estimate is made of. All cycle figures use the core's
+// internal clock except MeasuredCycles, which is the contiguous renumbered
+// clock the profilers observed.
+type SampledRunStats struct {
+	// Windows is the number of measurement windows run, including a
+	// trailing partial window at end of program.
+	Windows uint64
+	// MeasuredCycles is the profiler-visible run length (the Finish
+	// total): last measured commit cycle + 1 on the renumbered clock.
+	MeasuredCycles uint64
+	// DetailedCycles is the cycle-level simulation's run length
+	// (measurement windows plus warmup prefixes), counted exactly as a
+	// full run would: last detailed commit cycle + 1.
+	DetailedCycles uint64
+	// WarmupCyclesRun is the detailed cycles simulated but hidden from
+	// the profilers as post-fast-forward warmup.
+	WarmupCyclesRun uint64
+	// FFInstructions is the number of instructions executed functionally
+	// (no timing) between windows.
+	FFInstructions uint64
+	// FFRepresentedCycles is the estimated cycle cost of the
+	// fast-forwarded instructions, each leg priced at its preceding
+	// window's cycles-per-instruction.
+	FFRepresentedCycles uint64
+	// WarmupRepresentedCycles is the estimated cycle cost of the
+	// instructions that committed during warmup prefixes, priced like the
+	// fast-forwarded ones. Warmup is state-priming only: it restarts from
+	// an empty pipeline, so its raw cycle count overstates the real cost
+	// of its commits by roughly a pipeline-fill per window — charging the
+	// representative price instead keeps the estimate unbiased.
+	WarmupRepresentedCycles uint64
+	// EstimatedCycles is the stitched full-run estimate: MeasuredCycles +
+	// FFRepresentedCycles + WarmupRepresentedCycles; Result.Stats.Cycles
+	// reports the same number.
+	EstimatedCycles uint64
+}
+
+// DetailedFraction returns the fraction of the estimated run that was
+// simulated cycle-by-cycle (1 when no fast-forward happened).
+func (s *SampledRunStats) DetailedFraction() float64 {
+	if s.EstimatedCycles == 0 {
+		return 1
+	}
+	return float64(s.DetailedCycles) / float64(s.EstimatedCycles)
+}
+
+// ValidateSampled checks rc's sampled-simulation window geometry. It is the
+// single validation authority: RunSampled applies it, and the CLI tools call
+// it before spending any simulation time.
+func ValidateSampled(rc RunConfig) error {
+	switch {
+	case rc.WindowCycles == 0:
+		return fmt.Errorf("sampled: WindowCycles must be positive")
+	case rc.WindowInterval == 0:
+		return fmt.Errorf("sampled: WindowInterval must be positive")
+	case rc.WindowCycles > rc.WindowInterval:
+		return fmt.Errorf("sampled: WindowCycles %d exceeds WindowInterval %d",
+			rc.WindowCycles, rc.WindowInterval)
+	case rc.WarmupCycles > rc.WindowInterval-rc.WindowCycles && rc.WindowCycles != rc.WindowInterval:
+		return fmt.Errorf("sampled: WindowCycles %d + WarmupCycles %d exceed WindowInterval %d",
+			rc.WindowCycles, rc.WarmupCycles, rc.WindowInterval)
+	}
+	return nil
+}
+
+// mulDiv returns a*b/d with a 128-bit intermediate, saturating at MaxUint64
+// instead of overflowing; d must be non-zero.
+func mulDiv(a, b, d uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi >= d {
+		return math.MaxUint64
+	}
+	q, _ := bits.Div64(hi, lo, d)
+	return q
+}
+
+// sampledCancelMask mirrors the core's RunContext poll granularity: the
+// window loop checks its context every sampledCancelMask+1 core cycles.
+const sampledCancelMask = 8191
+
+// runSampledCore is the sampled producer: it alternates detailed
+// measurement windows (emitted to consumer on a contiguous renumbered
+// clock) with functional fast-forward legs sized by the preceding window's
+// CPI, plus an optional discarded detailed warmup prefix after each leg.
+// On success the caller must deliver Finish(sr.MeasuredCycles) itself.
+func runSampledCore(ctx context.Context, core *cpu.Core, ff *program.FastForward, rc RunConfig, consumer trace.Consumer) (CoreStats, *SampledRunStats, error) {
+	var rec trace.Record
+	sr := &SampledRunStats{}
+	coreCycle := uint64(0) // the core's own clock, warmup included
+	measured := uint64(0)  // the emitted clock, contiguous from 0
+	lastCommitCore := uint64(0)
+	lastCommitMeasured := uint64(0)
+	done := false
+
+	// A full run never emits records past its last commit (the drained
+	// machine stops the cycle loop), and two checker invariants rest on
+	// that: Finish equals last commit + 1, and the Oracle attributes
+	// exactly one cycle per record. A measurement window, though, can end
+	// mid-stall with instructions in flight that only ever commit inside
+	// the next (hidden) warmup or fast-forward leg. Hold each commit-free
+	// suffix back until a later commit proves the stream continues; a
+	// suffix still held at end of run is dropped, making the measured
+	// stream end at its last commit exactly like a full run's.
+	jitter := xrand.New(rc.SamplingSeed ^ 0x5a3c9d71)
+
+	var held []trace.Record
+	emit := func(r *trace.Record) {
+		if r.CommitCount == 0 {
+			held = append(held, *r)
+			return
+		}
+		for i := range held {
+			consumer.OnCycle(&held[i])
+		}
+		held = held[:0]
+		consumer.OnCycle(r)
+	}
+
+	stepDetailed := func() (bool, error) {
+		if rc.Core.MaxCycles > 0 && coreCycle > rc.Core.MaxCycles {
+			return false, fmt.Errorf("cpu: exceeded MaxCycles=%d (committed %d)",
+				rc.Core.MaxCycles, core.Stats().Committed)
+		}
+		if coreCycle&sampledCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, fmt.Errorf("cpu: run aborted at cycle %d: %w", coreCycle, err)
+			}
+		}
+		return core.Step(coreCycle, &rec), nil
+	}
+
+	// Unmeasured instructions — a fast-forward leg plus the warmup after it
+	// — are priced by the windows that bracket them, not the preceding
+	// window alone: real programs trend (imagick triples its IPC as its
+	// compulsory-miss ramp drains), and one-sided pricing turns any trend
+	// into a systematic cycle over- or under-estimate. Each leg is settled
+	// trapezoidally once the next window's CPI is known — the mean of the
+	// two bracketing windows' prices — and warmup commits are priced at the
+	// window they run contiguously into. A leg the program ends inside is
+	// settled one-sidedly at termination; a window that committed nothing
+	// cedes its side of the bracket (falling back to CPI 1 only when
+	// neither side committed).
+	var pendingExec, pendingWarm uint64
+	havePending := false
+	var prevWinCycles, prevWinCommitted uint64
+	price := func(x, cyc, com uint64) (uint64, bool) {
+		if com == 0 {
+			return x, false
+		}
+		return mulDiv(x, cyc, com), true
+	}
+	settle := func(curCycles, curCommitted uint64, haveCur bool) {
+		if !havePending {
+			return
+		}
+		havePending = false
+		prev, prevOK := price(pendingExec, prevWinCycles, prevWinCommitted)
+		cur, curOK := price(pendingExec, curCycles, curCommitted)
+		curOK = curOK && haveCur
+		switch {
+		case prevOK && curOK:
+			sr.FFRepresentedCycles += prev/2 + cur/2 + (prev%2+cur%2)/2
+		case curOK:
+			sr.FFRepresentedCycles += cur
+		default:
+			sr.FFRepresentedCycles += prev // prev falls back to CPI 1 itself
+		}
+		if w, ok := price(pendingWarm, curCycles, curCommitted); ok && haveCur {
+			sr.WarmupRepresentedCycles += w
+		} else if w, ok := price(pendingWarm, prevWinCycles, prevWinCommitted); ok {
+			sr.WarmupRepresentedCycles += w
+		} else {
+			sr.WarmupRepresentedCycles += pendingWarm
+		}
+		pendingExec, pendingWarm = 0, 0
+	}
+
+	for !done {
+		// Measurement window: every cycle is emitted, renumbered onto
+		// the measured clock so downstream consumers (checker included)
+		// see one contiguous stream.
+		winStartCore := coreCycle
+		winStartCommits := core.Stats().Committed
+		for n := uint64(0); n < rc.WindowCycles; n++ {
+			d, err := stepDetailed()
+			if err != nil {
+				return core.Stats(), sr, err
+			}
+			rec.Cycle = measured
+			emit(&rec)
+			if rec.CommitCount > 0 {
+				lastCommitMeasured = measured
+				lastCommitCore = coreCycle
+			}
+			measured++
+			coreCycle++
+			if d {
+				done = true
+				break
+			}
+		}
+		sr.Windows++
+		winCycles := coreCycle - winStartCore
+		winCommitted := core.Stats().Committed - winStartCommits
+		settle(winCycles, winCommitted, true)
+		if done {
+			break
+		}
+		gap := rc.WindowInterval - rc.WindowCycles
+		if gap == 0 {
+			// Fraction 1: back-to-back windows degenerate to full
+			// simulation; no checkpoint, no warmup, no estimate.
+			continue
+		}
+		ffCycles := gap - rc.WarmupCycles
+		// De-phase the schedule: a strictly periodic window placement
+		// aliases against cycle-deterministic loops — the same failure
+		// mode sampling.NextPrime guards the sample interval against —
+		// repeatedly measuring the same loop phase and biasing the CPI
+		// estimate by tens of percent. A deterministic ±50% jitter on
+		// each leg keeps the mean detailed fraction on target while
+		// spreading windows across program phases.
+		ffCycles = ffCycles/2 + jitter.Uint64n(ffCycles+1)
+		// The leg skips the instructions the window's IPC says fit in
+		// ffCycles. A window that retired nothing (one long stall)
+		// falls back to IPC 1 so the run still makes progress.
+		skip := ffCycles
+		if winCommitted > 0 {
+			skip = mulDiv(ffCycles, winCommitted, winCycles)
+		}
+		if skip == 0 {
+			// The window predicts nothing would execute in the gap;
+			// keep simulating in detail rather than checkpointing
+			// for an empty leg.
+			continue
+		}
+		core.ArchCheckpoint(coreCycle)
+		exec, ffDone := core.FastForward(ff, skip)
+		sr.FFInstructions += exec
+		pendingExec = exec
+		havePending = true
+		prevWinCycles, prevWinCommitted = winCycles, winCommitted
+		if ffDone {
+			// The program ended inside the leg; the checkpoint left
+			// the pipeline empty, so there is nothing to drain.
+			break
+		}
+		core.ResumeFrom(coreCycle)
+		// Warmup prefix: simulated in detail (the core clock advances,
+		// commits count) but never emitted — the profilers' next
+		// observation is the window after it. Its cycles are likewise
+		// excluded from the cycle estimate: the pipeline restarts empty,
+		// so warmup time includes a fill ramp the uninterrupted execution
+		// never paid — charging it would overestimate by roughly a
+		// pipeline-fill per window. The instructions warmup commits are
+		// real, though, and are settled above at the price of the window
+		// they run into.
+		warmStartCommits := core.Stats().Committed
+		for n := uint64(0); n < rc.WarmupCycles && !done; n++ {
+			d, err := stepDetailed()
+			if err != nil {
+				return core.Stats(), sr, err
+			}
+			if rec.CommitCount > 0 {
+				lastCommitCore = coreCycle
+			}
+			coreCycle++
+			sr.WarmupCyclesRun++
+			done = d
+		}
+		pendingWarm = core.Stats().Committed - warmStartCommits
+	}
+	// A leg or warmup the program ended inside has no bracketing window on
+	// the right; settle it against the left window alone.
+	settle(0, 0, false)
+
+	core.FinalizeStats(lastCommitCore)
+	stats := core.Stats()
+	sr.MeasuredCycles = lastCommitMeasured + 1
+	sr.DetailedCycles = stats.Cycles
+	sr.EstimatedCycles = sr.MeasuredCycles + sr.FFRepresentedCycles + sr.WarmupRepresentedCycles
+	// The published stats describe the whole (estimated) execution, so a
+	// sampled run drops into any report a full run feeds.
+	stats.Cycles = sr.EstimatedCycles
+	stats.Committed += sr.FFInstructions
+	return stats, sr, nil
+}
+
+// RunSampled evaluates rc's profiler matrix under sampled simulation: one
+// core alternates detailed measurement windows with functional fast-forward
+// (see RunConfig.Sampled), streaming the measured windows through the same
+// bounded ring and replay shards as RunStreaming. Profilers therefore
+// observe a contiguous, renumbered trace covering roughly
+// WindowCycles/WindowInterval of the execution; Result.Stats reports the
+// stitched full-run estimate and Result.Sampling the schedule. With
+// WindowCycles == WindowInterval the run is bit-identical to RunStreaming
+// (and to the two-pass captured path) at every layer. A nil ctx means
+// context.Background().
+func RunSampled(ctx context.Context, w *Workload, rc RunConfig) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fail := func(err error) (*Result, error) {
+		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
+	}
+	if err := ValidateSampled(rc); err != nil {
+		return fail(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	if rc.TargetSamples == 0 {
+		rc.TargetSamples = 4096
+	}
+
+	var pilotCycles uint64
+	if rc.SampleInterval == 0 {
+		pilotCycles = rc.PilotCycles
+		if pilotCycles == 0 {
+			pilotCycles = DefaultPilotCycles
+		}
+	}
+	s := trace.NewStream(trace.StreamConfig{PilotCycles: pilotCycles})
+
+	core := newCore(rc.Core, w)
+	ff := program.NewFastForward(w.Prog)
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var stats CoreStats
+	var sampling *SampledRunStats
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		st, sr, err := runSampledCore(runCtx, core, ff, rc, s)
+		if err != nil {
+			s.Fail(fmt.Errorf("%s: %w", w.Name, err))
+			return
+		}
+		stats, sampling = st, sr
+		s.Finish(sr.MeasuredCycles)
+	}()
+	stop := func() {
+		s.Abort()
+		cancelRun()
+		<-prodDone
+	}
+
+	interval := rc.SampleInterval
+	estCycles := uint64(0)
+	if interval == 0 {
+		ps, err := s.Pilot(ctx)
+		if err != nil {
+			stop()
+			return fail(err)
+		}
+		estCycles = PilotEstimateCycles(ps, w.TargetDynInsts)
+		if !ps.Exact {
+			// The pilot extrapolates the full run, but the profilers
+			// only see the measured fraction of it — shrink the
+			// estimate so the interval still collects ~TargetSamples
+			// from the measured stream. (Exact pilot stats already
+			// are the measured total.)
+			estCycles = mulDiv(estCycles, rc.WindowCycles, rc.WindowInterval)
+		}
+		interval = CalibrateInterval(estCycles, rc.TargetSamples)
+	}
+	if rc.ExtraConsumersAt != nil {
+		rc.ExtraConsumers = appendConsumers(rc.ExtraConsumers, rc.ExtraConsumersAt(interval, estCycles))
+	}
+	m := buildMatrix(w, rc, interval)
+
+	workers := rc.ReplayWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if _, _, err := s.ReplayShards(ctx, m.shards(workers)...); err != nil {
+		stop()
+		return fail(err)
+	}
+	<-prodDone
+	if m.checker != nil {
+		if err := m.checker.Err(); err != nil {
+			return fail(err)
+		}
+	}
+	return &Result{
+		Workload:       w,
+		Stats:          stats,
+		Oracle:         m.oracle,
+		Sampled:        m.byKind,
+		SampleInterval: interval,
+		Sampling:       sampling,
+	}, nil
+}

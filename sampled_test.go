@@ -1,0 +1,290 @@
+package tip
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/tipprof/tip/internal/trace"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// TestValidateSampled exercises every window-geometry rejection and the two
+// legal shapes (proper sub-window, and window == interval where warmup is
+// ignored).
+func TestValidateSampled(t *testing.T) {
+	mk := func(wc, wi, warm uint64) RunConfig {
+		rc := DefaultRunConfig()
+		rc.Sampled = true
+		rc.WindowCycles = wc
+		rc.WindowInterval = wi
+		rc.WarmupCycles = warm
+		return rc
+	}
+	cases := []struct {
+		name    string
+		rc      RunConfig
+		wantErr string
+	}{
+		{"zero window", mk(0, 4096, 0), "WindowCycles must be positive"},
+		{"zero interval", mk(1024, 0, 0), "WindowInterval must be positive"},
+		{"window exceeds interval", mk(8192, 4096, 0), "exceeds WindowInterval"},
+		{"warmup overflows interval", mk(1024, 4096, 3073), "exceed WindowInterval"},
+		{"ok", mk(1024, 4096, 512), ""},
+		{"full fraction ignores warmup", mk(4096, 4096, 1<<40), ""},
+	}
+	for _, tc := range cases {
+		err := ValidateSampled(tc.rc)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRunSampledFullFractionIdentity is the degenerate-case pin: with
+// WindowCycles == WindowInterval the sampled path must be bit-identical to
+// full simulation at every layer — the encoded trace records, the profiler
+// matrix, and the core statistics.
+func TestRunSampledFullFractionIdentity(t *testing.T) {
+	w, err := workload.LoadScaled("imagick", 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig()
+	rc.SampleInterval = 1009 // pin the interval so captured/streaming/sampled calibrate nothing
+	rc.Check = true
+	rc.WithBreakdown = true
+
+	refCapt, refStats, err := CaptureWorkload(w, rc.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refCapt.Close()
+	ref, err := RunCaptured(context.Background(), w, refCapt, refStats, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := RunStreaming(context.Background(), w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := rc
+	src.Sampled = true
+	src.WindowCycles = 4096
+	src.WindowInterval = 4096
+	src.WarmupCycles = 2048 // must be ignored at full fraction
+	gotCapt := trace.NewCapture(0)
+	defer gotCapt.Close()
+	src.ExtraConsumers = []trace.Consumer{gotCapt}
+	got, err := RunSampled(context.Background(), w, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertResultsIdentical(t, "sampled-vs-captured", ref, got)
+	assertResultsIdentical(t, "sampled-vs-streaming", stream, got)
+	if got.Stats != refStats {
+		t.Fatalf("sampled stats %+v, want %+v", got.Stats, refStats)
+	}
+	sr := got.Sampling
+	if sr == nil {
+		t.Fatal("sampled run published no Sampling stats")
+	}
+	if sr.FFInstructions != 0 || sr.FFRepresentedCycles != 0 || sr.WarmupCyclesRun != 0 {
+		t.Fatalf("full-fraction run fast-forwarded: %+v", sr)
+	}
+	if sr.DetailedFraction() != 1 {
+		t.Fatalf("full-fraction run reports fraction %v", sr.DetailedFraction())
+	}
+	if sr.EstimatedCycles != refStats.Cycles || sr.MeasuredCycles != refStats.Cycles {
+		t.Fatalf("full-fraction cycles: estimated %d measured %d, want %d",
+			sr.EstimatedCycles, sr.MeasuredCycles, refStats.Cycles)
+	}
+
+	// Trace layer: the teed capture's encoded bytes must equal the
+	// reference capture's, record for record.
+	if gotCapt.Records() != refCapt.Records() || gotCapt.Cycles() != refCapt.Cycles() {
+		t.Fatalf("capture shape: %d records/%d cycles, want %d/%d",
+			gotCapt.Records(), gotCapt.Cycles(), refCapt.Records(), refCapt.Cycles())
+	}
+	var refBuf, gotBuf bytes.Buffer
+	if _, err := refCapt.WriteTo(&refBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gotCapt.WriteTo(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatal("full-fraction sampled trace bytes differ from full simulation")
+	}
+}
+
+// TestRunSampledFullFractionCalibrationParity pins the pilot-calibration
+// path: at full fraction the sampled run's measured stream equals the full
+// trace, so its pilot estimate — and therefore its calibrated interval and
+// every profile — must match RunStreaming's exactly.
+func TestRunSampledFullFractionCalibrationParity(t *testing.T) {
+	w, err := workload.LoadScaled("imagick", 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig()
+	rc.Check = true
+	stream, err := RunStreaming(context.Background(), w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rc
+	src.Sampled = true
+	src.WindowCycles = 4096
+	src.WindowInterval = 4096
+	got, err := RunSampled(context.Background(), w, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "calibrated full fraction", stream, got)
+	if got.Stats != stream.Stats {
+		t.Fatalf("sampled stats %+v, want %+v", got.Stats, stream.Stats)
+	}
+}
+
+// TestRunSampledConvergence is the metamorphic accuracy check: as the
+// detailed window fraction grows toward 1, the stitched cycle estimate's
+// error against the full run must not get worse, and at fraction 1 it must
+// be exactly zero. Instruction conservation (detailed commits plus
+// fast-forwarded instructions equal the full run's commits) holds at every
+// fraction.
+func TestRunSampledConvergence(t *testing.T) {
+	w, err := workload.LoadScaled("imagick", 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := MeasureStats(w, DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const interval = 1 << 13
+	prevErr := 2.0 // anything real is below this
+	for _, div := range []uint64{8, 4, 2, 1} {
+		rc := DefaultRunConfig()
+		rc.Sampled = true
+		rc.Check = true
+		rc.WindowInterval = interval
+		rc.WindowCycles = interval / div
+		if div > 1 {
+			rc.WarmupCycles = 1 << 10
+		}
+		res, err := RunSampled(context.Background(), w, rc)
+		if err != nil {
+			t.Fatalf("1/%d: %v", div, err)
+		}
+		est := res.Stats.Cycles
+		cpiErr := absFrac(est, full.Cycles)
+		t.Logf("fraction 1/%d: est %d cycles vs full %d (err %.4f, windows %d, ff %d insts)",
+			div, est, full.Cycles, cpiErr, res.Sampling.Windows, res.Sampling.FFInstructions)
+		if res.Stats.Committed != full.Committed {
+			t.Fatalf("1/%d: committed %d (detailed+ff), full run %d",
+				div, res.Stats.Committed, full.Committed)
+		}
+		if cpiErr > prevErr+1e-9 {
+			t.Fatalf("1/%d: error %.4f worse than the smaller fraction's %.4f", div, cpiErr, prevErr)
+		}
+		prevErr = cpiErr
+	}
+	if prevErr != 0 {
+		t.Fatalf("fraction 1 error %.6f, want exactly 0", prevErr)
+	}
+}
+
+// absFrac returns |a-b|/b.
+func absFrac(a, b uint64) float64 {
+	if a > b {
+		return float64(a-b) / float64(b)
+	}
+	return float64(b-a) / float64(b)
+}
+
+// TestRunSampledReplayWorkersIdentity pins shard-count independence for the
+// sampled path: the same sampled run replayed over 1 and 4 workers must
+// produce deeply equal profiler state and identical schedules.
+func TestRunSampledReplayWorkersIdentity(t *testing.T) {
+	w, err := workload.LoadScaled("x264", 1, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *Result
+	for _, workers := range []int{1, 4} {
+		rc := DefaultRunConfig()
+		rc.Sampled = true
+		rc.WindowCycles = 1 << 11
+		rc.WindowInterval = 1 << 13
+		rc.WarmupCycles = 1 << 9
+		rc.Check = true
+		rc.ReplayWorkers = workers
+		res, err := RunSampled(context.Background(), w, rc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		assertResultsIdentical(t, fmt.Sprintf("workers=%d", workers), ref, res)
+		if ref.Stats != res.Stats {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, res.Stats, ref.Stats)
+		}
+		if !reflect.DeepEqual(ref.Sampling, res.Sampling) {
+			t.Fatalf("workers=%d: sampling %+v, want %+v", workers, res.Sampling, ref.Sampling)
+		}
+	}
+}
+
+// TestRunSampledRejectsBadGeometry checks RunSampled surfaces validation
+// errors before simulating anything.
+func TestRunSampledRejectsBadGeometry(t *testing.T) {
+	w, err := workload.LoadScaled("mcf", 1, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig()
+	rc.Sampled = true
+	rc.WindowCycles = 0
+	rc.WindowInterval = 4096
+	if _, err := RunSampled(context.Background(), w, rc); err == nil ||
+		!strings.Contains(err.Error(), "WindowCycles must be positive") {
+		t.Fatalf("error %v, want WindowCycles rejection", err)
+	}
+}
+
+// TestRunDispatchesSampled checks the Run front door honors rc.Sampled.
+func TestRunDispatchesSampled(t *testing.T) {
+	w, err := workload.LoadScaled("mcf", 1, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig()
+	rc.Sampled = true
+	rc.WindowCycles = 1 << 11
+	rc.WindowInterval = 1 << 13
+	res, err := Run(w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampling == nil {
+		t.Fatal("Run with rc.Sampled returned no Sampling stats")
+	}
+	if res.Sampling.FFInstructions == 0 {
+		t.Fatal("sampled run fast-forwarded nothing; window geometry too lax for this workload")
+	}
+}

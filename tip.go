@@ -165,6 +165,34 @@ type RunConfig struct {
 	// replayed first so profilers observe every cycle. Ignored when
 	// SampleInterval is explicit.
 	PilotCycles uint64
+	// Sampled selects SMARTS-style sampled simulation: detailed
+	// measurement windows of WindowCycles, one per WindowInterval of
+	// estimated execution, with the gap covered by functional
+	// fast-forward (architectural state plus cache/TLB/predictor warming,
+	// no timing) and an optional WarmupCycles detailed prefix whose
+	// observations are discarded. Profilers see only the measurement
+	// windows, renumbered onto a contiguous clock; Result.Stats.Cycles
+	// becomes an estimate built by weighting each fast-forward leg with
+	// its preceding window's CPI (see RunSampled). Composes with the
+	// streaming pipeline; implies Streaming-style fused execution.
+	Sampled bool
+	// WindowCycles is the length of each detailed measurement window in
+	// cycles. Required (non-zero) when Sampled is set.
+	WindowCycles uint64
+	// WindowInterval is the execution period each window represents, in
+	// cycles: one window of WindowCycles measures each WindowInterval of
+	// the run, so WindowCycles/WindowInterval is the detailed fraction.
+	// Must be at least WindowCycles; equal means every cycle is measured
+	// and the run is bit-identical to full simulation. Required when
+	// Sampled is set.
+	WindowInterval uint64
+	// WarmupCycles is the detailed warmup prefix re-run before each
+	// measurement window after a fast-forward: the core simulates these
+	// cycles normally but the profilers never observe them, absorbing the
+	// functional warming's residual cold-start error. WindowCycles +
+	// WarmupCycles must fit in WindowInterval (unless the two are equal,
+	// in which case no fast-forward ever happens and warmup is ignored).
+	WarmupCycles uint64
 }
 
 // DefaultRunConfig returns the standard evaluation configuration.
@@ -188,6 +216,9 @@ type Result struct {
 	Sampled map[Kind]*profiler.Sampled
 	// SampleInterval is the sampling period used, in cycles.
 	SampleInterval uint64
+	// Sampling describes the sampled-simulation schedule when the run
+	// used RunConfig.Sampled; nil for full-detail runs.
+	Sampling *SampledRunStats
 }
 
 // Err returns the named profiler's systematic error against Oracle at the
@@ -429,6 +460,9 @@ func RunCaptured(ctx context.Context, w *Workload, capt *TraceCapture, stats Cor
 func Run(w *Workload, rc RunConfig) (*Result, error) {
 	if rc.TargetSamples == 0 {
 		rc.TargetSamples = 4096
+	}
+	if rc.Sampled {
+		return RunSampled(context.Background(), w, rc)
 	}
 	if rc.Streaming {
 		return RunStreaming(context.Background(), w, rc)
