@@ -41,7 +41,7 @@ func main() {
 		scale       = flag.Uint64("scale", 0, "dynamic-instruction budget per benchmark (0 = full scale)")
 		samples     = flag.Uint64("samples", 0, "4 kHz-equivalent sample count (0 = default 32768)")
 		seed        = flag.Uint64("seed", 1, "workload seed")
-		figures     = flag.String("figures", "", "comma-separated subset: fig1,fig7,fig8,fig9,fig10,fig11a,fig11b,fig11c,fig12,fig13,table1,overhead,sampling-overhead,validation,sampled")
+		figures     = flag.String("figures", "", "comma-separated subset: fig1,fig7,fig8,fig9,fig10,fig11a,fig11b,fig11c,fig12,fig13,table1,overhead,sampling-overhead,validation,sampled,multicore")
 		benchs      = flag.String("benchmarks", "", "comma-separated benchmark subset")
 		out         = flag.String("out", "", "write output to this file instead of stdout")
 		checked     = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation on every run; fail on any violation")
@@ -221,6 +221,17 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+
+	// The multicore experiment is opt-in like sampled: it simulates each
+	// co-runner pair lockstep (roughly the cost of its workloads combined),
+	// so "everything" does not imply it.
+	if want["multicore"] {
+		t, err := experiments.Multicore(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, t)
 	}
 
 	if sel("fig12") {

@@ -10,7 +10,11 @@
 // capture and skip the cycle-level simulation entirely. Jobs submitted with
 // "sampled":true instead run under sampled simulation (detailed measurement
 // windows alternating with functional fast-forward) and bypass the capture
-// cache — there is no full trace to store.
+// cache — there is no full trace to store. Jobs submitted with "cores":[...]
+// run a multi-programmed lockstep set on one shared-LLC system, profile each
+// core against its own Oracle from a single core-tagged capture (cached
+// keyed by the ordered core set), and export per-core pprof via ?core=N with
+// a "core" sample label.
 //
 // Example:
 //
@@ -19,6 +23,13 @@
 //	curl -s localhost:7171/v1/jobs/j00000001
 //	curl -s -o prof.pb.gz localhost:7171/v1/jobs/j00000001/pprof?profiler=TIP
 //	go tool pprof -top prof.pb.gz
+//
+// Multicore:
+//
+//	curl -s localhost:7171/v1/jobs \
+//	    -d '{"cores":[{"bench":"mcf","scale":200000},{"bench":"x264","scale":200000}]}'
+//	curl -s -o mcf.pb.gz 'localhost:7171/v1/jobs/j00000002/pprof?profiler=TIP&core=0'
+//	go tool pprof -tags mcf.pb.gz   # samples labelled core=0
 package main
 
 import (

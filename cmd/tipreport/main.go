@@ -33,6 +33,7 @@ func main() {
 		fn    = flag.String("fn", "", "print the instruction profile of this function")
 		insts = flag.Int("insts", 0, "print the N hottest instructions")
 		pprof = flag.String("pprof", "", "also write the profile as a gzipped pprof protobuf to this file (open with `go tool pprof`)")
+		core  = flag.Int("core", -1, "tag the pprof samples with this core number (\"core\" string label, like tipd's multicore export; -1 = untagged)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -67,6 +68,9 @@ func main() {
 			fatal(err)
 		}
 		opt := pprofenc.JobOptions(*bench, *seed, *scale, "TIP", 0)
+		if *core >= 0 {
+			opt.Labels = []pprofenc.Label{{Key: "core", Value: fmt.Sprint(*core)}}
+		}
 		if err := pprofenc.Write(out, prof, opt); err != nil {
 			out.Close()
 			fatal(err)

@@ -7,6 +7,7 @@
 //	tipsim -bench imagick -top 8
 //	tipsim -bench imagick -fn ceil
 //	tipsim -bench gcc -profilers NCI,TIP -samples 8192
+//	tipsim -cores mcf,x264
 //	tipsim -list
 package main
 
@@ -30,6 +31,7 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "imagick", "benchmark name (see -list)")
+		cores     = flag.String("cores", "", "comma-separated benchmarks run lockstep on one shared-LLC system, workload i on core i, profiled per core through the core-tagged capture (incompatible with -record/-streaming/-sampled)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		profilers = flag.String("profilers", "", "comma-separated profiler subset (default: all)")
 		samples   = flag.Uint64("samples", 4096, "calibrated sample count (4 kHz-equivalent)")
@@ -91,11 +93,6 @@ func main() {
 		fatal(err)
 	}
 
-	w, err := workload.LoadScaled(*bench, *seed, *scale)
-	if err != nil {
-		fatal(err)
-	}
-
 	rc := tip.DefaultRunConfig()
 	rc.TargetSamples = *samples
 	rc.RandomSampling = *random
@@ -106,6 +103,19 @@ func main() {
 	rc.Streaming = *streaming
 	rc.PilotCycles = *pilot
 	if err := configureSampled(&rc, *sampled, *window, *interval, *warmup, *record != ""); err != nil {
+		fatal(err)
+	}
+
+	if *cores != "" {
+		if err := runMulticore(*cores, *seed, *scale, rc, *top, *fn,
+			*record != "", *streaming, *sampled); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	w, err := workload.LoadScaled(*bench, *seed, *scale)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -159,8 +169,13 @@ func main() {
 			recWriter.Count(), recWriter.Count()*perfdata.RecordBytes, *record)
 	}
 
+	printResult(w.Name, res, *top, *fn)
+}
+
+// printResult renders one run's summary, error table, and top functions.
+func printResult(name string, res *tip.Result, top int, fn string) {
 	fmt.Printf("benchmark %s: %d cycles, %d instructions, IPC %.2f, sample interval %d cycles\n",
-		w.Name, res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC(), res.SampleInterval)
+		name, res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC(), res.SampleInterval)
 	if sr := res.Sampling; sr != nil {
 		fmt.Printf("sampled: %d windows, %d measured cycles (%.1f%% detailed), %d instructions fast-forwarded; cycle total is the stitched estimate\n",
 			sr.Windows, sr.MeasuredCycles, sr.DetailedFraction()*100, sr.FFInstructions)
@@ -178,30 +193,63 @@ func main() {
 	}
 
 	fmt.Printf("\nhottest functions (Oracle):\n")
-	for _, r := range res.Oracle.Profile.TopFunctions(*top, true) {
+	for _, r := range res.Oracle.Profile.TopFunctions(top, true) {
 		fmt.Printf("  %-24s %6.2f%%\n", r.Name, r.Share*100)
 	}
 
-	if *fn != "" {
-		fmt.Printf("\ninstruction profile of %s (Oracle / TIP / NCI):\n", *fn)
-		or := res.Oracle.Profile.FunctionInstProfile(*fn)
+	if fn != "" {
+		fmt.Printf("\ninstruction profile of %s (Oracle / TIP / NCI):\n", fn)
+		or := res.Oracle.Profile.FunctionInstProfile(fn)
 		tp := res.Sampled[tip.KindTIP]
 		np := res.Sampled[tip.KindNCI]
 		for i, r := range or {
 			tv, nv := "-", "-"
 			if tp != nil {
-				if rows := tp.Profile.FunctionInstProfile(*fn); i < len(rows) {
+				if rows := tp.Profile.FunctionInstProfile(fn); i < len(rows) {
 					tv = fmt.Sprintf("%6.2f%%", rows[i].Share*100)
 				}
 			}
 			if np != nil {
-				if rows := np.Profile.FunctionInstProfile(*fn); i < len(rows) {
+				if rows := np.Profile.FunctionInstProfile(fn); i < len(rows) {
 					nv = fmt.Sprintf("%6.2f%%", rows[i].Share*100)
 				}
 			}
 			fmt.Printf("  %-28s %6.2f%%  %7s  %7s\n", r.Name, r.Share*100, tv, nv)
 		}
 	}
+}
+
+// runMulticore runs the -cores benchmark set lockstep on one shared-LLC
+// system and prints each core's profile evaluation against that core's own
+// Oracle.
+func runMulticore(spec string, seed, scale uint64, rc tip.RunConfig, top int, fn string, recording, streaming, sampled bool) error {
+	switch {
+	case recording:
+		return fmt.Errorf("-record is incompatible with -cores (raw-sample recording is single-core)")
+	case streaming:
+		return fmt.Errorf("-streaming is incompatible with -cores (multicore profiling demultiplexes a finished capture)")
+	case sampled:
+		return fmt.Errorf("-sampled is incompatible with -cores (fast-forward legs emit no core-tagged records)")
+	}
+	names := strings.Split(spec, ",")
+	ws := make([]*tip.Workload, 0, len(names))
+	for _, name := range names {
+		w, err := workload.LoadScaled(strings.TrimSpace(name), seed, scale)
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	}
+	res, err := tip.RunMulticore(context.Background(), ws, rc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d cores, %d interleaved cycles\n", len(res.Cores), res.TotalCycles)
+	for i, cr := range res.Cores {
+		fmt.Printf("\n--- core %d ---\n", i)
+		printResult(ws[i].Name, cr, top, fn)
+	}
+	return nil
 }
 
 // configureSampled applies the sampled-simulation flags to rc. The geometry

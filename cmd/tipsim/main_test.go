@@ -67,3 +67,26 @@ func TestConfigureSampledDefaults(t *testing.T) {
 		t.Fatalf("full-fraction run got a defaulted warmup %d", rc.WarmupCycles)
 	}
 }
+
+// TestRunMulticoreRejections exercises the -cores mode rejections: raw-sample
+// recording, fused streaming, and sampled simulation are all single-core
+// paths.
+func TestRunMulticoreRejections(t *testing.T) {
+	rc := tip.DefaultRunConfig()
+	cases := []struct {
+		name                          string
+		recording, streaming, sampled bool
+		wantErr                       string
+	}{
+		{name: "record", recording: true, wantErr: "-record is incompatible with -cores"},
+		{name: "streaming", streaming: true, wantErr: "-streaming is incompatible with -cores"},
+		{name: "sampled", sampled: true, wantErr: "-sampled is incompatible with -cores"},
+		{name: "unknown bench", wantErr: "unknown benchmark"},
+	}
+	for _, tc := range cases {
+		err := runMulticore("mcf,nosuchbench", 1, 10_000, rc, 5, "", tc.recording, tc.streaming, tc.sampled)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

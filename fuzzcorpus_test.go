@@ -31,6 +31,40 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 		trunc := data[:len(data)*3/4]
 		writeCorpus(t, "FuzzReplayBytes", bench+"-truncated", trunc)
 	}
+	// A core-tagged v3 stream from a real two-core capture seeds the
+	// decoder's core-delta path with genuine lockstep interleaving.
+	mc := encodeMulticoreTrace(t, []string{"mcf", "x264"}, 4000, 2048)
+	writeCorpus(t, "FuzzDecodeRecord", "multicore-v3", mc)
+	writeCorpus(t, "FuzzReplayBytes", "multicore-v3", mc)
+	writeCorpus(t, "FuzzReplayBytes", "multicore-v3-truncated", mc[:len(mc)*3/4])
+}
+
+// encodeMulticoreTrace captures a scaled-down lockstep run of benches and
+// re-encodes its first maxRecords records as a standalone TIPTRC3 stream.
+func encodeMulticoreTrace(t *testing.T, benches []string, scale uint64, maxRecords int) []byte {
+	t.Helper()
+	ws := make([]*tip.Workload, len(benches))
+	for i, bench := range benches {
+		w, err := workload.LoadScaled(bench, 1, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	capture, _, err := tip.CaptureMulticore(nil, ws, tip.DefaultRunConfig().Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capture.Close()
+	var buf bytes.Buffer
+	enc := &prefixEncoder{w: trace.NewWriterV3(&buf), max: maxRecords}
+	if _, _, err := capture.Replay(enc); err != nil {
+		t.Fatal(err)
+	}
+	if enc.w.Err() != nil {
+		t.Fatal(enc.w.Err())
+	}
+	return buf.Bytes()
 }
 
 // encodeBenchTrace captures a scaled-down run of the benchmark and re-encodes

@@ -62,7 +62,8 @@ type Config struct {
 	// RedirectPenalty is the delay from resolving a mispredict (or
 	// committing a flushing instruction) to fetch restarting.
 	RedirectPenalty uint64
-	// MaxCycles aborts runaway simulations; 0 means no cap.
+	// MaxCycles aborts runaway simulations after exactly this many cycles
+	// (cycle values 0..MaxCycles-1 may execute); 0 means no cap.
 	MaxCycles uint64
 	// ClockHz is the nominal core frequency (for data-rate reporting
 	// only; the simulator is cycle-based).

@@ -420,7 +420,10 @@ func (c *Core) RunContext(ctx context.Context, consumer trace.Consumer) (Stats, 
 	cycle := uint64(0)
 	lastCommitCycle := uint64(0)
 	for {
-		if c.cfg.MaxCycles > 0 && cycle > c.cfg.MaxCycles {
+		// MaxCycles permits exactly that many cycles (values
+		// 0..MaxCycles-1); multicore.System.run enforces the identical
+		// boundary on its lockstep clock.
+		if c.cfg.MaxCycles > 0 && cycle >= c.cfg.MaxCycles {
 			return c.stats, fmt.Errorf("cpu: exceeded MaxCycles=%d (committed %d)", c.cfg.MaxCycles, c.stats.Committed)
 		}
 		if ctx != nil && cycle&cancelMask == 0 {

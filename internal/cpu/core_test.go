@@ -536,3 +536,30 @@ func BenchmarkCoreMemBound(b *testing.B) {
 		core.step(uint64(i), &rec)
 	}
 }
+
+// TestMaxCyclesBoundary pins the cap to exactly MaxCycles cycles: a run
+// that needs N cycles to drain succeeds at MaxCycles=N and aborts at N-1.
+func TestMaxCyclesBoundary(t *testing.T) {
+	p := independentALULoop(64)
+	run := func(maxCycles uint64) (uint64, error) {
+		cfg := DefaultConfig()
+		cfg.MaxCycles = maxCycles
+		core := New(cfg, p, program.NewInterp(p, 1))
+		core.MMU().PrefaultAll()
+		cc := &trace.CountingConsumer{}
+		_, err := core.Run(cc)
+		return cc.Cycles, err
+	}
+	// One record is emitted per stepped cycle, so the unbounded run's
+	// record count is the exact number of cycles the core needs.
+	steps, err := run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(steps); err != nil {
+		t.Fatalf("MaxCycles=%d (exact) aborted: %v", steps, err)
+	}
+	if _, err := run(steps - 1); err == nil {
+		t.Fatalf("MaxCycles=%d (one short) did not abort", steps-1)
+	}
+}

@@ -13,6 +13,7 @@
 package multicore
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tipprof/tip/internal/cache"
@@ -86,10 +87,40 @@ func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
 // consumers see exactly the records that core produced, then Finish with
 // that core's cycle count.
 func (s *System) Run() ([]CoreResult, error) {
+	return s.run(nil, nil)
+}
+
+// CaptureRun is Run with a shared consumer observing the interleaved
+// stream: every live core's record each cycle, in core order, tagged with
+// the producing core's ID (Record.Core). Streaming the shared consumer into
+// a trace.NewCaptureV3 capture records the whole multi-programmed run in
+// one TIPTRC3 stream that a core-demuxing replay (trace.CoreFilter) can
+// later fan back out onto per-core profiler matrices — the capture-once,
+// evaluate-many workflow extended to §3.2's one-TIP-unit-per-core machine.
+//
+// The shared consumer's Finish receives the interleaved run's total under
+// the replay rule: the last committing cycle across all cores plus one
+// (each core's own consumers still Finish with that core's count).
+// Cancelling ctx aborts the lockstep loop within a few thousand cycles; a
+// nil ctx disables cancellation.
+func (s *System) CaptureRun(ctx context.Context, shared trace.Consumer) ([]CoreResult, error) {
+	return s.run(ctx, shared)
+}
+
+// cancelCheckMask matches cpu.Core.RunContext's polling cadence: ctx.Err is
+// checked every 8192 lockstep cycles.
+const cancelCheckMask = 8191
+
+func (s *System) run(ctx context.Context, shared trace.Consumer) ([]CoreResult, error) {
 	n := len(s.cores)
 	done := make([]bool, n)
 	results := make([]CoreResult, n)
 	recs := make([]trace.Record, n)
+	for i := range recs {
+		// Tag each core's reused record once; Record.Reset leaves Core
+		// alone, so every record core i emits carries its ID.
+		recs[i].Core = uint32(i)
+	}
 	remaining := n
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles == 0 {
@@ -97,8 +128,16 @@ func (s *System) Run() ([]CoreResult, error) {
 	}
 
 	for cycle := uint64(0); remaining > 0; cycle++ {
-		if maxCycles > 0 && cycle > maxCycles {
+		// MaxCycles permits exactly maxCycles lockstep cycles (cycle
+		// values 0..maxCycles-1), the same boundary cpu.Core.RunContext
+		// enforces.
+		if maxCycles > 0 && cycle >= maxCycles {
 			return nil, fmt.Errorf("multicore: exceeded %d cycles with %d cores unfinished", maxCycles, remaining)
+		}
+		if ctx != nil && cycle&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("multicore: aborted at cycle %d: %w", cycle, err)
+			}
 		}
 		for i, core := range s.cores {
 			if done[i] {
@@ -107,6 +146,9 @@ func (s *System) Run() ([]CoreResult, error) {
 			finished := core.Step(cycle, &recs[i])
 			for _, c := range s.specs[i].Consumers {
 				c.OnCycle(&recs[i])
+			}
+			if shared != nil {
+				shared.OnCycle(&recs[i])
 			}
 			if recs[i].CommitCount > 0 {
 				results[i].DoneCycle = cycle
@@ -121,6 +163,18 @@ func (s *System) Run() ([]CoreResult, error) {
 				}
 			}
 		}
+	}
+	if shared != nil {
+		// Same total a replay of the interleaved stream derives: the last
+		// committing cycle across all cores, plus one (trailing drain
+		// cycles carry no commits).
+		maxCommit := uint64(0)
+		for i := range results {
+			if results[i].DoneCycle > maxCommit {
+				maxCommit = results[i].DoneCycle
+			}
+		}
+		shared.Finish(maxCommit + 1)
 	}
 	return results, nil
 }

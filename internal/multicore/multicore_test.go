@@ -173,3 +173,94 @@ func TestMaxCyclesAborts(t *testing.T) {
 		t.Fatal("expected MaxCycles error")
 	}
 }
+
+// TestMaxCyclesBoundary pins the cap semantics to cpu.Core's: MaxCycles
+// permits exactly MaxCycles lockstep cycles, so a run needing N cycles
+// succeeds at MaxCycles=N and aborts at N-1.
+func TestMaxCyclesBoundary(t *testing.T) {
+	specs := func() []CoreSpec {
+		return []CoreSpec{
+			{Workload: load(t, "exchange2", 40_000)},
+			{Workload: load(t, "exchange2", 80_000)},
+		}
+	}
+	cfg := sysConfig()
+	a, b := &trace.CountingConsumer{}, &trace.CountingConsumer{}
+	unboundedSpecs := specs()
+	unboundedSpecs[0].Consumers = []trace.Consumer{a}
+	unboundedSpecs[1].Consumers = []trace.Consumer{b}
+	if _, err := New(cfg, unboundedSpecs).Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Every lockstep cycle delivers a record to each live core's consumer,
+	// so the slower core's record count is the cycles the run stepped.
+	steps := a.Cycles
+	if b.Cycles > steps {
+		steps = b.Cycles
+	}
+
+	cfg.MaxCycles = steps
+	if _, err := New(cfg, specs()).Run(); err != nil {
+		t.Fatalf("MaxCycles=%d (exact) aborted: %v", steps, err)
+	}
+	cfg.MaxCycles = steps - 1
+	if _, err := New(cfg, specs()).Run(); err == nil {
+		t.Fatalf("MaxCycles=%d (one short) did not abort", steps-1)
+	}
+}
+
+// recordSink copies every record it observes.
+type recordSink struct {
+	recs  []trace.Record
+	total uint64
+}
+
+func (s *recordSink) OnCycle(r *trace.Record)   { s.recs = append(s.recs, *r) }
+func (s *recordSink) Finish(totalCycles uint64) { s.total = totalCycles }
+
+// TestCaptureRunInterleavesTaggedRecords checks the shared-consumer stream:
+// records are tagged with the producing core, the per-core subsequences are
+// exactly what each core's own consumers observed, and the interleaving is
+// lockstep (cycle-major, core order within a cycle).
+func TestCaptureRunInterleavesTaggedRecords(t *testing.T) {
+	var per [2]recordSink
+	var shared recordSink
+	sys := New(sysConfig(), []CoreSpec{
+		{Workload: load(t, "exchange2", 40_000), Consumers: []trace.Consumer{&per[0]}},
+		{Workload: load(t, "exchange2", 80_000), Consumers: []trace.Consumer{&per[1]}},
+	})
+	if _, err := sys.CaptureRun(nil, &shared); err != nil {
+		t.Fatal(err)
+	}
+	if len(shared.recs) != len(per[0].recs)+len(per[1].recs) {
+		t.Fatalf("shared stream has %d records, cores emitted %d+%d",
+			len(shared.recs), len(per[0].recs), len(per[1].recs))
+	}
+	var idx [2]int
+	lastCycle := uint64(0)
+	lastCore := -1
+	for i, r := range shared.recs {
+		if r.Core > 1 {
+			t.Fatalf("record %d tagged with core %d", i, r.Core)
+		}
+		c := int(r.Core)
+		if idx[c] >= len(per[c].recs) {
+			t.Fatalf("core %d emitted more shared records than its own consumer saw", c)
+		}
+		if r != per[c].recs[idx[c]] {
+			t.Fatalf("shared record %d differs from core %d record %d", i, c, idx[c])
+		}
+		idx[c]++
+		if r.Cycle < lastCycle {
+			t.Fatalf("record %d regressed to cycle %d after %d", i, r.Cycle, lastCycle)
+		}
+		if r.Cycle == lastCycle && c <= lastCore {
+			t.Fatalf("record %d breaks core order within cycle %d", i, r.Cycle)
+		}
+		lastCycle, lastCore = r.Cycle, c
+	}
+	if idx[0] != len(per[0].recs) || idx[1] != len(per[1].recs) {
+		t.Fatalf("shared stream missing records: %d/%d and %d/%d",
+			idx[0], len(per[0].recs), idx[1], len(per[1].recs))
+	}
+}

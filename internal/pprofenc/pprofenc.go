@@ -46,6 +46,15 @@ type Options struct {
 	Mapping string
 	// Comments are attached as pprof comment strings (`pprof -comments`).
 	Comments []string
+	// Labels are string labels attached to every sample (`pprof -tags`),
+	// in slice order. Multicore profiles tag samples with {"core", "N"} so
+	// per-core profiles stay distinguishable after merging.
+	Labels []Label
+}
+
+// Label is one string-valued pprof sample label.
+type Label struct {
+	Key, Value string
 }
 
 // JobOptions builds the canonical options for an evaluated run, shared by
@@ -143,6 +152,15 @@ func encodeProto(p *profile.Profile, opt Options) []byte {
 	unitID := st.id(opt.Unit)
 	mappingFileID := st.id("tip://" + opt.Mapping)
 
+	// Sample labels are identical for every sample; encode once. Label
+	// {key: 1, str: 2} nested in Sample field 3.
+	var labels []byte
+	for _, lb := range opt.Labels {
+		l := appendVarintField(nil, 1, uint64(st.id(lb.Key)))
+		l = appendVarintField(l, 2, uint64(st.id(lb.Value)))
+		labels = appendBytesField(labels, 3, l)
+	}
+
 	var out []byte
 
 	// sample_type: one ValueType {type, unit}.
@@ -166,6 +184,7 @@ func encodeProto(p *profile.Profile, opt Options) []byte {
 		var s []byte
 		s = appendPackedField(s, 1, []uint64{locID})
 		s = appendPackedField(s, 2, []uint64{uint64(int64(math.Round(cycles)))})
+		s = append(s, labels...)
 		out = appendBytesField(out, fProfileSample, s)
 
 		// Location {id, mapping_id: 1, address, line}. The "line" is the

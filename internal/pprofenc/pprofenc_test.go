@@ -117,6 +117,56 @@ func TestEncodeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEncodeLabels pins the sample-label wire format: every sample must
+// carry each configured string label, decodable by the same walker the
+// round-trip test uses, and labelled output must stay deterministic.
+func TestEncodeLabels(t *testing.T) {
+	p := testProfile(t)
+	opt := JobOptions("x264", 1, 30_000, "TIP", 1009)
+	opt.Labels = []Label{{Key: "core", Value: "1"}, {Key: "profiler", Value: "TIP"}}
+	a, err := Encode(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("labelled encoding is not deterministic")
+	}
+
+	dec := decodeProfile(t, a)
+	if len(dec.samples) == 0 {
+		t.Fatal("no samples decoded")
+	}
+	for i, s := range dec.samples {
+		if got := s.labels["core"]; got != "1" {
+			t.Fatalf("sample %d: core label = %q, want \"1\"", i, got)
+		}
+		if got := s.labels["profiler"]; got != "TIP" {
+			t.Fatalf("sample %d: profiler label = %q, want \"TIP\"", i, got)
+		}
+	}
+
+	// Unlabelled samples must carry no labels (field 3 absent entirely).
+	plain := decodeProfile(t, mustEncode(t, p, JobOptions("x264", 1, 30_000, "TIP", 1009)))
+	for i, s := range plain.samples {
+		if len(s.labelIDs) != 0 {
+			t.Fatalf("unlabelled sample %d carries labels %v", i, s.labels)
+		}
+	}
+}
+
+func mustEncode(t *testing.T, p *profile.Profile, opt Options) []byte {
+	t.Helper()
+	data, err := Encode(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
 // TestGoToolPprofReads shells out to `go tool pprof -top` to prove the
 // emitted file opens in the real toolchain. Skipped when no go binary is on
 // PATH (e.g. stripped-down CI runners executing a prebuilt test binary).
@@ -157,8 +207,10 @@ func TestGoToolPprofReads(t *testing.T) {
 // --- minimal pprof wire decoder for tests ----------------------------------
 
 type decSample struct {
-	locIDs []uint64
-	values []int64
+	locIDs   []uint64
+	values   []int64
+	labelIDs [][2]uint64
+	labels   map[string]string
 }
 
 type decLocation struct {
@@ -213,6 +265,18 @@ func decodeProfile(t *testing.T, gz []byte) *decoded {
 					for _, u := range packedOrScalar(t, w, v, b) {
 						s.values = append(s.values, int64(u))
 					}
+				case 3: // label {key: 1, str: 2} — string-table indices,
+					// resolved after the walk once the table is complete.
+					var key, str uint64
+					walkFields(t, b, func(lf, _ int, lv uint64, _ []byte) {
+						switch lf {
+						case 1:
+							key = lv
+						case 2:
+							str = lv
+						}
+					})
+					s.labelIDs = append(s.labelIDs, [2]uint64{key, str})
 				}
 			})
 			d.samples = append(d.samples, s)
@@ -259,6 +323,16 @@ func decodeProfile(t *testing.T, gz []byte) *decoded {
 			t.Fatalf("comment index %d out of string table range", id)
 		}
 		d.comments = append(d.comments, d.strings[id])
+	}
+	for i := range d.samples {
+		s := &d.samples[i]
+		s.labels = map[string]string{}
+		for _, kv := range s.labelIDs {
+			if kv[0] >= uint64(len(d.strings)) || kv[1] >= uint64(len(d.strings)) {
+				t.Fatalf("label indices %v out of string table range", kv)
+			}
+			s.labels[d.strings[kv[0]]] = d.strings[kv[1]]
+		}
 	}
 	return d
 }

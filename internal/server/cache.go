@@ -25,36 +25,56 @@ func coreConfigHash(cfg cpu.Config) string {
 	return hex.EncodeToString(h[:8])
 }
 
-// captureKey names one cached capture: the full simulation input.
+// captureKey names one cached capture: the full simulation input. Single-core
+// captures are keyed by (bench, seed, scale, core-config hash); multicore
+// captures leave those empty and carry a hash of the whole core set instead,
+// so pre-multicore spill sidecars (no "cores" field) keep their old ids.
 type captureKey struct {
-	Bench string `json:"bench"`
-	Seed  uint64 `json:"seed"`
-	Scale uint64 `json:"scale"`
+	Bench string `json:"bench,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	Scale uint64 `json:"scale,omitempty"`
 	Core  string `json:"core"`
+	Cores string `json:"cores,omitempty"`
 }
 
-// id is the map key and spill-file basename. The hex core hash keeps it
+// coreSetHash fingerprints a multicore job's ordered core set. Order matters:
+// the lockstep system arbitrates same-cycle shared-LLC accesses in core
+// order, so swapped placements produce different captures.
+func coreSetHash(cores []CoreJobSpec) string {
+	var b strings.Builder
+	for _, c := range cores {
+		fmt.Fprintf(&b, "%s:%d:%d,", c.Bench, c.Seed, c.Scale)
+	}
+	h := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(h[:8])
+}
+
+// id is the map key and spill-file basename. The hex hashes keep it
 // filesystem-safe; bench names are lowercase alphanumerics.
 func (k captureKey) id() string {
+	if k.Cores != "" {
+		return fmt.Sprintf("cores-%s-%s", k.Cores, k.Core)
+	}
 	return fmt.Sprintf("%s-%d-%d-%s", k.Bench, k.Seed, k.Scale, k.Core)
 }
 
-// cacheEntry is one cached capture plus the stats of the run that produced
-// it (needed to calibrate replays). Entries are refcounted: replays hold a
-// ref while streaming, and an entry evicted under load is only Closed once
-// the last ref drops.
+// cacheEntry is one cached capture plus the per-core stats of the run that
+// produced it (needed to calibrate replays; single-core captures hold one
+// element). Entries are refcounted: replays hold a ref while streaming, and
+// an entry evicted under load is only Closed once the last ref drops.
 type cacheEntry struct {
 	key     captureKey
 	capture *trace.Capture
-	stats   cpu.Stats
+	stats   []cpu.Stats
 	bytes   uint64
 	refs    int
 	dead    bool
 	elem    *list.Element
 }
 
-// captureFn performs the cycle-level simulation on a cache miss.
-type captureFn func(ctx context.Context) (*trace.Capture, cpu.Stats, error)
+// captureFn performs the cycle-level simulation on a cache miss, returning
+// one Stats per core (length 1 for single-core captures).
+type captureFn func(ctx context.Context) (*trace.Capture, []cpu.Stats, error)
 
 // captureCache is the LRU capture cache with singleflight capture dedup:
 // repeated jobs for the same (bench, seed, scale, core) skip the simulation
@@ -182,11 +202,14 @@ func (c *captureCache) counters() (hits, misses uint64, entries int, bytes uint6
 }
 
 // spillMeta is the JSON sidecar persisted next to each spilled capture.
+// Single-core captures keep their stats in Stats so pre-multicore sidecars
+// round-trip unchanged; multicore captures add CoreStats (one per core).
 type spillMeta struct {
-	Key     captureKey `json:"key"`
-	Records uint64     `json:"records"`
-	Cycles  uint64     `json:"cycles"`
-	Stats   cpu.Stats  `json:"stats"`
+	Key       captureKey  `json:"key"`
+	Records   uint64      `json:"records"`
+	Cycles    uint64      `json:"cycles"`
+	Stats     cpu.Stats   `json:"stats"`
+	CoreStats []cpu.Stats `json:"core_stats,omitempty"`
 }
 
 // persist writes every live entry to dir as <id>.trc (the encoded stream,
@@ -235,7 +258,11 @@ func writeSpill(dir string, ent *cacheEntry) error {
 		Key:     ent.key,
 		Records: ent.capture.Records(),
 		Cycles:  ent.capture.Cycles(),
-		Stats:   ent.stats,
+	}
+	if len(ent.stats) == 1 && ent.key.Cores == "" {
+		meta.Stats = ent.stats[0]
+	} else {
+		meta.CoreStats = ent.stats
 	}
 	data, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
@@ -276,6 +303,10 @@ func (c *captureCache) load(dir string) error {
 		if err != nil {
 			continue
 		}
+		stats := meta.CoreStats
+		if len(stats) == 0 {
+			stats = []cpu.Stats{meta.Stats}
+		}
 		c.mu.Lock()
 		if _, dup := c.byKey[meta.Key.id()]; dup {
 			c.mu.Unlock()
@@ -284,7 +315,7 @@ func (c *captureCache) load(dir string) error {
 		c.insertLocked(&cacheEntry{
 			key:     meta.Key,
 			capture: capt,
-			stats:   meta.Stats,
+			stats:   stats,
 			bytes:   capt.Bytes(),
 		})
 		c.mu.Unlock()

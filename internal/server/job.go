@@ -22,10 +22,21 @@ const (
 	stateCanceled = "canceled"
 )
 
-// JobSpec is the body of POST /v1/jobs: which benchmark to profile and how.
-type JobSpec struct {
+// CoreJobSpec names one core's workload in a multicore job.
+type CoreJobSpec struct {
 	// Bench is the benchmark name (required; see tipsim -list).
 	Bench string `json:"bench"`
+	// Seed is the workload seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale is the approximate dynamic-instruction budget (0 = full).
+	Scale uint64 `json:"scale,omitempty"`
+}
+
+// JobSpec is the body of POST /v1/jobs: which benchmark to profile and how.
+type JobSpec struct {
+	// Bench is the benchmark name (required unless Cores is set; see
+	// tipsim -list).
+	Bench string `json:"bench,omitempty"`
 	// Seed is the workload seed (default 1).
 	Seed uint64 `json:"seed,omitempty"`
 	// Scale is the approximate dynamic-instruction budget (0 = full).
@@ -53,19 +64,48 @@ type JobSpec struct {
 	WindowCycles   uint64 `json:"window_cycles,omitempty"`
 	WindowInterval uint64 `json:"window_interval,omitempty"`
 	WarmupCycles   uint64 `json:"warmup_cycles,omitempty"`
+	// Cores runs a multi-programmed lockstep job: workload i on core i of
+	// one shared-LLC system, profiled per core from a single core-tagged
+	// capture. Mutually exclusive with Bench/Seed/Scale and Sampled. The
+	// capture is cached keyed by the ordered core set — order matters,
+	// because physical placement changes shared-cache arbitration.
+	Cores []CoreJobSpec `json:"cores,omitempty"`
 }
 
 // normalize validates the spec, applies defaults, and resolves the parsed
 // profiler kinds and granularity.
 func (sp *JobSpec) normalize() ([]profiler.Kind, profile.Granularity, error) {
-	if sp.Bench == "" {
-		return nil, 0, fmt.Errorf("bench is required")
-	}
-	if !validBench(sp.Bench) {
-		return nil, 0, fmt.Errorf("unknown benchmark %q", sp.Bench)
-	}
-	if sp.Seed == 0 {
-		sp.Seed = 1
+	if len(sp.Cores) > 0 {
+		switch {
+		case sp.Bench != "" || sp.Seed != 0 || sp.Scale != 0:
+			return nil, 0, fmt.Errorf("cores is mutually exclusive with bench/seed/scale")
+		case sp.Sampled:
+			return nil, 0, fmt.Errorf("cores cannot be combined with sampled")
+		case len(sp.Cores) > 4:
+			return nil, 0, fmt.Errorf("at most 4 cores (got %d)", len(sp.Cores))
+		}
+		for i := range sp.Cores {
+			c := &sp.Cores[i]
+			if c.Bench == "" {
+				return nil, 0, fmt.Errorf("cores[%d]: bench is required", i)
+			}
+			if !validBench(c.Bench) {
+				return nil, 0, fmt.Errorf("cores[%d]: unknown benchmark %q", i, c.Bench)
+			}
+			if c.Seed == 0 {
+				c.Seed = 1
+			}
+		}
+	} else {
+		if sp.Bench == "" {
+			return nil, 0, fmt.Errorf("bench is required")
+		}
+		if !validBench(sp.Bench) {
+			return nil, 0, fmt.Errorf("unknown benchmark %q", sp.Bench)
+		}
+		if sp.Seed == 0 {
+			sp.Seed = 1
+		}
 	}
 	if sp.ReplayWorkers == 0 {
 		sp.ReplayWorkers = 2
@@ -164,8 +204,10 @@ type job struct {
 }
 
 // jobOutcome is what a successful execution hands back to the server.
+// Exactly one of res (single-core) and multi (multicore) is set.
 type jobOutcome struct {
 	res      *tip.Result
+	multi    *tip.MulticoreResult
 	cacheHit bool
 	timing   experiments.Timing
 }
@@ -181,11 +223,6 @@ type jobOutcome struct {
 // either path.
 func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 	spec := jb.spec
-	w, err := workload.LoadScaled(spec.Bench, spec.Seed, spec.Scale)
-	if err != nil {
-		return nil, err
-	}
-	key := captureKey{Bench: spec.Bench, Seed: spec.Seed, Scale: spec.Scale, Core: s.coreHash}
 	out := &jobOutcome{}
 	rc := tip.DefaultRunConfig()
 	rc.Core = s.cfg.Core
@@ -193,6 +230,16 @@ func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 	rc.TargetSamples = spec.TargetSamples
 	rc.ReplayWorkers = spec.ReplayWorkers
 	out.timing.ReplayWorkers = spec.ReplayWorkers
+
+	if len(spec.Cores) > 0 {
+		return s.executeMulticoreJob(ctx, spec, rc, out)
+	}
+
+	w, err := workload.LoadScaled(spec.Bench, spec.Seed, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	key := captureKey{Bench: spec.Bench, Seed: spec.Seed, Scale: spec.Scale, Core: s.coreHash}
 
 	if spec.Sampled {
 		// Sampled jobs skip the capture cache: the fast-forward legs emit
@@ -217,13 +264,13 @@ func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 
 	var fusedRes *tip.Result
 	start := time.Now()
-	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, tip.CoreStats, error) {
+	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, []tip.CoreStats, error) {
 		res, capt, stats, err := tip.RunStreamingTee(ctx, w, rc)
 		if err != nil {
-			return nil, tip.CoreStats{}, err
+			return nil, nil, err
 		}
 		fusedRes = res
-		return capt, stats, nil
+		return capt, []tip.CoreStats{stats}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -242,12 +289,48 @@ func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 	out.timing.Capture = time.Since(start)
 
 	repStart := time.Now()
-	res, err := tip.RunCaptured(ctx, w, ent.capture, ent.stats, rc)
+	res, err := tip.RunCaptured(ctx, w, ent.capture, ent.stats[0], rc)
 	out.timing.Replay = time.Since(repStart)
 	if err != nil {
 		return nil, err
 	}
 	out.res = res
+	return out, nil
+}
+
+// executeMulticoreJob runs a "cores" job: on a capture-cache miss the whole
+// core set is simulated lockstep into one core-tagged v3 capture; hit or
+// miss, the capture is then demultiplexed through per-core profiler
+// matrices. Multicore jobs have no fused streaming path — capture and replay
+// are reported as separate phases.
+func (s *Server) executeMulticoreJob(ctx context.Context, spec JobSpec, rc tip.RunConfig, out *jobOutcome) (*jobOutcome, error) {
+	ws := make([]*tip.Workload, len(spec.Cores))
+	for i, c := range spec.Cores {
+		w, err := workload.LoadScaled(c.Bench, c.Seed, c.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("cores[%d]: %w", i, err)
+		}
+		ws[i] = w
+	}
+	key := captureKey{Cores: coreSetHash(spec.Cores), Core: s.coreHash}
+	start := time.Now()
+	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, []tip.CoreStats, error) {
+		return tip.CaptureMulticore(ctx, ws, rc.Core)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.cache.release(ent)
+	out.cacheHit = hit
+	out.timing.Capture = time.Since(start)
+
+	repStart := time.Now()
+	multi, err := tip.RunMulticoreCaptured(ctx, ws, ent.capture, ent.stats, rc)
+	out.timing.Replay = time.Since(repStart)
+	if err != nil {
+		return nil, err
+	}
+	out.multi = multi
 	return out, nil
 }
 
@@ -281,16 +364,22 @@ type FuncShare struct {
 // ResultView is a completed job's evaluation summary: run statistics, the
 // Oracle cycle stack, per-profiler errors at the requested granularity, and
 // function-granularity profiles for Oracle and every modelled profiler.
+//
+// A multicore job's top-level view carries only Cycles (the interleaved
+// run's length) plus one full per-core view per entry of Cores, each tagged
+// with its benchmark name.
 type ResultView struct {
+	Bench          string                 `json:"bench,omitempty"`
 	Cycles         uint64                 `json:"cycles"`
-	Committed      uint64                 `json:"committed"`
-	IPC            float64                `json:"ipc"`
-	SampleInterval uint64                 `json:"sample_interval"`
-	Class          string                 `json:"class"`
-	CycleStack     map[string]float64     `json:"cycle_stack"`
-	Errors         map[string]float64     `json:"errors"`
-	Profiles       map[string][]FuncShare `json:"profiles"`
+	Committed      uint64                 `json:"committed,omitempty"`
+	IPC            float64                `json:"ipc,omitempty"`
+	SampleInterval uint64                 `json:"sample_interval,omitempty"`
+	Class          string                 `json:"class,omitempty"`
+	CycleStack     map[string]float64     `json:"cycle_stack,omitempty"`
+	Errors         map[string]float64     `json:"errors,omitempty"`
+	Profiles       map[string][]FuncShare `json:"profiles,omitempty"`
 	Sampling       *SamplingView          `json:"sampling,omitempty"`
+	Cores          []*ResultView          `json:"cores,omitempty"`
 }
 
 // JobView is the wire representation of a job.
@@ -334,6 +423,15 @@ func (s *Server) view(jb *job) JobView {
 	}
 	if jb.outcome != nil && jb.outcome.res != nil {
 		v.Result = resultView(jb.outcome.res, jb.gran)
+	}
+	if jb.outcome != nil && jb.outcome.multi != nil {
+		mv := &ResultView{Cycles: jb.outcome.multi.TotalCycles}
+		for i, res := range jb.outcome.multi.Cores {
+			cv := resultView(res, jb.gran)
+			cv.Bench = jb.spec.Cores[i].Bench
+			mv.Cores = append(mv.Cores, cv)
+		}
+		v.Result = mv
 	}
 	return v
 }

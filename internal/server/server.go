@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"reflect"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -213,6 +214,8 @@ func (s *Server) runJob(jb *job) {
 	if state == stateDone && jb.outcome != nil {
 		if jb.outcome.res != nil {
 			cycles = jb.outcome.res.Stats.Cycles
+		} else if jb.outcome.multi != nil {
+			cycles = jb.outcome.multi.TotalCycles
 		}
 		simulated = !jb.outcome.cacheHit
 	}
@@ -410,15 +413,42 @@ func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	if jb.state != stateDone || jb.outcome == nil || jb.outcome.res == nil {
+	if jb.state != stateDone || jb.outcome == nil ||
+		(jb.outcome.res == nil && jb.outcome.multi == nil) {
 		state := jb.state
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", state))
 		return
 	}
 	res := jb.outcome.res
+	multi := jb.outcome.multi
 	spec := jb.spec
 	s.mu.Unlock()
+
+	// Multicore jobs expose one pprof file per core (?core=N, default 0);
+	// the samples carry a "core" string label so merged or archived
+	// profiles stay distinguishable (`go tool pprof -tags`).
+	bench, seed, scale := spec.Bench, spec.Seed, spec.Scale
+	var labels []pprofenc.Label
+	if multi != nil {
+		core := 0
+		if cs := r.URL.Query().Get("core"); cs != "" {
+			n, err := strconv.Atoi(cs)
+			if err != nil || n < 0 || n >= len(multi.Cores) {
+				httpError(w, http.StatusBadRequest,
+					fmt.Sprintf("core %q out of range [0,%d)", cs, len(multi.Cores)))
+				return
+			}
+			core = n
+		}
+		res = multi.Cores[core]
+		cs := spec.Cores[core]
+		bench, seed, scale = cs.Bench, cs.Seed, cs.Scale
+		labels = []pprofenc.Label{{Key: "core", Value: strconv.Itoa(core)}}
+	} else if r.URL.Query().Get("core") != "" {
+		httpError(w, http.StatusBadRequest, "core selects a core of a multicore job; this job is single-core")
+		return
+	}
 
 	name := r.URL.Query().Get("profiler")
 	if name == "" {
@@ -439,14 +469,16 @@ func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	data, err := pprofenc.Encode(prof, pprofenc.JobOptions(spec.Bench, spec.Seed, spec.Scale, name, res.SampleInterval))
+	opt := pprofenc.JobOptions(bench, seed, scale, name, res.SampleInterval)
+	opt.Labels = labels
+	data, err := pprofenc.Encode(prof, opt)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition",
-		fmt.Sprintf("attachment; filename=%s-%s.pb.gz", spec.Bench, name))
+		fmt.Sprintf("attachment; filename=%s-%s.pb.gz", bench, name))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
 }

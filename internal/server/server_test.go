@@ -756,3 +756,143 @@ func TestFusedMissReportsReplayOnly(t *testing.T) {
 		t.Fatalf("cache hit timing = %+v, want a replay phase", hit.Timing)
 	}
 }
+
+// TestMulticoreJobLifecycle drives a two-core job end to end: per-core
+// results in the job view, per-core pprof export byte-identical to the batch
+// multicore pipeline (including the "core" sample label), a cache hit on
+// resubmission, and rejection of out-of-range core selectors.
+func TestMulticoreJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	spec := JobSpec{
+		Cores: []CoreJobSpec{
+			{Bench: "mcf", Scale: testScale},
+			{Bench: "x264", Scale: testScale},
+		},
+		Profilers:     []string{"TIP"},
+		TargetSamples: 256,
+	}
+
+	v, code := submit(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := waitTerminal(t, ts, v.ID)
+	if done.State != stateDone {
+		t.Fatalf("job finished %s (%s), want done", done.State, done.Error)
+	}
+	if done.CacheHit {
+		t.Fatal("first multicore job for a core set must be a cache miss")
+	}
+	res := done.Result
+	if res == nil || len(res.Cores) != 2 {
+		t.Fatalf("multicore result = %+v, want 2 cores", res)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("multicore result has no total cycles")
+	}
+	for i, want := range []string{"mcf", "x264"} {
+		cv := res.Cores[i]
+		if cv.Bench != want {
+			t.Fatalf("core %d bench = %q, want %q", i, cv.Bench, want)
+		}
+		if cv.Cycles == 0 || cv.SampleInterval == 0 {
+			t.Fatalf("core %d: implausible result %+v", i, cv)
+		}
+		if _, ok := cv.Errors["TIP"]; !ok {
+			t.Fatalf("core %d missing TIP error: %v", i, cv.Errors)
+		}
+		if len(cv.Profiles["Oracle"]) == 0 || len(cv.Profiles["TIP"]) == 0 {
+			t.Fatalf("core %d missing profiles", i)
+		}
+	}
+
+	// Per-core pprof must match the batch multicore pipeline bit for bit,
+	// core label included.
+	ws := make([]*tip.Workload, 2)
+	for i, c := range spec.Cores {
+		w, err := workload.LoadScaled(c.Bench, 1, c.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	rc := tip.DefaultRunConfig()
+	rc.Profilers = []profiler.Kind{kindByName(t, "TIP")}
+	rc.TargetSamples = spec.TargetSamples
+	rc.ReplayWorkers = 2
+	batch, err := tip.RunMulticore(context.Background(), ws, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for core, c := range spec.Cores {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/pprof?profiler=TIP&core=%d", ts.URL, v.ID, core))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(got) == 0 {
+			t.Fatalf("core %d pprof: status %d, %d bytes", core, resp.StatusCode, len(got))
+		}
+		opt := pprofenc.JobOptions(c.Bench, 1, c.Scale, "TIP", batch.Cores[core].SampleInterval)
+		opt.Labels = []pprofenc.Label{{Key: "core", Value: fmt.Sprint(core)}}
+		want, err := pprofenc.Encode(batch.Cores[core].Sampled[kindByName(t, "TIP")].Profile, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("core %d: daemon pprof (%d bytes) differs from batch encoding (%d bytes)",
+				core, len(got), len(want))
+		}
+	}
+
+	// Out-of-range core selector is a client error.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/pprof?core=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("core=2 on a 2-core job: status %d, want 400", resp.StatusCode)
+	}
+
+	// The same core set again hits the capture cache.
+	v2, code := submit(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	done2 := waitTerminal(t, ts, v2.ID)
+	if done2.State != stateDone || !done2.CacheHit {
+		t.Fatalf("resubmitted job: state %s, cacheHit %v; want done hit", done2.State, done2.CacheHit)
+	}
+	for i := range done.Result.Cores {
+		if done.Result.Cores[i].SampleInterval != done2.Result.Cores[i].SampleInterval {
+			t.Fatalf("core %d interval changed across cache hit", i)
+		}
+	}
+}
+
+// TestMulticoreSpecValidation exercises the "cores" job spec rejections.
+func TestMulticoreSpecValidation(t *testing.T) {
+	pair := []CoreJobSpec{{Bench: "mcf"}, {Bench: "x264"}}
+	bad := []JobSpec{
+		{Cores: pair, Bench: "mcf"},
+		{Cores: pair, Sampled: true},
+		{Cores: []CoreJobSpec{{Bench: "nope"}}},
+		{Cores: []CoreJobSpec{{}}},
+		{Cores: make([]CoreJobSpec, 5)},
+	}
+	for i := range bad {
+		if _, _, err := bad[i].normalize(); err == nil {
+			t.Errorf("spec %d (%+v) unexpectedly valid", i, bad[i])
+		}
+	}
+	good := JobSpec{Cores: pair}
+	if _, _, err := good.normalize(); err != nil {
+		t.Fatalf("plain cores spec rejected: %v", err)
+	}
+	if good.Cores[0].Seed != 1 || good.Cores[1].Seed != 1 {
+		t.Fatalf("per-core seeds not defaulted: %+v", good.Cores)
+	}
+}

@@ -52,13 +52,23 @@ type Capture struct {
 	err      error
 }
 
-// NewCapture returns an empty capture. spillBytes bounds the in-memory
-// encoded size before spilling to disk; 0 selects DefaultSpillBytes.
+// NewCapture returns an empty capture encoding the v2 (TIPTRC2) layout.
+// spillBytes bounds the in-memory encoded size before spilling to disk; 0
+// selects DefaultSpillBytes.
 func NewCapture(spillBytes int) *Capture {
 	if spillBytes <= 0 {
 		spillBytes = DefaultSpillBytes
 	}
 	return &Capture{limit: spillBytes}
+}
+
+// NewCaptureV3 returns an empty capture encoding the v3 (TIPTRC3) layout,
+// which records each cycle's producing core ID — the format multi-programmed
+// captures interleave several cores' records into.
+func NewCaptureV3(spillBytes int) *Capture {
+	c := NewCapture(spillBytes)
+	c.st.v3 = true
+	return c
 }
 
 // OnCycle implements Consumer. Records arriving after Finish or Close set a
@@ -72,7 +82,11 @@ func (c *Capture) OnCycle(r *Record) {
 		return
 	}
 	if c.count == 0 && c.f == nil && len(c.buf) == 0 {
-		c.buf = append(c.buf, formatMagic...)
+		if c.st.v3 {
+			c.buf = append(c.buf, formatMagicV3...)
+		} else {
+			c.buf = append(c.buf, formatMagic...)
+		}
 	}
 	if cap(c.buf)-len(c.buf) < maxRecordBytes {
 		c.grow()
@@ -165,18 +179,16 @@ func (c *Capture) Spilled() bool { return c.f != nil }
 // tipd capture cache's spill directory) store them alongside the stream.
 // The data slice is retained, not copied.
 func NewCaptureFromEncoded(data []byte, records, cycles uint64) (*Capture, error) {
-	if len(data) < len(formatMagic) || string(data[:len(formatMagic)]) != formatMagic {
-		n := len(data)
-		if n > len(formatMagic) {
-			n = len(formatMagic)
-		}
-		return nil, badMagic(data[:n])
+	v3, err := sniffMagic(data)
+	if err != nil {
+		return nil, err
 	}
 	return &Capture{
 		limit:    len(data),
 		buf:      data,
 		count:    records,
 		cycles:   cycles,
+		st:       codecState{v3: v3},
 		finished: true,
 	}, nil
 }

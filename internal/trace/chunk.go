@@ -61,19 +61,17 @@ type ChunkIter struct {
 // trace (the layout ReplayBytes accepts, magic header included).
 // chunkRecords bounds the records per chunk; 0 selects DefaultChunkRecords.
 func NewChunkIterBytes(data []byte, chunkRecords int) (*ChunkIter, error) {
-	if len(data) < len(formatMagic) || string(data[:len(formatMagic)]) != formatMagic {
-		if len(data) == 0 {
-			// Empty trace: iterate to an immediate EOF so the caller
-			// reports the same io.ErrUnexpectedEOF as ReplayBytes.
-			return newChunkIter(nil, nil, chunkRecords), nil
-		}
-		n := len(data)
-		if n > len(formatMagic) {
-			n = len(formatMagic)
-		}
-		return nil, badMagic(data[:n])
+	if len(data) == 0 {
+		// Empty trace: iterate to an immediate EOF so the caller
+		// reports the same io.ErrUnexpectedEOF as ReplayBytes.
+		return newChunkIter(nil, nil, chunkRecords), nil
+	}
+	v3, err := sniffMagic(data)
+	if err != nil {
+		return nil, err
 	}
 	it := newChunkIter(data, nil, chunkRecords)
+	it.st.v3 = v3
 	it.pos = len(formatMagic)
 	return it, nil
 }

@@ -28,16 +28,58 @@ import (
 //
 // The format exists so traces can be captured once and replayed against new
 // profiler models (the paper ran up to 19 profiler configs per simulation).
-const formatMagic = "TIPTRC2\n"
+//
+// Version 3 (TIPTRC3) adds one field: a zigzag uvarint core-ID delta right
+// after the cycle delta, so a multi-programmed capture interleaves records
+// from several cores in one stream (§3.2: perf tags every sample with its
+// core). The delta is against the previous record's core, so a single-core
+// v3 stream pays exactly one extra zero byte per record. Decoders detect
+// the version from the magic; v2 streams keep decoding unchanged with
+// Record.Core = 0.
+const (
+	formatMagic   = "TIPTRC2\n"
+	formatMagicV3 = "TIPTRC3\n"
+)
 
 // codecState is the cross-record prediction context shared by the encoder
 // and decoder. Both sides start from the zero state and advance it field by
-// field in the same order, so the deltas are self-describing.
+// field in the same order, so the deltas are self-describing. v3 selects
+// the TIPTRC3 layout (per-record core-ID delta).
 type codecState struct {
 	lastCycle uint64
+	lastCore  uint64
 	lastPC    uint64
 	lastFID   uint64
 	lastInst  int64
+	v3        bool
+}
+
+// detectMagic classifies an encoded stream's 8-byte header: v3 reports the
+// TIPTRC3 layout, ok that the header matched a known version at all.
+func detectMagic(hdr []byte) (v3, ok bool) {
+	switch string(hdr) {
+	case formatMagic:
+		return false, true
+	case formatMagicV3:
+		return true, true
+	}
+	return false, false
+}
+
+// sniffMagic validates an in-memory encoded trace's header and returns the
+// codec version; it is the shared front door of every slice-decoding entry
+// point (ReplayBytes, NewChunkIterBytes, NewCaptureFromEncoded).
+func sniffMagic(data []byte) (v3 bool, err error) {
+	if len(data) >= len(formatMagic) {
+		if v3, ok := detectMagic(data[:len(formatMagic)]); ok {
+			return v3, nil
+		}
+	}
+	n := len(data)
+	if n > len(formatMagic) {
+		n = len(formatMagic)
+	}
+	return false, badMagic(data[:n])
 }
 
 func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
@@ -85,9 +127,17 @@ type Writer struct {
 	count    uint64
 }
 
-// NewWriter returns a trace writer.
+// NewWriter returns a trace writer emitting the v2 (TIPTRC2) layout.
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// NewWriterV3 returns a trace writer emitting the v3 (TIPTRC3) layout,
+// which carries each record's producing core ID.
+func NewWriterV3(w io.Writer) *Writer {
+	tw := NewWriter(w)
+	tw.st.v3 = true
+	return tw
 }
 
 // appendRecord encodes r onto buf and returns the extended slice, advancing
@@ -112,6 +162,10 @@ func appendRecord(buf []byte, r *Record, st *codecState) []byte {
 	n := len(buf)
 	n = putUvarint(b, n, r.Cycle-st.lastCycle)
 	st.lastCycle = r.Cycle
+	if st.v3 {
+		n = putUvarint(b, n, zigzag(int64(r.Core)-int64(st.lastCore)))
+		st.lastCore = uint64(r.Core)
+	}
 	var flags byte
 	if r.ROBEmpty {
 		flags |= 1
@@ -181,9 +235,11 @@ func appendRecord(buf []byte, r *Record, st *codecState) []byte {
 // appendRecord/decodeRecord, and the streaming direct path must launder it
 // the same way so streamed and captured replays observe bit-identical
 // records. TestNormalizeRecordMatchesCodec pins the equivalence against
-// the real codec on fuzzed records.
+// the real codec on fuzzed records. Core is copied unconditionally — the
+// v3 codec round-trips it and v2 streams never carry a nonzero Core.
 func normalizeRecord(dst, src *Record) {
 	dst.Cycle = src.Cycle
+	dst.Core = src.Core
 	dst.ROBEmpty = src.ROBEmpty
 	dst.ExceptionRaised = src.ExceptionRaised
 	dst.DispatchValid = src.DispatchValid
@@ -246,7 +302,11 @@ func (w *Writer) OnCycle(r *Record) {
 		return
 	}
 	if !w.wroteHdr {
-		if _, err := w.w.WriteString(formatMagic); err != nil {
+		magic := formatMagic
+		if w.st.v3 {
+			magic = formatMagicV3
+		}
+		if _, err := w.w.WriteString(magic); err != nil {
 			w.err = err
 			return
 		}
@@ -319,15 +379,19 @@ func (r *Reader) readInst() (int32, error) {
 }
 
 // Next decodes the next record into rec. It returns io.EOF at end of trace.
+// The codec version is detected from the stream's magic: v3 records carry a
+// core ID, v2 records decode with Core = 0.
 func (r *Reader) Next(rec *Record) error {
 	if !r.readHdr {
 		hdr := r.scratch[:len(formatMagic)]
 		if _, err := io.ReadFull(r.r, hdr); err != nil {
 			return err
 		}
-		if string(hdr) != formatMagic {
-			return fmt.Errorf("trace: bad magic %q", hdr)
+		v3, ok := detectMagic(hdr)
+		if !ok {
+			return badMagic(hdr)
 		}
+		r.st.v3 = v3
 		r.readHdr = true
 	}
 	delta, err := binary.ReadUvarint(r.r)
@@ -337,6 +401,14 @@ func (r *Reader) Next(rec *Record) error {
 	*rec = Record{}
 	r.st.lastCycle += delta
 	rec.Cycle = r.st.lastCycle
+	if r.st.v3 {
+		u, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return unexpected(err)
+		}
+		r.st.lastCore = uint64(int64(r.st.lastCore) + unzigzag(u))
+		rec.Core = uint32(r.st.lastCore)
+	}
 	hdr := r.scratch[:4]
 	if _, err := io.ReadFull(r.r, hdr); err != nil {
 		return unexpected(err)
@@ -481,6 +553,19 @@ func decodeRecord(data []byte, pos int, st *codecState, rec *Record) (int, error
 	}
 	st.lastCycle += delta
 	rec.Cycle = st.lastCycle
+	if st.v3 {
+		var u uint64
+		if pos < len(data) && data[pos] < 0x80 {
+			u = uint64(data[pos])
+			pos++
+		} else if u, pos, err = sliceUvarintSlow(data, pos); err != nil {
+			return pos, err
+		}
+		st.lastCore = uint64(int64(st.lastCore) + unzigzag(u))
+		rec.Core = uint32(st.lastCore)
+	} else {
+		rec.Core = 0
+	}
 	if pos+4 > len(data) {
 		return pos, io.ErrUnexpectedEOF
 	}

@@ -6,15 +6,18 @@ import (
 	"testing"
 )
 
-// fuzzSeedTraces returns small valid encoded traces used to seed both fuzz
+// fuzzSeedTraces returns small encoded traces used to seed both fuzz
 // targets, so the fuzzer starts from well-formed inputs and mutates from
-// there.
-func fuzzSeedTraces() [][]byte {
-	var seeds [][]byte
-
-	one := func(recs []Record, total uint64) []byte {
+// there. The first numValid seeds replay cleanly; the rest are degenerate
+// inputs the decoder must reject (TestFuzzSeedsReplayCleanly pins the
+// split).
+func fuzzSeedTraces() (seeds [][]byte, numValid int) {
+	one := func(v3 bool, recs []Record, total uint64) []byte {
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
+		if v3 {
+			w = NewWriterV3(&buf)
+		}
 		for i := range recs {
 			w.OnCycle(&recs[i])
 		}
@@ -23,7 +26,7 @@ func fuzzSeedTraces() [][]byte {
 	}
 
 	r0 := sampleRecord(0)
-	seeds = append(seeds, one([]Record{r0}, 1))
+	seeds = append(seeds, one(false, []Record{r0}, 1))
 
 	burst := make([]Record, 8)
 	for i := range burst {
@@ -43,19 +46,35 @@ func fuzzSeedTraces() [][]byte {
 	burst[5].DispatchPC = 0xbeef
 	burst[5].DispatchFID = 77
 	burst[5].DispatchInstIndex = 5
-	seeds = append(seeds, one(burst, 22))
+	seeds = append(seeds, one(false, burst, 22))
 
 	synth, _ := syntheticTrace(40, 9)
 	seeds = append(seeds, synth)
 
-	// Degenerate inputs: empty, magic only, magic plus garbage, bad magic.
+	// v3 seeds: the same commit burst interleaved across two cores (core
+	// deltas alternate sign), and a single-core v3 stream whose core
+	// deltas are all zero.
+	multi := make([]Record, len(burst))
+	copy(multi, burst)
+	for i := range multi {
+		multi[i].Core = uint32(i % 2)
+	}
+	seeds = append(seeds, one(true, multi, 22))
+	seeds = append(seeds, one(true, []Record{r0}, 1))
+
+	numValid = len(seeds)
+
+	// Degenerate inputs: empty, magic only (both versions), magic plus
+	// garbage, bad magic.
 	seeds = append(seeds,
 		nil,
 		[]byte(formatMagic),
+		[]byte(formatMagicV3),
 		append([]byte(formatMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+		append([]byte(formatMagicV3), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
 		[]byte("NOTATRACE"),
 	)
-	return seeds
+	return seeds, numValid
 }
 
 // FuzzDecodeRecord drives the record decoder over arbitrary bytes. The
@@ -64,7 +83,8 @@ func fuzzSeedTraces() [][]byte {
 // Decoded records are run through the age-order accessors, which must
 // tolerate any field values the decoder lets through.
 func FuzzDecodeRecord(f *testing.F) {
-	for _, s := range fuzzSeedTraces() {
+	seeds, _ := fuzzSeedTraces()
+	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -95,7 +115,8 @@ func FuzzDecodeRecord(f *testing.F) {
 // accept/reject decision and, on success, the identical record sequence and
 // totals. None may panic.
 func FuzzReplayBytes(f *testing.F) {
-	for _, s := range fuzzSeedTraces() {
+	seeds, _ := fuzzSeedTraces()
+	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -162,13 +183,13 @@ func FuzzReplayBytes(f *testing.F) {
 // valid (and the corrupted ones really are rejected) under the normal test
 // runner, so a codec change that invalidates the corpus fails fast here.
 func TestFuzzSeedsReplayCleanly(t *testing.T) {
-	seeds := fuzzSeedTraces()
-	for i, s := range seeds[:3] {
+	seeds, numValid := fuzzSeedTraces()
+	for i, s := range seeds[:numValid] {
 		if _, _, err := ReplayBytes(s, &nullConsumer{}); err != nil {
 			t.Fatalf("seed %d does not replay: %v", i, err)
 		}
 	}
-	for i, s := range seeds[3:] {
+	for i, s := range seeds[numValid:] {
 		if _, _, err := ReplayBytes(s, &nullConsumer{}); err == nil {
 			t.Fatalf("degenerate seed %d replayed cleanly", i)
 		}

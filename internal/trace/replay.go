@@ -14,7 +14,8 @@ func errCaptureFailed(err error) error {
 	return fmt.Errorf("trace: capture failed: %w", err)
 }
 
-// badMagic reports a stream that does not start with the TIPTRC2 header.
+// badMagic reports a stream that starts with neither the TIPTRC2 nor the
+// TIPTRC3 header.
 func badMagic(prefix []byte) error {
 	return fmt.Errorf("trace: bad magic %q", prefix)
 }
@@ -58,19 +59,16 @@ func Replay(r *Reader, consumers ...Consumer) (cycles uint64, records uint64, er
 // off the slice — no reader indirection, no per-byte interface calls — which
 // is what makes replaying a capture markedly cheaper than re-simulating.
 func ReplayBytes(data []byte, consumers ...Consumer) (cycles uint64, records uint64, err error) {
-	if len(data) < len(formatMagic) || string(data[:len(formatMagic)]) != formatMagic {
-		if len(data) == 0 {
-			return 0, 0, io.ErrUnexpectedEOF
-		}
-		n := len(data)
-		if n > len(formatMagic) {
-			n = len(formatMagic)
-		}
-		return 0, 0, badMagic(data[:n])
+	if len(data) == 0 {
+		return 0, 0, io.ErrUnexpectedEOF
+	}
+	v3, err := sniffMagic(data)
+	if err != nil {
+		return 0, 0, err
 	}
 	pos := len(formatMagic)
 	var rec Record
-	var st codecState
+	st := codecState{v3: v3}
 	lastCommit := uint64(0)
 	any := false
 	for pos < len(data) {

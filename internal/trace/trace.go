@@ -45,6 +45,13 @@ type BankEntry struct {
 type Record struct {
 	// Cycle is the core cycle this record describes.
 	Cycle uint64
+	// Core identifies the physical core that produced the record in a
+	// multi-programmed capture (§3.2: each core has its own TIP unit and
+	// perf tags every sample with a core ID). Single-core streams and v2
+	// traces carry 0. The multicore driver sets it once per producing
+	// core; Reset deliberately leaves it alone so the per-cycle reset
+	// stays cheap.
+	Core uint32
 	// NumBanks is the commit width (live entries in Banks).
 	NumBanks int
 	// Banks holds the head entry per bank, indexed by bank ID.

@@ -133,7 +133,7 @@ func runSampledCore(ctx context.Context, core *cpu.Core, ff *program.FastForward
 	}
 
 	stepDetailed := func() (bool, error) {
-		if rc.Core.MaxCycles > 0 && coreCycle > rc.Core.MaxCycles {
+		if rc.Core.MaxCycles > 0 && coreCycle >= rc.Core.MaxCycles {
 			return false, fmt.Errorf("cpu: exceeded MaxCycles=%d (committed %d)",
 				rc.Core.MaxCycles, core.Stats().Committed)
 		}
