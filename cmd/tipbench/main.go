@@ -25,6 +25,7 @@ import (
 	"runtime/metrics"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -55,7 +56,8 @@ func main() {
 		benchjson   = flag.String("benchjson", "", "write machine-readable suite timing (wall-clock, cycles/sec, simulations) to this JSON file")
 		window      = flag.Uint64("window", 0, "sampled measurement-window cycles for -figures sampled (0 = default)")
 		interval    = flag.Uint64("interval", 0, "sampled window period in cycles for -figures sampled (0 = default)")
-		warmup      = flag.Uint64("warmup", 0, "detailed warmup cycles per sampled window for -figures sampled (0 = default)")
+		warmup      = flag.String("warmup", "", "detailed warmup cycles per sampled window for -figures sampled, or \"auto\" to size from the fast-forward leg length (empty = default)")
+		windowW     = flag.Int("windowworkers", 0, "checkpoint-parallel sampled simulation for -figures sampled: worker cores running detailed windows concurrently (0 = serial)")
 		sampledjson = flag.String("sampledjson", "", "write machine-readable sampled-vs-full comparison (CPI error, effective cycles/sec, speedup) to this JSON file; requires -figures sampled")
 	)
 	flag.Parse()
@@ -110,7 +112,7 @@ func main() {
 	// The sampled comparison is opt-in (it reruns each benchmark in full as
 	// its own ground truth), so "everything" (no -figures) does not imply it.
 	sampledSel := want["sampled"]
-	if err := validateSampledFlags(sampledSel, *window, *interval, *warmup, *sampledjson); err != nil {
+	if err := validateSampledFlags(sampledSel, *window, *interval, *warmup, *windowW, *sampledjson); err != nil {
 		fatal(err)
 	}
 
@@ -200,9 +202,14 @@ func main() {
 			TargetSamples:  *samples,
 			WindowCycles:   *window,
 			WindowInterval: *interval,
-			WarmupCycles:   *warmup,
+			WindowWorkers:  *windowW,
 			Checked:        *checked,
 			ReplayWorkers:  *replayW,
+		}
+		if *warmup == "auto" {
+			sopt.WarmupAuto = true
+		} else if *warmup != "" {
+			sopt.WarmupCycles, _ = strconv.ParseUint(*warmup, 10, 64)
 		}
 		// Sequential on purpose: each comparison times a full run against a
 		// sampled run of the same workload, and concurrent simulations would
@@ -261,33 +268,49 @@ func suiteNames(opt experiments.Options) []string {
 // figure is not selected (the geometry would be silently ignored otherwise)
 // and, when it is selected, validates the window geometry after default
 // filling — so a bad schedule fails before any simulation starts.
-func validateSampledFlags(sampledSel bool, window, interval, warmup uint64, sampledjson string) error {
+func validateSampledFlags(sampledSel bool, window, interval uint64, warmup string, workers int, sampledjson string) error {
 	if !sampledSel {
 		switch {
 		case window != 0:
 			return fmt.Errorf("-window requires -figures sampled")
 		case interval != 0:
 			return fmt.Errorf("-interval requires -figures sampled")
-		case warmup != 0:
+		case warmup != "":
 			return fmt.Errorf("-warmup requires -figures sampled")
+		case workers != 0:
+			return fmt.Errorf("-windowworkers requires -figures sampled")
 		case sampledjson != "":
 			return fmt.Errorf("-sampledjson requires -figures sampled")
 		}
 		return nil
 	}
+	if workers < 0 {
+		return fmt.Errorf("-windowworkers must be >= 0, got %d", workers)
+	}
 	rc := tip.DefaultRunConfig()
 	rc.Sampled = true
 	rc.WindowCycles = window
 	rc.WindowInterval = interval
-	rc.WarmupCycles = warmup
+	rc.WindowWorkers = workers
 	if rc.WindowCycles == 0 {
 		rc.WindowCycles = experiments.DefaultSampledWindow
 	}
 	if rc.WindowInterval == 0 {
 		rc.WindowInterval = experiments.DefaultSampledInterval
 	}
-	if rc.WarmupCycles == 0 && rc.WindowCycles != rc.WindowInterval {
-		rc.WarmupCycles = experiments.DefaultSampledWarmup
+	switch warmup {
+	case "auto":
+		rc.WarmupCycles = tip.AutoWarmupCycles(rc.WindowCycles, rc.WindowInterval)
+	case "":
+		if rc.WindowCycles != rc.WindowInterval {
+			rc.WarmupCycles = experiments.DefaultSampledWarmup
+		}
+	default:
+		cycles, err := strconv.ParseUint(warmup, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-warmup must be a cycle count or \"auto\": %q", warmup)
+		}
+		rc.WarmupCycles = cycles
 	}
 	return tip.ValidateSampled(rc)
 }
@@ -363,6 +386,10 @@ func writeSampledJSON(path string, comps []*experiments.SampledCompare) error {
 		Windows          uint64  `json:"windows"`
 		DetailedFraction float64 `json:"detailed_fraction"`
 		FFInstructions   uint64  `json:"ff_instructions"`
+		WindowWorkers    int     `json:"window_workers"`
+		SweepSeconds     float64 `json:"sweep_seconds"`
+		MeasureSeconds   float64 `json:"measure_seconds"`
+		WallSeconds      float64 `json:"wall_seconds"`
 	}
 	report := struct {
 		SchemaVersion int   `json:"schema_version"`
@@ -380,6 +407,10 @@ func writeSampledJSON(path string, comps []*experiments.SampledCompare) error {
 			Windows:          c.Windows,
 			DetailedFraction: c.DetailedFraction,
 			FFInstructions:   c.FFInstructions,
+			WindowWorkers:    c.WindowWorkers,
+			SweepSeconds:     c.SweepSeconds,
+			MeasureSeconds:   c.MeasureSeconds,
+			WallSeconds:      c.SampledWall.Seconds(),
 		})
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

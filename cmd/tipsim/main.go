@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strconv"
 	"strings"
 
 	tip "github.com/tipprof/tip"
@@ -46,7 +47,8 @@ func main() {
 		sampled   = flag.Bool("sampled", false, "sampled simulation: detailed measurement windows alternating with functional fast-forward (see -window/-interval/-warmup)")
 		window    = flag.Uint64("window", 0, "sampled measurement-window length in cycles (0 = default 8192; requires -sampled)")
 		interval  = flag.Uint64("interval", 0, "sampled window period in cycles (0 = default 131072; requires -sampled)")
-		warmup    = flag.Uint64("warmup", 0, "detailed warmup cycles before each sampled window (0 = default 8192; requires -sampled)")
+		warmup    = flag.String("warmup", "", "detailed warmup cycles before each sampled window, or \"auto\" to size from the fast-forward leg length (empty = default 8192; requires -sampled)")
+		windowW   = flag.Int("windowworkers", 0, "checkpoint-parallel sampled simulation: worker cores running detailed windows concurrently over the functional sweep (0 = serial; output is byte-identical at any count >= 1; requires -sampled)")
 		checkInv  = flag.Bool("check", false, "verify cycle-level trace invariants and profiler conservation; fail on any violation")
 		replayW   = flag.Int("replayworkers", 1, "worker goroutines the captured-trace replay fans the profilers out over (decode-once broadcast; results are byte-identical at any count)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -102,7 +104,7 @@ func main() {
 	rc.ReplayWorkers = *replayW
 	rc.Streaming = *streaming
 	rc.PilotCycles = *pilot
-	if err := configureSampled(&rc, *sampled, *window, *interval, *warmup, *record != ""); err != nil {
+	if err := configureSampled(&rc, *sampled, *window, *interval, *warmup, *windowW, *record != ""); err != nil {
 		fatal(err)
 	}
 
@@ -179,6 +181,10 @@ func printResult(name string, res *tip.Result, top int, fn string) {
 	if sr := res.Sampling; sr != nil {
 		fmt.Printf("sampled: %d windows, %d measured cycles (%.1f%% detailed), %d instructions fast-forwarded; cycle total is the stitched estimate\n",
 			sr.Windows, sr.MeasuredCycles, sr.DetailedFraction()*100, sr.FFInstructions)
+		if sr.WindowWorkers > 0 {
+			fmt.Printf("parallel: %d window workers; sweep %.2fs, detailed legs %.2fs aggregate\n",
+				sr.WindowWorkers, sr.SweepSeconds, sr.MeasureSeconds)
+		}
 	}
 	fmt.Printf("mispredicts %d, CSR flushes %d, exceptions %d\n",
 		res.Stats.Mispredicts, res.Stats.CSRFlushes, res.Stats.Exceptions)
@@ -256,34 +262,54 @@ func runMulticore(spec string, seed, scale uint64, rc tip.RunConfig, top int, fn
 // flags are meaningless without -sampled, and -record needs the concrete
 // sample interval before the run starts while sampled mode calibrates from
 // a pilot window — both are rejected rather than silently ignored. Zero
-// geometry values take the evaluation-harness defaults.
-func configureSampled(rc *tip.RunConfig, sampled bool, window, interval, warmup uint64, recording bool) error {
+// geometry values take the evaluation-harness defaults; warmup accepts the
+// literal "auto" to size the warmup from the fast-forward leg length.
+func configureSampled(rc *tip.RunConfig, sampled bool, window, interval uint64, warmup string, workers int, recording bool) error {
 	if !sampled {
 		switch {
 		case window != 0:
 			return fmt.Errorf("-window requires -sampled")
 		case interval != 0:
 			return fmt.Errorf("-interval requires -sampled")
-		case warmup != 0:
+		case warmup != "":
 			return fmt.Errorf("-warmup requires -sampled")
+		case workers != 0:
+			return fmt.Errorf("-windowworkers requires -sampled")
 		}
 		return nil
 	}
 	if recording {
 		return fmt.Errorf("-record is incompatible with -sampled (raw-sample recording needs the full trace)")
 	}
+	if workers < 0 {
+		return fmt.Errorf("-windowworkers must be >= 0, got %d", workers)
+	}
 	rc.Sampled = true
 	rc.WindowCycles = window
 	rc.WindowInterval = interval
-	rc.WarmupCycles = warmup
+	rc.WindowWorkers = workers
 	if rc.WindowCycles == 0 {
 		rc.WindowCycles = experiments.DefaultSampledWindow
 	}
 	if rc.WindowInterval == 0 {
 		rc.WindowInterval = experiments.DefaultSampledInterval
 	}
-	if rc.WarmupCycles == 0 && rc.WindowCycles != rc.WindowInterval {
-		rc.WarmupCycles = experiments.DefaultSampledWarmup
+	switch warmup {
+	case "auto":
+		rc.WarmupAuto = true
+	case "":
+		if rc.WindowCycles != rc.WindowInterval {
+			rc.WarmupCycles = experiments.DefaultSampledWarmup
+		}
+	default:
+		cycles, err := strconv.ParseUint(warmup, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-warmup must be a cycle count or \"auto\": %q", warmup)
+		}
+		rc.WarmupCycles = cycles
+	}
+	if rc.WarmupAuto {
+		rc.WarmupCycles = tip.AutoWarmupCycles(rc.WindowCycles, rc.WindowInterval)
 	}
 	return tip.ValidateSampled(*rc)
 }

@@ -12,25 +12,32 @@ import (
 // and the accepted shapes (defaults filled, explicit geometry preserved).
 func TestConfigureSampledRejections(t *testing.T) {
 	cases := []struct {
-		name                     string
-		sampled                  bool
-		window, interval, warmup uint64
-		recording                bool
-		wantErr                  string
+		name             string
+		sampled          bool
+		window, interval uint64
+		warmup           string
+		workers          int
+		recording        bool
+		wantErr          string
 	}{
 		{name: "window without sampled", window: 4096, wantErr: "-window requires -sampled"},
 		{name: "interval without sampled", interval: 65536, wantErr: "-interval requires -sampled"},
-		{name: "warmup without sampled", warmup: 1024, wantErr: "-warmup requires -sampled"},
+		{name: "warmup without sampled", warmup: "1024", wantErr: "-warmup requires -sampled"},
+		{name: "workers without sampled", workers: 4, wantErr: "-windowworkers requires -sampled"},
 		{name: "sampled with record", sampled: true, recording: true, wantErr: "-record is incompatible with -sampled"},
 		{name: "window exceeds interval", sampled: true, window: 1 << 20, interval: 4096, wantErr: "exceeds WindowInterval"},
-		{name: "warmup overflows gap", sampled: true, window: 4096, interval: 8192, warmup: 8192, wantErr: "exceed WindowInterval"},
+		{name: "warmup overflows gap", sampled: true, window: 4096, interval: 8192, warmup: "8192", wantErr: "exceed WindowInterval"},
+		{name: "warmup not a number", sampled: true, warmup: "lots", wantErr: "cycle count or \"auto\""},
+		{name: "negative workers", sampled: true, workers: -1, wantErr: "-windowworkers must be >= 0"},
 		{name: "plain run", wantErr: ""},
 		{name: "sampled defaults", sampled: true, wantErr: ""},
-		{name: "sampled explicit", sampled: true, window: 2048, interval: 16384, warmup: 1024, wantErr: ""},
+		{name: "sampled auto warmup", sampled: true, warmup: "auto", wantErr: ""},
+		{name: "sampled parallel", sampled: true, workers: 4, wantErr: ""},
+		{name: "sampled explicit", sampled: true, window: 2048, interval: 16384, warmup: "1024", workers: 2, wantErr: ""},
 	}
 	for _, tc := range cases {
 		rc := tip.DefaultRunConfig()
-		err := configureSampled(&rc, tc.sampled, tc.window, tc.interval, tc.warmup, tc.recording)
+		err := configureSampled(&rc, tc.sampled, tc.window, tc.interval, tc.warmup, tc.workers, tc.recording)
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -47,7 +54,7 @@ func TestConfigureSampledRejections(t *testing.T) {
 // evaluation-harness defaults, and that explicit values pass through.
 func TestConfigureSampledDefaults(t *testing.T) {
 	rc := tip.DefaultRunConfig()
-	if err := configureSampled(&rc, true, 0, 0, 0, false); err != nil {
+	if err := configureSampled(&rc, true, 0, 0, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if !rc.Sampled {
@@ -60,11 +67,26 @@ func TestConfigureSampledDefaults(t *testing.T) {
 	}
 
 	rc = tip.DefaultRunConfig()
-	if err := configureSampled(&rc, true, 4096, 4096, 0, false); err != nil {
+	if err := configureSampled(&rc, true, 4096, 4096, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if rc.WarmupCycles != 0 {
 		t.Fatalf("full-fraction run got a defaulted warmup %d", rc.WarmupCycles)
+	}
+}
+
+// TestConfigureSampledAutoWarmup pins the -warmup auto resolution: the
+// heuristic value is filled in and WarmupAuto recorded.
+func TestConfigureSampledAutoWarmup(t *testing.T) {
+	rc := tip.DefaultRunConfig()
+	if err := configureSampled(&rc, true, 8192, 1<<20, "auto", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !rc.WarmupAuto {
+		t.Fatal("WarmupAuto not recorded")
+	}
+	if want := tip.AutoWarmupCycles(8192, 1<<20); rc.WarmupCycles != want {
+		t.Fatalf("auto warmup resolved to %d, want %d", rc.WarmupCycles, want)
 	}
 }
 

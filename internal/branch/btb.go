@@ -123,6 +123,20 @@ func (b *BTB) Warm(pc, target uint64) {
 	b.lru[victim] = b.stamp
 }
 
+// CopyFrom overwrites b's entries, recency state and statistics with src's.
+// Both BTBs must share a geometry; copies never allocate.
+func (b *BTB) CopyFrom(src *BTB) {
+	if b.ways != src.ways || b.sets != src.sets {
+		panic("branch: BTB CopyFrom geometry mismatch")
+	}
+	copy(b.tags, src.tags)
+	copy(b.targets, src.targets)
+	copy(b.valid, src.valid)
+	copy(b.lru, src.lru)
+	b.stamp = src.stamp
+	b.Hits, b.Misses = src.Hits, src.Misses
+}
+
 // Insert records pc -> target.
 func (b *BTB) Insert(pc, target uint64) {
 	base := b.setOf(pc) * b.ways

@@ -1,0 +1,92 @@
+package branch
+
+import "testing"
+
+// trainTage feeds a mix of biased, patterned, and loop-like branches.
+func trainTage(tg *Tage, n int) {
+	for i := 0; i < n; i++ {
+		pc := uint64(0x400000 + (i%37)*4)
+		taken := i%3 != 0
+		if i%5 == 0 {
+			taken = (i/5)%2 == 0
+		}
+		tg.PredictUpdate(pc, taken)
+	}
+}
+
+// TestTageCopyFromRoundTrip pins the predictor side of the checkpoint seam:
+// a copied TAGE must predict and train exactly as the original from that
+// point on (same tables, same folded histories, same use-alt counter).
+func TestTageCopyFromRoundTrip(t *testing.T) {
+	src := NewTage(DefaultTageConfig())
+	trainTage(src, 5000)
+
+	cp := NewTage(DefaultTageConfig())
+	trainTage(cp, 1234) // stale state a pooled worker might carry
+	cp.CopyFrom(src)
+
+	for i := 0; i < 3000; i++ {
+		pc := uint64(0x400000 + (i%53)*4)
+		taken := i%7 < 4
+		a := src.PredictUpdate(pc, taken)
+		b := cp.PredictUpdate(pc, taken)
+		if a != b {
+			t.Fatalf("branch %d: source predicted %v, copy %v", i, a, b)
+		}
+	}
+	if src.MispredictRate() != cp.MispredictRate() {
+		t.Fatalf("mispredict rates diverged: %f vs %f", src.MispredictRate(), cp.MispredictRate())
+	}
+}
+
+// TestBTBCopyFromRoundTrip: a copied BTB answers every lookup the way the
+// original does, and replacement state carries over (probing new targets
+// from the same state evicts the same victims).
+func TestBTBCopyFromRoundTrip(t *testing.T) {
+	src := NewBTB(512, 4)
+	for i := 0; i < 2000; i++ {
+		pc := uint64(0x10000 + (i%700)*4)
+		src.Probe(pc, pc+uint64(8+i%16))
+	}
+	cp := NewBTB(512, 4)
+	cp.CopyFrom(src)
+
+	for i := 0; i < 700; i++ {
+		pc := uint64(0x10000 + i*4)
+		ta, oka := src.Lookup(pc)
+		tb, okb := cp.Lookup(pc)
+		if ta != tb || oka != okb {
+			t.Fatalf("pc %#x: source (%#x,%v), copy (%#x,%v)", pc, ta, oka, tb, okb)
+		}
+	}
+	// Same replacement decisions from the copied state.
+	for i := 0; i < 300; i++ {
+		pc := uint64(0x90000 + i*4)
+		if src.Probe(pc, pc+8) != cp.Probe(pc, pc+8) {
+			t.Fatalf("probe %d: replacement behaviour diverged", i)
+		}
+	}
+}
+
+// TestRASCopyFromRoundTrip: a copied return-address stack pops the same
+// predictions, including after overflow wraps.
+func TestRASCopyFromRoundTrip(t *testing.T) {
+	src := NewRAS(16)
+	for i := 0; i < 40; i++ { // overflow the 16-deep stack
+		src.Push(uint64(0x1000 + i*8))
+	}
+	cp := NewRAS(16)
+	cp.CopyFrom(src)
+
+	for i := 0; i < 20; i++ {
+		actual := uint64(0x1000 + (39-i)*8)
+		pa, ca := src.Pop(actual)
+		pb, cb := cp.Pop(actual)
+		if pa != pb || ca != cb {
+			t.Fatalf("pop %d: source (%#x,%v), copy (%#x,%v)", i, pa, ca, pb, cb)
+		}
+	}
+	if src.Depth() != cp.Depth() {
+		t.Fatalf("depths diverged: %d vs %d", src.Depth(), cp.Depth())
+	}
+}

@@ -264,6 +264,27 @@ func (t *Tage) shiftHistory(taken bool) {
 	}
 }
 
+// CopyFrom overwrites t's tables, history and statistics with src's. Both
+// predictors must share a configuration; all slices are fixed-size at
+// construction, so copies never allocate.
+func (t *Tage) CopyFrom(src *Tage) {
+	if len(t.base) != len(src.base) || len(t.tabs) != len(src.tabs) || len(t.hist) != len(src.hist) {
+		panic("branch: Tage CopyFrom config mismatch")
+	}
+	copy(t.base, src.base)
+	for i := range t.tabs {
+		copy(t.tabs[i], src.tabs[i])
+	}
+	copy(t.hist, src.hist)
+	t.histHead = src.histHead
+	copy(t.histOld, src.histOld)
+	copy(t.fIdx, src.fIdx)
+	copy(t.fTag1, src.fTag1)
+	copy(t.fTag2, src.fTag2)
+	t.allocs = src.allocs
+	t.Lookups, t.Mispredicts = src.Lookups, src.Mispredicts
+}
+
 // MispredictRate returns mispredicts/lookups.
 func (t *Tage) MispredictRate() float64 {
 	if t.Lookups == 0 {

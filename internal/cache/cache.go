@@ -322,6 +322,34 @@ func (c *Cache) warmInstall(line uint64, write bool) {
 	c.touch(i)
 }
 
+// CopyFrom overwrites c's tag, LRU, MSHR and statistics state with src's.
+// The two caches must share a geometry (they keep their own next-level
+// wiring); slice capacities are reused, so steady-state copies do not
+// allocate.
+func (c *Cache) CopyFrom(src *Cache) {
+	if c.sets != src.sets || c.cfg.Ways != src.cfg.Ways || c.lineBits != src.lineBits {
+		panic(fmt.Sprintf("cache %s: CopyFrom geometry mismatch with %s", c.cfg.Name, src.cfg.Name))
+	}
+	copy(c.tags, src.tags)
+	copy(c.valid, src.valid)
+	copy(c.dirty, src.dirty)
+	copy(c.readyAt, src.readyAt)
+	copy(c.lru, src.lru)
+	c.stamp = src.stamp
+	c.mshrs = append(c.mshrs[:0], src.mshrs...)
+	c.Hits, c.Misses = src.Hits, src.Misses
+	c.Evictions, c.Writebacks = src.Evictions, src.Writebacks
+	c.MSHRStalls, c.Prefetches = src.MSHRStalls, src.Prefetches
+	c.WarmFills = src.WarmFills
+}
+
+// Clone returns an independent copy of c wired in front of next.
+func (c *Cache) Clone(next Level) *Cache {
+	n := New(c.cfg, next)
+	n.CopyFrom(c)
+	return n
+}
+
 // Contains reports whether the line holding addr is present (for tests).
 func (c *Cache) Contains(addr uint64) bool {
 	return c.lookup(c.lineOf(addr)) >= 0

@@ -1,0 +1,68 @@
+package cache
+
+import "testing"
+
+// driveHier replays a deterministic mixed access pattern — striding loads, a
+// hot write set, and instruction fetches — returning each access's completion
+// cycle. Two hierarchies in the same state must produce the same signature.
+func driveHier(h *Hierarchy, base uint64, n int) []uint64 {
+	sig := make([]uint64, 0, 2*n)
+	now := uint64(0)
+	for i := 0; i < n; i++ {
+		addr := base + uint64(i*192%(256<<10))
+		now = h.L1D.Access(addr, i%5 == 0, now)
+		sig = append(sig, now)
+		now = h.L1I.Access(base+uint64(i*64%4096), false, now)
+		sig = append(sig, now)
+	}
+	return sig
+}
+
+// TestHierarchyCloneRoundTrip pins the checkpoint seam's cache contract: a
+// cloned hierarchy replays the exact same latencies the original would, and
+// the two are fully independent afterwards.
+func TestHierarchyCloneRoundTrip(t *testing.T) {
+	src := NewHierarchy(DefaultHierarchyConfig())
+	driveHier(src, 1<<20, 3000) // warm every level, open DRAM rows
+
+	cl := src.Clone()
+	if cl.L1D.Hits != src.L1D.Hits || cl.L2.Misses != src.L2.Misses ||
+		cl.LLC.Misses != src.LLC.Misses || cl.DRAM.RowHits != src.DRAM.RowHits {
+		t.Fatal("clone statistics differ from source")
+	}
+
+	a := driveHier(src, 5<<20, 1500)
+	b := driveHier(cl, 5<<20, 1500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d: source done at %d, clone at %d", i, a[i], b[i])
+		}
+	}
+
+	// Divergence: driving one must not disturb the other.
+	misses := cl.LLC.Misses
+	driveHier(src, 9<<20, 500)
+	if cl.LLC.Misses != misses {
+		t.Fatal("driving the source mutated the clone")
+	}
+}
+
+// TestHierarchyCopyFromReuse pins the pooled-checkpoint usage: CopyFrom into
+// an already-used hierarchy (a worker restoring its next job) must fully
+// overwrite the stale state.
+func TestHierarchyCopyFromReuse(t *testing.T) {
+	src := NewHierarchy(DefaultHierarchyConfig())
+	driveHier(src, 1<<20, 2000)
+
+	dst := NewHierarchy(DefaultHierarchyConfig())
+	driveHier(dst, 7<<20, 2500) // stale state from a previous window
+	dst.CopyFrom(src)
+
+	a := driveHier(src, 3<<20, 1000)
+	b := driveHier(dst, 3<<20, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d: source done at %d, copy at %d", i, a[i], b[i])
+		}
+	}
+}

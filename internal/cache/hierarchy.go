@@ -46,6 +46,29 @@ func (h *Hierarchy) Reset() {
 	h.DRAM.Reset()
 }
 
+// CopyFrom overwrites every level's state with src's. Both hierarchies must
+// share a configuration; the chain wiring (which level misses into which) is
+// untouched, so h stays self-contained. Steady-state copies do not allocate.
+func (h *Hierarchy) CopyFrom(src *Hierarchy) {
+	h.L1I.CopyFrom(src.L1I)
+	h.L1D.CopyFrom(src.L1D)
+	h.L2.CopyFrom(src.L2)
+	h.LLC.CopyFrom(src.LLC)
+	h.DRAM.CopyFrom(src.DRAM)
+}
+
+// Clone returns an independent deep copy of the hierarchy: a freshly wired
+// L1I/L1D→L2→LLC→DRAM chain carrying h's tag, LRU, and timing state.
+func (h *Hierarchy) Clone() *Hierarchy {
+	cfg := HierarchyConfig{
+		L1I: h.L1I.cfg, L1D: h.L1D.cfg, L2: h.L2.cfg, LLC: h.LLC.cfg,
+		DRAM: h.DRAM.Config(),
+	}
+	n := NewHierarchy(cfg)
+	n.CopyFrom(h)
+	return n
+}
+
 // NewSharedLLC builds an LLC backed by its own DRAM, to be shared by
 // several cores' private stacks (multi-core configurations).
 func NewSharedLLC(cfg HierarchyConfig) *Cache {

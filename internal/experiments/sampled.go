@@ -27,6 +27,13 @@ type SampledOptions struct {
 	WindowCycles   uint64
 	WindowInterval uint64
 	WarmupCycles   uint64
+	// WarmupAuto derives WarmupCycles from the fast-forward leg length
+	// (tip.AutoWarmupCycles), overriding WarmupCycles.
+	WarmupAuto bool
+	// WindowWorkers runs the sampled schedule's detailed windows on up to
+	// this many concurrent worker cores over a serial functional sweep
+	// (0 = serial schedule; output is byte-identical at any count >= 1).
+	WindowWorkers int
 	// Checked attaches the cycle-level invariant checker to both runs.
 	Checked bool
 	// ReplayWorkers fans each run's profiler matrix over up to this many
@@ -85,6 +92,12 @@ type SampledCompare struct {
 	DetailedFraction float64
 	Windows          uint64
 	FFInstructions   uint64
+	// WindowWorkers, SweepSeconds and MeasureSeconds describe the
+	// checkpoint-parallel schedule when it ran (WindowWorkers 0 = the
+	// serial path; the wall-clock split is then zero).
+	WindowWorkers  int
+	SweepSeconds   float64
+	MeasureSeconds float64
 
 	// CPIError is the stitched estimate's weighted CPI error,
 	// |EstCycles - FullCycles| / FullCycles. (Committed instructions are
@@ -157,6 +170,8 @@ func CompareSampled(ctx context.Context, name string, opt SampledOptions) (*Samp
 	src.WindowCycles = opt.WindowCycles
 	src.WindowInterval = opt.WindowInterval
 	src.WarmupCycles = opt.WarmupCycles
+	src.WarmupAuto = opt.WarmupAuto
+	src.WindowWorkers = opt.WindowWorkers
 	sampledStart := time.Now()
 	sampled, err := tip.RunSampled(ctx, w, src)
 	if err != nil {
@@ -179,6 +194,9 @@ func CompareSampled(ctx context.Context, name string, opt SampledOptions) (*Samp
 		c.DetailedFraction = sr.DetailedFraction()
 		c.Windows = sr.Windows
 		c.FFInstructions = sr.FFInstructions
+		c.WindowWorkers = sr.WindowWorkers
+		c.SweepSeconds = sr.SweepSeconds
+		c.MeasureSeconds = sr.MeasureSeconds
 	}
 	if c.FullCycles > 0 {
 		d := float64(c.EstCycles) - float64(c.FullCycles)

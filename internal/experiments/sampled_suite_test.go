@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// TestEvalSuiteSampledBorrowsWindowWorkers runs a sampled suite evaluation
+// and checks the budget contract: window workers draw from the shared
+// Parallelism budget (the evaluation's held slot guarantees at least one),
+// and the suite's stitched cycle estimate matches a direct checkpoint-
+// parallel RunSampled of the same workload — the budget only changes
+// wall-clock, never results.
+func TestEvalSuiteSampledBorrowsWindowWorkers(t *testing.T) {
+	opt := Options{
+		Benchmarks:     []string{"mcf"},
+		Scale:          200_000,
+		TargetSamples:  512,
+		Parallelism:    2,
+		Sampled:        true,
+		WindowCycles:   1 << 11,
+		WindowInterval: 1 << 13,
+		WarmupCycles:   1 << 9,
+		WindowWorkers:  4,
+	}
+	evals, st, err := EvalSuiteTimed(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 1 || evals[0] == nil {
+		t.Fatalf("expected one evaluation, got %+v", evals)
+	}
+	if st.MaxWindowWorkers < 1 || st.MaxWindowWorkers > opt.Parallelism {
+		t.Fatalf("window workers %d outside [1, Parallelism=%d]: the suite slot covers one, extras must borrow",
+			st.MaxWindowWorkers, opt.Parallelism)
+	}
+
+	w, err := workload.LoadScaled("mcf", 1, opt.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := tip.DefaultRunConfig()
+	rc.TargetSamples = opt.TargetSamples
+	rc.Sampled = true
+	rc.WindowCycles = opt.WindowCycles
+	rc.WindowInterval = opt.WindowInterval
+	rc.WarmupCycles = opt.WarmupCycles
+	rc.WindowWorkers = 1 // any count >= 1 is byte-identical
+	res, err := tip.RunSampled(context.Background(), w, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals[0].Cycles != res.Stats.Cycles {
+		t.Fatalf("suite sampled estimate %d differs from direct parallel run %d: the budget must not change results",
+			evals[0].Cycles, res.Stats.Cycles)
+	}
+}

@@ -1,0 +1,61 @@
+package mem
+
+import "testing"
+
+// driveDRAM replays a row-locality-heavy access mix and returns the
+// completion-cycle signature.
+func driveDRAM(d *DRAM, base uint64, n int) []uint64 {
+	sig := make([]uint64, 0, n)
+	now := uint64(0)
+	for i := 0; i < n; i++ {
+		addr := base + uint64(i%8)*64 + uint64(i/8%16)<<14
+		now = d.Access(addr, i%6 == 0, now)
+		sig = append(sig, now)
+	}
+	return sig
+}
+
+// TestDRAMCloneRoundTrip pins the open-row state transfer: a cloned DRAM
+// replays the same row-hit/row-miss latencies the original would.
+func TestDRAMCloneRoundTrip(t *testing.T) {
+	src := New(DefaultConfig())
+	driveDRAM(src, 1<<22, 500) // open a working set of rows
+
+	cl := src.Clone()
+	if cl.RowHits != src.RowHits || cl.RowMisses != src.RowMisses {
+		t.Fatal("clone statistics differ from source")
+	}
+
+	a := driveDRAM(src, 1<<22, 400)
+	b := driveDRAM(cl, 1<<22, 400)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d: source done at %d, clone at %d", i, a[i], b[i])
+		}
+	}
+
+	hits := cl.RowHits
+	driveDRAM(src, 1<<26, 200)
+	if cl.RowHits != hits {
+		t.Fatal("driving the source mutated the clone")
+	}
+}
+
+// TestDRAMCopyFromReuse: CopyFrom into a dirtied DRAM (pooled checkpoint
+// container) fully overwrites the stale open-row and timing state.
+func TestDRAMCopyFromReuse(t *testing.T) {
+	src := New(DefaultConfig())
+	driveDRAM(src, 1<<22, 300)
+
+	dst := New(DefaultConfig())
+	driveDRAM(dst, 1<<27, 350)
+	dst.CopyFrom(src)
+
+	a := driveDRAM(src, 2<<22, 300)
+	b := driveDRAM(dst, 2<<22, 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d: source done at %d, copy at %d", i, a[i], b[i])
+		}
+	}
+}

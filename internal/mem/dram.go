@@ -79,6 +79,9 @@ func New(cfg Config) *DRAM {
 	}
 }
 
+// Config returns the DRAM's configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
 // Access requests the cache line at addr at core cycle now and returns the
 // absolute cycle at which the data is available. Writes have the same bank
 // timing as reads in this model (write buffering is folded into the cache
@@ -136,6 +139,32 @@ func (d *DRAM) Access(addr uint64, write bool, now uint64) uint64 {
 	d.busyUntil[bank] = start + d.cfg.BusOccupancy
 	d.queue[bank] = append(d.queue[bank], done)
 	return done
+}
+
+// CopyFrom overwrites d's bank state and statistics with src's. Both DRAMs
+// must share a bank count; slice capacity is reused, so steady-state copies
+// allocate only when a source queue outgrew the destination's capacity.
+func (d *DRAM) CopyFrom(src *DRAM) {
+	if d.cfg.Banks != src.cfg.Banks {
+		panic(fmt.Sprintf("mem: CopyFrom bank mismatch %d vs %d", d.cfg.Banks, src.cfg.Banks))
+	}
+	copy(d.openRow, src.openRow)
+	copy(d.rowValid, src.rowValid)
+	copy(d.busyUntil, src.busyUntil)
+	for b := range src.queue {
+		d.queue[b] = append(d.queue[b][:0], src.queue[b]...)
+	}
+	d.Accesses = src.Accesses
+	d.RowHits = src.RowHits
+	d.RowMisses = src.RowMisses
+	d.QueueStalls = src.QueueStalls
+}
+
+// Clone returns an independent deep copy of d.
+func (d *DRAM) Clone() *DRAM {
+	c := New(d.cfg)
+	c.CopyFrom(d)
+	return c
 }
 
 // Reset clears all bank state and statistics.

@@ -1,0 +1,98 @@
+package program
+
+import (
+	"testing"
+
+	"github.com/tipprof/tip/internal/isa"
+)
+
+// buildStochastic builds a looped program whose branches and loads both draw
+// from the interpreter's RNG, so any aliasing between a clone's RNG and its
+// source's shows up as stream divergence.
+func buildStochastic(iters int) *Program {
+	b := NewBuilder("stochastic")
+	f := b.Func("main")
+	b0 := f.NewBlock()
+	b0.Load(isa.IntReg(1), isa.IntReg(2), MemBehavior{Base: 1 << 30, Size: 1 << 20, Pattern: MemRandom})
+	b0.Op(isa.KindIntALU, isa.IntReg(3), isa.IntReg(1))
+	b0.Branch(2, BranchBehavior{Mode: BrRandom, P: 0.35}, isa.IntReg(3))
+	b1 := f.NewBlock()
+	b1.Store(isa.IntReg(3), isa.IntReg(2), MemBehavior{Base: 1 << 31, Size: 1 << 16, Pattern: MemStride, Stride: 64})
+	b2 := f.NewBlock()
+	b2.Op(isa.KindIntALU, isa.IntReg(4), isa.IntReg(3))
+	b2.LoopBack(0, iters)
+	b3 := f.NewBlock()
+	b3.Ret()
+	return b.MustBuild(0)
+}
+
+func collect(it *Interp, n int) []DynInst {
+	out := make([]DynInst, 0, n)
+	for i := 0; i < n; i++ {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestInterpCloneRoundTrip pins the architectural half of a checkpoint: a
+// clone taken mid-stream must deliver the exact instruction stream the
+// source would — same branch outcomes, same effective addresses — and the
+// two streams must be independent (no shared RNG or cursor state).
+func TestInterpCloneRoundTrip(t *testing.T) {
+	p := buildStochastic(100_000)
+	src := NewInterp(p, 42)
+	collect(src, 10_000) // advance into the steady state
+
+	cl := src.Clone()
+	if cl.Seq() != src.Seq() {
+		t.Fatalf("clone at seq %d, source at %d", cl.Seq(), src.Seq())
+	}
+
+	// Run the clone FIRST. If it shared mutable state with the source, the
+	// source's subsequent stream would be perturbed.
+	want := collect(cl, 5_000)
+	got := collect(src, 5_000)
+	if len(want) != len(got) {
+		t.Fatalf("stream lengths diverged: clone %d, source %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("instruction %d diverged:\nclone  %+v\nsource %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestInterpCopyFromZeroValue pins the pooled-container path the parallel
+// scheduler uses: CopyFrom must work on a zero-value Interp and produce the
+// same stream as a fresh Clone.
+func TestInterpCopyFromZeroValue(t *testing.T) {
+	p := buildStochastic(50_000)
+	src := NewInterp(p, 7)
+	collect(src, 8_000)
+
+	var pooled Interp
+	pooled.CopyFrom(src)
+	want := collect(src.Clone(), 3_000)
+	got := collect(&pooled, 3_000)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("instruction %d diverged between clone and zero-value copy", i)
+		}
+	}
+
+	// Reuse: copy a later position into the same container.
+	src2 := NewInterp(p, 9)
+	collect(src2, 12_000)
+	pooled.CopyFrom(src2)
+	want = collect(src2.Clone(), 3_000)
+	got = collect(&pooled, 3_000)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("instruction %d diverged after container reuse", i)
+		}
+	}
+}

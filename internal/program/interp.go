@@ -179,6 +179,49 @@ func (it *Interp) Next() (d DynInst, ok bool) {
 	return d, true
 }
 
+// CopyFrom overwrites it's position — call stack, RNG, sequence number, and
+// per-instruction dynamic state — with src's, making it deliver the exact
+// instruction stream src would from this point. It works on a zero-value
+// Interp (pooled checkpoint containers) and reuses existing slice capacity,
+// so steady-state copies between same-program interpreters do not allocate.
+func (it *Interp) CopyFrom(src *Interp) {
+	it.prog = src.prog
+	if it.rng == nil {
+		it.rng = &xrand.Source{}
+	}
+	*it.rng = *src.rng
+	// Deep-copy the call stack, reusing each destination frame's loops
+	// slice where its capacity suffices. Reading the old loops slice before
+	// overwriting frame i is safe: append below either reuses it.stack's
+	// backing array (old[i] still live until assigned) or allocates afresh.
+	old := it.stack
+	it.stack = it.stack[:0]
+	for i, f := range src.stack {
+		var loops []int32
+		if i < len(old) && cap(old[i].loops) >= len(f.loops) {
+			loops = old[i].loops[:len(f.loops)]
+		} else {
+			loops = make([]int32, len(f.loops))
+		}
+		copy(loops, f.loops)
+		it.stack = append(it.stack, frame{fn: f.fn, block: f.block, inst: f.inst, loops: loops})
+	}
+	it.seq = src.seq
+	it.done = src.done
+	it.memCur = append(it.memCur[:0], src.memCur...)
+	it.brPos = append(it.brPos[:0], src.brPos...)
+	if it.loopPool == nil {
+		it.loopPool = make(map[*Function][][]int32)
+	}
+}
+
+// Clone returns an independent interpreter at the same stream position.
+func (it *Interp) Clone() *Interp {
+	n := &Interp{}
+	n.CopyFrom(it)
+	return n
+}
+
 // currentPC returns the PC of the instruction the interpreter will deliver
 // next.
 func (it *Interp) currentPC() uint64 {

@@ -64,6 +64,13 @@ type JobSpec struct {
 	WindowCycles   uint64 `json:"window_cycles,omitempty"`
 	WindowInterval uint64 `json:"window_interval,omitempty"`
 	WarmupCycles   uint64 `json:"warmup_cycles,omitempty"`
+	// WarmupAuto sizes the warmup from the fast-forward leg length
+	// (tip.AutoWarmupCycles), overriding warmup_cycles.
+	WarmupAuto bool `json:"warmup_auto,omitempty"`
+	// WindowWorkers runs the sampled windows checkpoint-parallel on up to
+	// this many worker cores (clamped to [0,16]; 0 = serial schedule;
+	// results are byte-identical at any count >= 1).
+	WindowWorkers int `json:"window_workers,omitempty"`
 	// Cores runs a multi-programmed lockstep job: workload i on core i of
 	// one shared-LLC system, profiled per core from a single core-tagged
 	// capture. Mutually exclusive with Bench/Seed/Scale and Sampled. The
@@ -121,15 +128,27 @@ func (sp *JobSpec) normalize() ([]profiler.Kind, profile.Granularity, error) {
 			return nil, 0, fmt.Errorf("window_interval requires sampled")
 		case sp.WarmupCycles != 0:
 			return nil, 0, fmt.Errorf("warmup_cycles requires sampled")
+		case sp.WarmupAuto:
+			return nil, 0, fmt.Errorf("warmup_auto requires sampled")
+		case sp.WindowWorkers != 0:
+			return nil, 0, fmt.Errorf("window_workers requires sampled")
 		}
 	} else {
+		if sp.WindowWorkers < 0 {
+			sp.WindowWorkers = 0
+		}
+		if sp.WindowWorkers > 16 {
+			sp.WindowWorkers = 16
+		}
 		if sp.WindowCycles == 0 {
 			sp.WindowCycles = experiments.DefaultSampledWindow
 		}
 		if sp.WindowInterval == 0 {
 			sp.WindowInterval = experiments.DefaultSampledInterval
 		}
-		if sp.WarmupCycles == 0 && sp.WindowCycles != sp.WindowInterval {
+		if sp.WarmupAuto {
+			sp.WarmupCycles = tip.AutoWarmupCycles(sp.WindowCycles, sp.WindowInterval)
+		} else if sp.WarmupCycles == 0 && sp.WindowCycles != sp.WindowInterval {
 			sp.WarmupCycles = experiments.DefaultSampledWarmup
 		}
 		rc := tip.DefaultRunConfig()
@@ -251,7 +270,8 @@ func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 		rc.Sampled = true
 		rc.WindowCycles = spec.WindowCycles
 		rc.WindowInterval = spec.WindowInterval
-		rc.WarmupCycles = spec.WarmupCycles
+		rc.WarmupCycles = spec.WarmupCycles // normalize resolved warmup_auto
+		rc.WindowWorkers = spec.WindowWorkers
 		start := time.Now()
 		res, err := tip.RunSampled(ctx, w, rc)
 		if err != nil {
@@ -352,6 +372,12 @@ type SamplingView struct {
 	MeasuredCycles   uint64  `json:"measured_cycles"`
 	DetailedFraction float64 `json:"detailed_fraction"`
 	FFInstructions   uint64  `json:"ff_instructions"`
+	// WindowWorkers, SweepSeconds and MeasureSeconds describe the
+	// checkpoint-parallel schedule when it ran (window_workers 0 = the
+	// serial path; the wall-clock split is then omitted).
+	WindowWorkers  int     `json:"window_workers,omitempty"`
+	SweepSeconds   float64 `json:"sweep_seconds,omitempty"`
+	MeasureSeconds float64 `json:"measure_seconds,omitempty"`
 }
 
 // FuncShare is one row of a function-granularity profile.
@@ -461,6 +487,9 @@ func resultView(res *tip.Result, gran profile.Granularity) *ResultView {
 			MeasuredCycles:   sr.MeasuredCycles,
 			DetailedFraction: sr.DetailedFraction(),
 			FFInstructions:   sr.FFInstructions,
+			WindowWorkers:    sr.WindowWorkers,
+			SweepSeconds:     sr.SweepSeconds,
+			MeasureSeconds:   sr.MeasureSeconds,
 		}
 	}
 	rv.Profiles["Oracle"] = funcShares(res.Oracle.Profile)

@@ -142,6 +142,18 @@ type MMU struct {
 	present    map[uint64]bool
 	allPresent bool
 
+	// log records installed pages in install order; present is always
+	// exactly the set of pages in log (when allPresent is false). Because
+	// installs are the only mutation — pages are never evicted — any prefix
+	// of the log is an immutable snapshot of an earlier present set, which
+	// is what lets CheckpointInto capture the set by reference in O(1) and
+	// RestoreFrom replay only the delta since the MMU's previous restore.
+	log []uint64
+	// applied is the length of the shared checkpoint-log prefix this MMU's
+	// present set currently includes; log entries past it are this MMU's
+	// own installs (demand faults taken during a detailed leg).
+	applied int
+
 	// Stats.
 	ITLBMisses, DTLBMisses, L2TLBMisses, Walks, Faults uint64
 	// WarmInstalls counts pages first installed through Warm* (functional
@@ -174,7 +186,13 @@ func New(cfg Config, walkPath cache.Level) *MMU {
 
 // InstallPage marks a page present (what the OS fault handler does) without
 // inserting a TLB entry; the retried access walks and fills the TLBs.
-func (m *MMU) InstallPage(page uint64) { m.present[page] = true }
+func (m *MMU) InstallPage(page uint64) {
+	if m.allPresent || m.present[page] {
+		return
+	}
+	m.present[page] = true
+	m.log = append(m.log, page)
+}
 
 // PrefaultAll marks the entire address space present, disabling demand
 // paging; used by workloads that model fully warmed-up memory.
@@ -261,6 +279,7 @@ func (m *MMU) warm(t *l1tlb, addr uint64) {
 	if !m.l2lookup(page) {
 		if !m.allPresent && !m.present[page] {
 			m.present[page] = true
+			m.log = append(m.log, page)
 			m.WarmInstalls++
 		}
 		if w, ok := m.walkPath.(warmLevel); ok {
@@ -294,6 +313,85 @@ func (m *MMU) TranslateFetch(addr uint64, now uint64) Result {
 	return m.translate(m.itlb, false, addr, now)
 }
 
+// copyFrom overwrites t's entries and recency state with src's. Both TLBs
+// must have the same entry count.
+func (t *l1tlb) copyFrom(src *l1tlb) {
+	if len(t.pages) != len(src.pages) {
+		panic("tlb: copyFrom size mismatch")
+	}
+	copy(t.pages, src.pages)
+	copy(t.valid, src.valid)
+	copy(t.lru, src.lru)
+	t.stamp = src.stamp
+	t.mru = src.mru
+}
+
+// CopyFrom overwrites m's TLB entries, present-page set and statistics with
+// src's. The walk path stays m's own — a checkpoint MMU can live with a nil
+// walk path as a pure state container, and restoring into a core keeps the
+// walker reading through that core's L1D. Map buckets are reused, so
+// steady-state copies allocate only when the present set grows.
+func (m *MMU) CopyFrom(src *MMU) {
+	if m.cfg.L1Entries != src.cfg.L1Entries || m.cfg.L2Entries != src.cfg.L2Entries {
+		panic("tlb: CopyFrom config mismatch")
+	}
+	m.copyShallow(src)
+	clear(m.present)
+	for p := range src.present {
+		m.present[p] = true
+	}
+	m.log = append(m.log[:0], src.log...)
+	m.applied = src.applied
+}
+
+// copyShallow copies everything except the present set.
+func (m *MMU) copyShallow(src *MMU) {
+	m.itlb.copyFrom(src.itlb)
+	m.dtlb.copyFrom(src.dtlb)
+	copy(m.l2pages, src.l2pages)
+	m.allPresent = src.allPresent
+	m.ITLBMisses, m.DTLBMisses = src.ITLBMisses, src.DTLBMisses
+	m.L2TLBMisses, m.Walks, m.Faults = src.L2TLBMisses, src.Walks, src.Faults
+	m.WarmInstalls = src.WarmInstalls
+}
+
+// CheckpointInto writes m's state into dst as a pure state container in
+// O(TLB size), independent of how many pages are present: the present set is
+// captured as a reference to m's append-only install log, whose current
+// prefix is immutable. dst must only be read back through RestoreFrom.
+func (m *MMU) CheckpointInto(dst *MMU) {
+	if m.cfg.L1Entries != dst.cfg.L1Entries || m.cfg.L2Entries != dst.cfg.L2Entries {
+		panic("tlb: CheckpointInto config mismatch")
+	}
+	dst.copyShallow(m)
+	dst.log = m.log // shared by reference; the slice length is the snapshot
+}
+
+// RestoreFrom rebuilds m's state from a container written by CheckpointInto.
+// The present set is restored incrementally: m's own installs past the
+// previously applied shared prefix are rolled back, then the shared log's
+// delta is replayed — O(pages changed since m's last restore), not O(pages
+// present). Checkpoints must be restored in install-log order (the parallel
+// sampled scheduler's workers draw jobs from a FIFO, so they always do).
+func (m *MMU) RestoreFrom(cp *MMU) {
+	if m.cfg.L1Entries != cp.cfg.L1Entries || m.cfg.L2Entries != cp.cfg.L2Entries {
+		panic("tlb: RestoreFrom config mismatch")
+	}
+	if m.applied > len(cp.log) {
+		panic("tlb: RestoreFrom out of install-log order")
+	}
+	m.copyShallow(cp)
+	for _, p := range m.log[m.applied:] {
+		delete(m.present, p)
+	}
+	m.log = m.log[:m.applied]
+	for _, p := range cp.log[m.applied:] {
+		m.present[p] = true
+		m.log = append(m.log, p)
+	}
+	m.applied = len(cp.log)
+}
+
 // Reset clears TLBs, present pages and statistics.
 func (m *MMU) Reset() {
 	m.itlb.invalidate()
@@ -302,6 +400,8 @@ func (m *MMU) Reset() {
 		m.l2pages[i] = invalidPage
 	}
 	m.present = make(map[uint64]bool)
+	m.log = m.log[:0]
+	m.applied = 0
 	m.allPresent = false
 	m.ITLBMisses, m.DTLBMisses, m.L2TLBMisses, m.Walks, m.Faults = 0, 0, 0, 0, 0
 	m.WarmInstalls = 0

@@ -49,6 +49,19 @@ type SampledRunStats struct {
 	// FFRepresentedCycles + WarmupRepresentedCycles; Result.Stats.Cycles
 	// reports the same number.
 	EstimatedCycles uint64
+
+	// WindowWorkers is the worker count the checkpoint-parallel scheduler
+	// ran with; 0 means the serial single-core schedule.
+	WindowWorkers int
+	// SweepSeconds is the functional sweep's wall-clock in the parallel
+	// mode (0 on the serial path). Wall-clock fields are the only
+	// non-deterministic members of this struct; identity tests zero them
+	// before comparing.
+	SweepSeconds float64
+	// MeasureSeconds sums the detailed warmup+window simulation time
+	// across window 0 and every worker leg (parallel mode; exceeds the
+	// run's wall-clock when legs overlap).
+	MeasureSeconds float64
 }
 
 // DetailedFraction returns the fraction of the estimated run that was
@@ -93,6 +106,94 @@ func mulDiv(a, b, d uint64) uint64 {
 // sampledCancelMask mirrors the core's RunContext poll granularity: the
 // window loop checks its context every sampledCancelMask+1 core cycles.
 const sampledCancelMask = 8191
+
+// AutoWarmupCycles is the `-warmup auto` heuristic (RunConfig.WarmupAuto):
+// pick a warmup prefix proportional to the gap the fast-forward legs span, so
+// long skips — which leave more stale μarch state per unit of warming — get
+// proportionally more detailed state-priming, while short gaps are not eaten
+// whole by warmup. The rule: 1/16 of the gap, at least 8192 cycles (the
+// BENCH_6 floor below which L2-resident workloads under-warm), capped at half
+// the gap so at least as much of each gap is skipped as is warmed. The
+// default geometry (8K windows every 128K) resolves to 8192, the long-time
+// fixed default.
+func AutoWarmupCycles(windowCycles, windowInterval uint64) uint64 {
+	if windowInterval <= windowCycles {
+		return 0
+	}
+	gap := windowInterval - windowCycles
+	warm := gap / 16
+	if warm < 8192 {
+		warm = 8192
+	}
+	if warm > gap/2 {
+		warm = gap / 2
+	}
+	return warm
+}
+
+// stitcher prices unmeasured instruction spans — a fast-forward leg plus the
+// warmup commits after it — by the windows that bracket them, not the
+// preceding window alone: real programs trend (imagick triples its IPC as its
+// compulsory-miss ramp drains), and one-sided pricing turns any trend into a
+// systematic cycle over- or under-estimate. Each pending span is settled
+// trapezoidally once the next window's CPI is known — the mean of the two
+// bracketing windows' prices — and warmup commits are priced at the window
+// they run contiguously into. A span the program ends inside is settled
+// one-sidedly at termination; a window that committed nothing cedes its side
+// of the bracket (falling back to CPI 1 only when neither side committed).
+// Both the serial and the checkpoint-parallel schedulers stitch through this
+// struct, so their estimates use identical arithmetic.
+type stitcher struct {
+	sr          *SampledRunStats
+	pendingExec uint64
+	pendingWarm uint64
+	havePending bool
+	prevCycles  uint64
+	prevCommits uint64
+}
+
+func stitchPrice(x, cyc, com uint64) (uint64, bool) {
+	if com == 0 {
+		return x, false
+	}
+	return mulDiv(x, cyc, com), true
+}
+
+// pend records an unmeasured span (exec fast-forwarded instructions, warm
+// warmup commits) bracketed on the left by a window of prevCycles/prevCommits.
+func (st *stitcher) pend(exec, warm, prevCycles, prevCommits uint64) {
+	st.pendingExec, st.pendingWarm = exec, warm
+	st.prevCycles, st.prevCommits = prevCycles, prevCommits
+	st.havePending = true
+}
+
+// settle prices the pending span against the right-bracket window (haveCur
+// false at end of program, when no right bracket exists).
+func (st *stitcher) settle(curCycles, curCommitted uint64, haveCur bool) {
+	if !st.havePending {
+		return
+	}
+	st.havePending = false
+	prev, prevOK := stitchPrice(st.pendingExec, st.prevCycles, st.prevCommits)
+	cur, curOK := stitchPrice(st.pendingExec, curCycles, curCommitted)
+	curOK = curOK && haveCur
+	switch {
+	case prevOK && curOK:
+		st.sr.FFRepresentedCycles += prev/2 + cur/2 + (prev%2+cur%2)/2
+	case curOK:
+		st.sr.FFRepresentedCycles += cur
+	default:
+		st.sr.FFRepresentedCycles += prev // prev falls back to CPI 1 itself
+	}
+	if w, ok := stitchPrice(st.pendingWarm, curCycles, curCommitted); ok && haveCur {
+		st.sr.WarmupRepresentedCycles += w
+	} else if w, ok := stitchPrice(st.pendingWarm, st.prevCycles, st.prevCommits); ok {
+		st.sr.WarmupRepresentedCycles += w
+	} else {
+		st.sr.WarmupRepresentedCycles += st.pendingWarm
+	}
+	st.pendingExec, st.pendingWarm = 0, 0
+}
 
 // runSampledCore is the sampled producer: it alternates detailed
 // measurement windows (emitted to consumer on a contiguous renumbered
@@ -145,51 +246,9 @@ func runSampledCore(ctx context.Context, core *cpu.Core, ff *program.FastForward
 		return core.Step(coreCycle, &rec), nil
 	}
 
-	// Unmeasured instructions — a fast-forward leg plus the warmup after it
-	// — are priced by the windows that bracket them, not the preceding
-	// window alone: real programs trend (imagick triples its IPC as its
-	// compulsory-miss ramp drains), and one-sided pricing turns any trend
-	// into a systematic cycle over- or under-estimate. Each leg is settled
-	// trapezoidally once the next window's CPI is known — the mean of the
-	// two bracketing windows' prices — and warmup commits are priced at the
-	// window they run contiguously into. A leg the program ends inside is
-	// settled one-sidedly at termination; a window that committed nothing
-	// cedes its side of the bracket (falling back to CPI 1 only when
-	// neither side committed).
-	var pendingExec, pendingWarm uint64
-	havePending := false
-	var prevWinCycles, prevWinCommitted uint64
-	price := func(x, cyc, com uint64) (uint64, bool) {
-		if com == 0 {
-			return x, false
-		}
-		return mulDiv(x, cyc, com), true
-	}
-	settle := func(curCycles, curCommitted uint64, haveCur bool) {
-		if !havePending {
-			return
-		}
-		havePending = false
-		prev, prevOK := price(pendingExec, prevWinCycles, prevWinCommitted)
-		cur, curOK := price(pendingExec, curCycles, curCommitted)
-		curOK = curOK && haveCur
-		switch {
-		case prevOK && curOK:
-			sr.FFRepresentedCycles += prev/2 + cur/2 + (prev%2+cur%2)/2
-		case curOK:
-			sr.FFRepresentedCycles += cur
-		default:
-			sr.FFRepresentedCycles += prev // prev falls back to CPI 1 itself
-		}
-		if w, ok := price(pendingWarm, curCycles, curCommitted); ok && haveCur {
-			sr.WarmupRepresentedCycles += w
-		} else if w, ok := price(pendingWarm, prevWinCycles, prevWinCommitted); ok {
-			sr.WarmupRepresentedCycles += w
-		} else {
-			sr.WarmupRepresentedCycles += pendingWarm
-		}
-		pendingExec, pendingWarm = 0, 0
-	}
+	// Unmeasured spans are priced trapezoidally by the windows that bracket
+	// them; see stitcher.
+	st := stitcher{sr: sr}
 
 	for !done {
 		// Measurement window: every cycle is emitted, renumbered onto
@@ -218,7 +277,7 @@ func runSampledCore(ctx context.Context, core *cpu.Core, ff *program.FastForward
 		sr.Windows++
 		winCycles := coreCycle - winStartCore
 		winCommitted := core.Stats().Committed - winStartCommits
-		settle(winCycles, winCommitted, true)
+		st.settle(winCycles, winCommitted, true)
 		if done {
 			break
 		}
@@ -253,9 +312,7 @@ func runSampledCore(ctx context.Context, core *cpu.Core, ff *program.FastForward
 		core.ArchCheckpoint(coreCycle)
 		exec, ffDone := core.FastForward(ff, skip)
 		sr.FFInstructions += exec
-		pendingExec = exec
-		havePending = true
-		prevWinCycles, prevWinCommitted = winCycles, winCommitted
+		st.pend(exec, 0, winCycles, winCommitted)
 		if ffDone {
 			// The program ended inside the leg; the checkpoint left
 			// the pipeline empty, so there is nothing to drain.
@@ -284,11 +341,11 @@ func runSampledCore(ctx context.Context, core *cpu.Core, ff *program.FastForward
 			sr.WarmupCyclesRun++
 			done = d
 		}
-		pendingWarm = core.Stats().Committed - warmStartCommits
+		st.pendingWarm = core.Stats().Committed - warmStartCommits
 	}
 	// A leg or warmup the program ended inside has no bracketing window on
 	// the right; settle it against the left window alone.
-	settle(0, 0, false)
+	st.settle(0, 0, false)
 
 	core.FinalizeStats(lastCommitCore)
 	stats := core.Stats()
@@ -312,12 +369,24 @@ func runSampledCore(ctx context.Context, core *cpu.Core, ff *program.FastForward
 // WindowCycles == WindowInterval the run is bit-identical to RunStreaming
 // (and to the two-pass captured path) at every layer. A nil ctx means
 // context.Background().
+//
+// With WindowWorkers >= 1 (and a non-zero gap) the windows are produced by
+// the checkpoint-parallel scheduler instead (see runSampledParallel): a
+// serial functional sweep snapshots warmed state at each window's warmup
+// start and a bounded worker pool runs the detailed legs concurrently. Its
+// output is byte-identical for every WindowWorkers value >= 1; it differs
+// slightly from the serial schedule (WindowWorkers == 0), which sizes each
+// fast-forward leg from the latest window's CPI, where the parallel sweep
+// must place all checkpoints using window 0's IPC.
 func RunSampled(ctx context.Context, w *Workload, rc RunConfig) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	fail := func(err error) (*Result, error) {
 		return nil, fmt.Errorf("tip: %s: %w", w.Name, err)
+	}
+	if rc.WarmupAuto {
+		rc.WarmupCycles = AutoWarmupCycles(rc.WindowCycles, rc.WindowInterval)
 	}
 	if err := ValidateSampled(rc); err != nil {
 		return fail(err)
@@ -338,8 +407,7 @@ func RunSampled(ctx context.Context, w *Workload, rc RunConfig) (*Result, error)
 	}
 	s := trace.NewStream(trace.StreamConfig{PilotCycles: pilotCycles})
 
-	core := newCore(rc.Core, w)
-	ff := program.NewFastForward(w.Prog)
+	parallel := rc.WindowWorkers >= 1 && rc.WindowCycles < rc.WindowInterval
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 	var stats CoreStats
@@ -347,7 +415,16 @@ func RunSampled(ctx context.Context, w *Workload, rc RunConfig) (*Result, error)
 	prodDone := make(chan struct{})
 	go func() {
 		defer close(prodDone)
-		st, sr, err := runSampledCore(runCtx, core, ff, rc, s)
+		var st CoreStats
+		var sr *SampledRunStats
+		var err error
+		if parallel {
+			st, sr, err = runSampledParallel(runCtx, w, rc, s)
+		} else {
+			core := newCore(rc.Core, w)
+			ff := program.NewFastForward(w.Prog)
+			st, sr, err = runSampledCore(runCtx, core, ff, rc, s)
+		}
 		if err != nil {
 			s.Fail(fmt.Errorf("%s: %w", w.Name, err))
 			return

@@ -193,6 +193,23 @@ type RunConfig struct {
 	// WarmupCycles must fit in WindowInterval (unless the two are equal,
 	// in which case no fast-forward ever happens and warmup is ignored).
 	WarmupCycles uint64
+	// WarmupAuto derives WarmupCycles from the fast-forward leg length
+	// instead of taking it literally: RunSampled resolves it to
+	// AutoWarmupCycles(WindowCycles, WindowInterval) before validation.
+	// Long fast-forward legs evict more warm state than the small-scale
+	// default warmup can rebuild (BENCH_6's sensitivity sweep under-warms
+	// 100M-cycle runs), so warmup should grow with the gap it follows.
+	WarmupAuto bool
+	// WindowWorkers selects checkpoint-parallel sampled simulation: a
+	// serial functional sweep snapshots the warmed state at each window's
+	// warmup start, and up to WindowWorkers worker cores run the detailed
+	// warmup+window legs concurrently, re-sequenced in schedule order.
+	// Output is byte-identical for every value >= 1 (the sweep, not
+	// execution order, defines each window's start state); 0 keeps the
+	// serial single-core schedule, whose estimate differs slightly (it
+	// sizes each leg from the latest window's CPI, the parallel sweep from
+	// window 0's). Ignored unless Sampled.
+	WindowWorkers int
 }
 
 // DefaultRunConfig returns the standard evaluation configuration.
