@@ -30,6 +30,17 @@
 //	    -d '{"cores":[{"bench":"mcf","scale":200000},{"bench":"x264","scale":200000}]}'
 //	curl -s -o mcf.pb.gz 'localhost:7171/v1/jobs/j00000002/pprof?profiler=TIP&core=0'
 //	go tool pprof -tags mcf.pb.gz   # samples labelled core=0
+//
+// Fleet: tipd also scales out. One instance runs as the coordinator
+// (-coordinator), consistent-hashing submissions by capture key across
+// worker instances that register with it (-join), all sharing one
+// content-addressed capture store (-store) so a capture simulated on any
+// node is served warm by every node:
+//
+//	tipd -coordinator -listen :7270 &
+//	tipd -listen :7271 -join http://localhost:7270 -store /var/tmp/tipstore &
+//	tipd -listen :7272 -join http://localhost:7270 -store /var/tmp/tipstore &
+//	curl -s localhost:7270/v1/jobs -d '{"bench":"imagick","scale":200000}'
 package main
 
 import (
@@ -37,12 +48,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/tipprof/tip/internal/fleet"
 	"github.com/tipprof/tip/internal/server"
 )
 
@@ -56,9 +70,34 @@ func main() {
 		spillDir     = flag.String("spill-dir", "", "persist the capture cache here across restarts (empty = off)")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job execution deadline")
 		retain       = flag.Int("retain", 256, "finished jobs kept for retrieval")
-		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before aborting them")
+
+		coordinator = flag.Bool("coordinator", false, "run as the fleet coordinator instead of a worker")
+		join        = flag.String("join", "", "coordinator URL to register with (worker joins the fleet)")
+		advertise   = flag.String("advertise", "", "URL the coordinator dials for this node (default http://<listen>)")
+		name        = flag.String("name", "", "fleet node name (default host:port of -listen)")
+		storeDir    = flag.String("store", "", "shared content-addressed capture store directory (empty = off)")
+		heartbeat   = flag.Duration("heartbeat", time.Second, "fleet heartbeat interval")
+		lameduck    = flag.Duration("lameduck", 0, "after drain, keep serving reads this long before closing HTTP")
 	)
+	drainTimeout := time.Minute
+	flag.DurationVar(&drainTimeout, "draintimeout", drainTimeout, "how long shutdown waits for in-flight jobs before aborting them")
+	flag.DurationVar(&drainTimeout, "drain-timeout", drainTimeout, "alias for -draintimeout")
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*listen, drainTimeout)
+		return
+	}
+
+	var store *fleet.Store
+	if *storeDir != "" {
+		var err error
+		store, err = fleet.OpenStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tipd:", err)
+			os.Exit(1)
+		}
+	}
 
 	s, err := server.New(server.Config{
 		Workers:         *workers,
@@ -68,6 +107,7 @@ func main() {
 		SpillDir:        *spillDir,
 		JobTimeout:      *jobTimeout,
 		MaxRetainedJobs: *retain,
+		Store:           store,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tipd:", err)
@@ -79,22 +119,120 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("tipd: serving on %s", *listen)
 
+	// Fleet membership: heartbeat our health to the coordinator so we stay
+	// on its ring. The same snapshot announces drain later.
+	var member *fleet.Member
+	beatCtx, stopBeats := context.WithCancel(context.Background())
+	defer stopBeats()
+	if *join != "" {
+		member = &fleet.Member{
+			Coordinator: strings.TrimRight(*join, "/"),
+			Name:        nodeName(*name, *listen),
+			URL:         advertiseURL(*advertise, *listen),
+			Interval:    *heartbeat,
+			Snapshot:    func() fleet.NodeHealth { return nodeHealth(s) },
+		}
+		go member.Run(beatCtx)
+		log.Printf("tipd: joined fleet at %s as %s (%s)", member.Coordinator, member.Name, member.URL)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("tipd: %s received, draining (timeout %s)", sig, *drainTimeout)
+		log.Printf("tipd: %s received, draining (timeout %s)", sig, drainTimeout)
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "tipd:", err)
 		os.Exit(1)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	// Drain sequence: stop accepting first and tell the coordinator so it
+	// routes new jobs elsewhere, then let accepted jobs finish (bounded by
+	// -draintimeout), then keep HTTP up through the lame-duck window so
+	// clients can still fetch the results of jobs we accepted — gate (c) of
+	// a fleet drain is that no accepted job is lost.
+	s.StartDrain()
+	if member != nil {
+		if err := member.Beat(beatCtx); err != nil {
+			log.Printf("tipd: drain heartbeat: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	hs.Shutdown(ctx)
-	if err := s.Shutdown(ctx); err != nil {
-		log.Printf("tipd: shutdown: %v", err)
+	drainErr := s.Shutdown(ctx)
+	if *lameduck > 0 {
+		log.Printf("tipd: drained, serving reads for %s", *lameduck)
+		time.Sleep(*lameduck)
+	}
+	stopBeats()
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	hs.Shutdown(hctx)
+	if drainErr != nil {
+		log.Printf("tipd: shutdown: %v", drainErr)
 		os.Exit(1)
 	}
 	log.Printf("tipd: drained cleanly")
+}
+
+// runCoordinator serves the fleet coordinator until SIGTERM.
+func runCoordinator(listen string, drainTimeout time.Duration) {
+	c := fleet.NewCoordinator(fleet.CoordinatorConfig{})
+	hs := &http.Server{Addr: listen, Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("tipd: coordinator serving on %s", listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("tipd: coordinator: %s received, shutting down", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "tipd:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	hs.Shutdown(ctx)
+}
+
+// nodeHealth maps the server's health snapshot onto the fleet heartbeat.
+func nodeHealth(s *server.Server) fleet.NodeHealth {
+	h := s.Health()
+	return fleet.NodeHealth{
+		CoreHash:     h.CoreHash,
+		Draining:     h.Draining,
+		QueueDepth:   h.QueueDepth,
+		QueueCap:     h.QueueCap,
+		Running:      h.Running,
+		Workers:      h.Workers,
+		CacheEntries: h.CacheEntries,
+		CacheBytes:   h.CacheBytes,
+	}
+}
+
+// nodeName defaults the fleet node name to the listen address with an
+// explicit host, so ":7171" and "0.0.0.0:7171" don't collide as names.
+func nodeName(name, listen string) string {
+	if name != "" {
+		return name
+	}
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return listen
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// advertiseURL picks the URL the coordinator dials: the explicit -advertise
+// if given, else http://<listen> with a loopback host filled in.
+func advertiseURL(adv, listen string) string {
+	if adv != "" {
+		return strings.TrimRight(adv, "/")
+	}
+	return "http://" + nodeName("", listen)
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoopbackFleetSmoke runs a small load against an in-process 2-worker
+// fleet and checks the report's gate fields: nothing lost, repeated keys
+// served warm, and every simulated capture shared through the store.
+func TestLoopbackFleetSmoke(t *testing.T) {
+	url, shutdown, err := spawnFleet(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	cfg := config{
+		target:     url,
+		clients:    4,
+		jobs:       12,
+		benches:    []string{"x264", "mcf"},
+		seeds:      1,
+		scale:      20_000,
+		samples:    256,
+		poll:       10 * time.Millisecond,
+		jobTimeout: time.Minute,
+		maxBackoff: 2 * time.Second,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != schemaVersion || rep.UniverseKeys != 2 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if rep.Completed != cfg.jobs || rep.Lost != 0 || rep.Failed != 0 {
+		t.Fatalf("completed=%d lost=%d failed=%d rejected=%d, want %d/0/0/0",
+			rep.Completed, rep.Lost, rep.Failed, rep.Rejected, cfg.jobs)
+	}
+	// 2 distinct keys: at most 2 simulations fleet-wide; every repeat-key
+	// job must be a cache or store hit.
+	if rep.Sources["simulated"] > 2 {
+		t.Fatalf("%d simulations for 2 keys: %+v", rep.Sources["simulated"], rep.Sources)
+	}
+	if rep.RepeatKeyJobs == 0 || rep.RepeatHitRate != 1.0 {
+		t.Fatalf("repeat keys %d hit rate %g, want all hits: %+v",
+			rep.RepeatKeyJobs, rep.RepeatHitRate, rep)
+	}
+	if rep.Latency.Count != cfg.jobs || rep.Latency.P99 <= 0 {
+		t.Fatalf("latency summary = %+v", rep.Latency)
+	}
+	if len(rep.PerNode) == 0 {
+		t.Fatalf("no per-node counts: %+v", rep.PerNode)
+	}
+}

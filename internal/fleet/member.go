@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Member is the worker side of fleet registration: a heartbeat loop that
+// pushes the node's health snapshot to the coordinator so it stays on the
+// ring. The snapshot callback reads live server state, so the same loop
+// that registers the node also announces drain (the snapshot flips
+// Draining) and the coordinator stops routing new jobs to it while reads
+// keep proxying.
+type Member struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Name and URL identify this node; URL is what the coordinator dials.
+	Name string
+	URL  string
+	// Interval is the heartbeat period (default 1s).
+	Interval time.Duration
+	// Snapshot fills the health fields (Name/URL are overwritten here).
+	Snapshot func() NodeHealth
+	// Client overrides the HTTP client (default: 5s timeout).
+	Client *http.Client
+}
+
+func (m *Member) client() *http.Client {
+	if m.Client != nil {
+		return m.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Beat sends one heartbeat immediately. Used on startup (register before
+// the first interval elapses) and on drain start (take the node off the
+// ring promptly instead of waiting out the interval).
+func (m *Member) Beat(ctx context.Context) error {
+	h := m.Snapshot()
+	h.Name = m.Name
+	h.URL = m.URL
+	body, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		m.Coordinator+"/fleet/v1/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: heartbeat: coordinator returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Run heartbeats until ctx is cancelled. Transient failures are retried at
+// the next tick — the registry's TTL is several intervals wide, so a node
+// only falls off the ring after sustained unreachability.
+func (m *Member) Run(ctx context.Context) {
+	interval := m.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	m.Beat(ctx)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Beat(ctx)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// NodeHealth is one worker's self-reported state, pushed to the coordinator
+// in every heartbeat and mirrored from tipd's /healthz fields so the
+// coordinator's routing decisions and a human's health probe read the same
+// signal.
+type NodeHealth struct {
+	// Name identifies the node on the ring; URL is how the coordinator
+	// reaches it.
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// CoreHash fingerprints the node's simulated core configuration.
+	// Captures are only interchangeable between nodes with equal hashes.
+	CoreHash string `json:"core_hash,omitempty"`
+	// Draining nodes are excluded from the ring (no new jobs) but keep
+	// serving reads while their in-flight jobs finish.
+	Draining     bool   `json:"draining"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap,omitempty"`
+	Running      int    `json:"running"`
+	Workers      int    `json:"workers"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheBytes   uint64 `json:"cache_bytes"`
+}
+
+// nodeState is the registry's record of one worker.
+type nodeState struct {
+	health   NodeHealth
+	lastSeen time.Time
+	assigned uint64 // jobs routed here as home node
+	stolen   uint64 // jobs routed here as a steal (home was saturated)
+}
+
+// registry tracks the live worker set from heartbeats and derives the hash
+// ring from it. A node disappears from the ring when it reports draining or
+// when its heartbeats stop for ttl; its record survives a while longer so
+// in-flight job reads still resolve to a URL.
+type registry struct {
+	mu    sync.Mutex
+	ttl   time.Duration
+	nodes map[string]*nodeState
+	ring  *Ring
+	dirty bool
+}
+
+func newRegistry(ttl time.Duration) *registry {
+	return &registry{ttl: ttl, nodes: map[string]*nodeState{}, ring: BuildRing(nil)}
+}
+
+// heartbeat records h (keyed by h.Name) and marks the ring dirty when
+// membership or drain state changed.
+func (r *registry) heartbeat(h NodeHealth, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ns := r.nodes[h.Name]
+	if ns == nil {
+		ns = &nodeState{}
+		r.nodes[h.Name] = ns
+		r.dirty = true
+	}
+	if ns.health.Draining != h.Draining || ns.health.URL != h.URL {
+		r.dirty = true
+	}
+	ns.health = h
+	ns.lastSeen = now
+}
+
+// ringLocked prunes expired nodes and rebuilds the ring if needed.
+// Caller holds r.mu.
+func (r *registry) ringLocked(now time.Time) *Ring {
+	for name, ns := range r.nodes {
+		if now.Sub(ns.lastSeen) > 4*r.ttl {
+			// Long gone: drop the record entirely.
+			delete(r.nodes, name)
+			r.dirty = true
+		}
+	}
+	if r.dirty {
+		var live []string
+		for name, ns := range r.nodes {
+			if !ns.health.Draining && now.Sub(ns.lastSeen) <= r.ttl {
+				live = append(live, name)
+			}
+		}
+		r.ring = BuildRing(live)
+		r.dirty = false
+	}
+	return r.ring
+}
+
+// owners returns up to n candidate nodes for key in preference order,
+// resolved to their URLs. Nodes that expired between ring rebuilds are
+// revalidated against ttl here.
+func (r *registry) owners(key string, n int, now time.Time) []NodeHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// An expiry can make the current ring stale without a heartbeat having
+	// marked it dirty; detect that before routing.
+	for _, ns := range r.nodes {
+		if !ns.health.Draining && now.Sub(ns.lastSeen) > r.ttl {
+			r.dirty = true
+			break
+		}
+	}
+	ring := r.ringLocked(now)
+	var out []NodeHealth
+	for _, name := range ring.Owners(key, n) {
+		if ns := r.nodes[name]; ns != nil {
+			out = append(out, ns.health)
+		}
+	}
+	return out
+}
+
+// url resolves a node name to its URL ("" if unknown).
+func (r *registry) url(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ns := r.nodes[name]; ns != nil {
+		return ns.health.URL
+	}
+	return ""
+}
+
+// routed bumps the assignment counters for a routing decision.
+func (r *registry) routed(name string, steal bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ns := r.nodes[name]; ns != nil {
+		if steal {
+			ns.stolen++
+		} else {
+			ns.assigned++
+		}
+	}
+}
+
+// NodeView is one row of the coordinator's /fleet/v1/nodes listing.
+type NodeView struct {
+	NodeHealth
+	LastSeenMS int64  `json:"last_seen_ms"`
+	OnRing     bool   `json:"on_ring"`
+	Assigned   uint64 `json:"assigned"`
+	Stolen     uint64 `json:"stolen"`
+}
+
+// views snapshots every known node, sorted by name by the caller.
+func (r *registry) views(now time.Time) []NodeView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ring := r.ringLocked(now)
+	onRing := map[string]bool{}
+	for _, name := range ring.Owners("", ring.Nodes()) {
+		onRing[name] = true
+	}
+	out := make([]NodeView, 0, len(r.nodes))
+	for name, ns := range r.nodes {
+		out = append(out, NodeView{
+			NodeHealth: ns.health,
+			LastSeenMS: now.Sub(ns.lastSeen).Milliseconds(),
+			OnRing:     onRing[name],
+			Assigned:   ns.assigned,
+			Stolen:     ns.stolen,
+		})
+	}
+	return out
+}

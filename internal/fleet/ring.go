@@ -1,0 +1,116 @@
+// Package fleet turns single-box tipd into a horizontally scaled profiling
+// service: a coordinator consistent-hashes jobs by capture key onto a fleet
+// of registered tipd workers, a content-addressed shared capture store lets
+// any node serve any warm key without re-simulating, and cold misses steal
+// to the second-choice node when the home node is saturated.
+//
+// The package deliberately has no dependency on internal/server: the
+// coordinator speaks tipd's HTTP API and the workers push their state to the
+// coordinator via heartbeats, so the two services stay separately deployable.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many virtual points each node contributes to the hash
+// ring. 128 keeps the per-node share close to uniform for small fleets
+// while keeping ring rebuilds trivially cheap.
+const ringVnodes = 128
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node names.
+// Keys map to the first point clockwise from their hash; Owners walks
+// further clockwise for failover candidates. Adding or removing one node
+// moves only the keys that hashed to its points — every other key keeps
+// its home node, which is what keeps per-node capture caches warm across
+// membership changes.
+type Ring struct {
+	points []ringPoint
+	nodes  int
+}
+
+// BuildRing constructs a ring over nodes (order-insensitive, duplicates
+// collapse). An empty node set yields an empty ring.
+func BuildRing(nodes []string) *Ring {
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes++
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", n, v)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes reports how many distinct nodes are on the ring.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Owners returns up to n distinct nodes responsible for key, in preference
+// order: the home node first, then the steal candidates encountered walking
+// clockwise. Returns nil on an empty ring.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > r.nodes {
+		n = r.nodes
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Owner returns the home node for key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV alone clusters badly on short, similar strings ("a#0", "a#1",
+	// ...), which skews ring shares by 3-4x; a splitmix64 finalizer
+	// scatters the points properly.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

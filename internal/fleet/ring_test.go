@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench%d:%d:%d", i%7, i, 100000)
+	}
+	return keys
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := BuildRing([]string{"a", "b", "c"})
+	if r.Nodes() != 3 {
+		t.Fatalf("Nodes() = %d, want 3", r.Nodes())
+	}
+	for _, key := range ringKeys(200) {
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 2) = %v, want 2 distinct", key, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q) repeated node %q", key, owners[0])
+		}
+		again := r.Owners(key, 2)
+		if owners[0] != again[0] || owners[1] != again[1] {
+			t.Fatalf("Owners(%q) unstable: %v then %v", key, owners, again)
+		}
+	}
+	// Asking for more owners than nodes caps at the node count.
+	if got := r.Owners("k", 10); len(got) != 3 {
+		t.Fatalf("Owners(k, 10) = %v, want all 3 nodes", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := BuildRing([]string{"a", "b", "c"})
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for node, n := range counts {
+		frac := float64(n) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.0f%% of keys, outside [15%%, 55%%]: %v", node, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the property consistent hashing buys: when a
+// node leaves, only its keys move — everyone else's home (and therefore
+// their warm capture caches) stays put.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := BuildRing([]string{"a", "b", "c"})
+	reduced := BuildRing([]string{"a", "b"})
+	for _, key := range ringKeys(1000) {
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != "c" && before != after {
+			t.Fatalf("key %q moved %s -> %s though its home never left", key, before, after)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := BuildRing(nil)
+	if r.Owner("k") != "" || r.Owners("k", 2) != nil || r.Nodes() != 0 {
+		t.Fatal("empty ring must own nothing")
+	}
+}

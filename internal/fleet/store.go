@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/trace"
+)
+
+// Store is the fleet's content-addressed shared capture store: a directory
+// (typically on shared storage) holding one <id>.trc per capture — exactly
+// the encoded stream trace.Capture.WriteTo emits, the same format tipd's
+// spill directory uses — plus an <id>.json sidecar carrying the replay
+// calibration stats and a SHA-256 of the payload.
+//
+// Captures are deterministic functions of their key (bench, seed, scale,
+// core-config hash — the golden-capture tests pin byte-identity), so the key
+// id doubles as the content address: two nodes racing to Put the same id
+// write identical bytes, last rename wins, and nothing ever needs
+// invalidating. Get verifies the payload hash so a torn or corrupted entry
+// reads as a miss, never as wrong data.
+type Store struct {
+	dir   string
+	warnf func(format string, args ...any)
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+}
+
+// storeMeta is the sidecar schema. CoreStats always carries one entry per
+// core (length 1 for single-core captures), unlike tipd's spill sidecar
+// which keeps a legacy scalar field; the store is new, so it doesn't carry
+// that compatibility shim.
+type storeMeta struct {
+	ID      string      `json:"id"`
+	Records uint64      `json:"records"`
+	Cycles  uint64      `json:"cycles"`
+	SHA256  string      `json:"sha256"`
+	Stats   []cpu.Stats `json:"core_stats"`
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: opening store: %w", err)
+	}
+	return &Store{dir: dir, warnf: log.Printf}, nil
+}
+
+// SetWarnf redirects corruption warnings (default log.Printf).
+func (st *Store) SetWarnf(f func(string, ...any)) { st.warnf = f }
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Get fetches the capture stored under id. It returns ok=false on any
+// miss — absent, unreadable, or failing integrity verification (the latter
+// with a warning); a store read must never be worse than re-simulating.
+func (st *Store) Get(id string) (*trace.Capture, []cpu.Stats, bool) {
+	metaData, err := os.ReadFile(filepath.Join(st.dir, id+".json"))
+	if err != nil {
+		st.misses.Add(1)
+		return nil, nil, false
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(metaData, &meta); err != nil || meta.ID != id || len(meta.Stats) == 0 {
+		st.warnf("fleet: store entry %s: corrupted sidecar, skipping (%v)", id, err)
+		st.misses.Add(1)
+		return nil, nil, false
+	}
+	enc, err := os.ReadFile(filepath.Join(st.dir, id+".trc"))
+	if err != nil {
+		st.misses.Add(1)
+		return nil, nil, false
+	}
+	sum := sha256.Sum256(enc)
+	if got := hex.EncodeToString(sum[:]); got != meta.SHA256 {
+		st.warnf("fleet: store entry %s: payload hash %s != sidecar %s, skipping", id, got, meta.SHA256)
+		st.misses.Add(1)
+		return nil, nil, false
+	}
+	capt, err := trace.NewCaptureFromEncoded(enc, meta.Records, meta.Cycles)
+	if err != nil {
+		st.warnf("fleet: store entry %s: undecodable payload, skipping (%v)", id, err)
+		st.misses.Add(1)
+		return nil, nil, false
+	}
+	st.hits.Add(1)
+	return capt, meta.Stats, true
+}
+
+// Put stores capt under id. Writes are atomic (temp file + rename, payload
+// before sidecar) so concurrent readers either see a complete entry or a
+// miss. Putting an id that already exists rewrites it with identical bytes.
+func (st *Store) Put(id string, capt *trace.Capture, stats []cpu.Stats) error {
+	var buf bytes.Buffer
+	h := sha256.New()
+	if _, err := capt.WriteTo(io.MultiWriter(&buf, h)); err != nil {
+		return fmt.Errorf("fleet: store put %s: %w", id, err)
+	}
+	if err := atomicWrite(filepath.Join(st.dir, id+".trc"), buf.Bytes()); err != nil {
+		return fmt.Errorf("fleet: store put %s: %w", id, err)
+	}
+	meta := storeMeta{
+		ID:      id,
+		Records: capt.Records(),
+		Cycles:  capt.Cycles(),
+		SHA256:  hex.EncodeToString(h.Sum(nil)),
+		Stats:   stats,
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet: store put %s: %w", id, err)
+	}
+	if err := atomicWrite(filepath.Join(st.dir, id+".json"), append(data, '\n')); err != nil {
+		return fmt.Errorf("fleet: store put %s: %w", id, err)
+	}
+	st.puts.Add(1)
+	return nil
+}
+
+// Counters returns (hits, misses, puts) for metrics exposition.
+func (st *Store) Counters() (hits, misses, puts uint64) {
+	return st.hits.Load(), st.misses.Load(), st.puts.Load()
+}
+
+// atomicWrite writes data to path via a uniquely named temp file in the
+// same directory plus rename, so readers never observe a partial file.
+func atomicWrite(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

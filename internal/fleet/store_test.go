@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	tip "github.com/tipprof/tip"
+	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/workload"
+)
+
+// testCapture simulates one tiny workload into a capture for store tests.
+func testCapture(t *testing.T) (*tip.TraceCapture, []cpu.Stats) {
+	t.Helper()
+	w, err := workload.LoadScaled("x264", 1, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt, stats, err := tip.CaptureWorkload(w, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { capt.Close() })
+	return capt, []cpu.Stats{stats}
+}
+
+// warnRecorder collects store warnings for assertions.
+type warnRecorder struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (wr *warnRecorder) warnf(format string, args ...any) {
+	wr.mu.Lock()
+	wr.msgs = append(wr.msgs, fmt.Sprintf(format, args...))
+	wr.mu.Unlock()
+}
+
+func (wr *warnRecorder) contains(sub string) bool {
+	wr.mu.Lock()
+	defer wr.mu.Unlock()
+	for _, m := range wr.msgs {
+		if strings.Contains(m, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt, stats := testCapture(t)
+	const id = "x264-1-20000-deadbeef"
+	if err := st.Put(id, capt, stats); err != nil {
+		t.Fatal(err)
+	}
+
+	got, gotStats, ok := st.Get(id)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	defer got.Close()
+	if len(gotStats) != 1 || gotStats[0] != stats[0] {
+		t.Fatalf("stats round trip: got %+v want %+v", gotStats, stats)
+	}
+	if got.Records() != capt.Records() || got.Cycles() != capt.Cycles() {
+		t.Fatalf("shape round trip: got %d/%d want %d/%d",
+			got.Records(), got.Cycles(), capt.Records(), capt.Cycles())
+	}
+	var a, b bytes.Buffer
+	if _, err := capt.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("stored capture not byte-identical to the original")
+	}
+
+	hits, misses, puts := st.Counters()
+	if hits != 1 || misses != 0 || puts != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 1/0/1", hits, misses, puts)
+	}
+}
+
+func TestStoreMissOnAbsent(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Get("nope"); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	if _, misses, _ := st.Counters(); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+}
+
+// TestStoreCorruptionIsAMiss flips bits in both the payload and the sidecar
+// and checks each reads as a warned miss — corruption on shared storage must
+// degrade to a re-simulation, never to wrong data or a crash.
+func TestStoreCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := &warnRecorder{}
+	st.SetWarnf(wr.warnf)
+	capt, stats := testCapture(t)
+	const id = "x264-1-20000-deadbeef"
+	if err := st.Put(id, capt, stats); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the payload: hash verification must reject it.
+	trcPath := filepath.Join(dir, id+".trc")
+	enc, err := os.ReadFile(trcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)/2] ^= 0xff
+	if err := os.WriteFile(trcPath, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Get(id); ok {
+		t.Fatal("Get returned a corrupted payload")
+	}
+	if !wr.contains("payload hash") {
+		t.Fatalf("no payload-hash warning logged: %v", wr.msgs)
+	}
+
+	// Restore the payload, corrupt the sidecar.
+	enc[len(enc)/2] ^= 0xff
+	if err := os.WriteFile(trcPath, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Get(id); !ok {
+		t.Fatal("restored entry should hit again")
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Get(id); ok {
+		t.Fatal("Get trusted a corrupted sidecar")
+	}
+	if !wr.contains("corrupted sidecar") {
+		t.Fatalf("no sidecar warning logged: %v", wr.msgs)
+	}
+}

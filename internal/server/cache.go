@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -90,15 +91,20 @@ type captureCache struct {
 	flights    map[string]chan struct{} // closed when the leader finishes
 	hits       uint64
 	misses     uint64
+	warnf      func(format string, args ...any)
 }
 
-func newCaptureCache(maxEntries int, maxBytes uint64) *captureCache {
+func newCaptureCache(maxEntries int, maxBytes uint64, warnf func(string, ...any)) *captureCache {
+	if warnf == nil {
+		warnf = log.Printf
+	}
 	return &captureCache{
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 		ll:         list.New(),
 		byKey:      map[string]*cacheEntry{},
 		flights:    map[string]chan struct{}{},
+		warnf:      warnf,
 	}
 }
 
@@ -271,9 +277,10 @@ func writeSpill(dir string, ent *cacheEntry) error {
 	return os.WriteFile(filepath.Join(dir, id+".json"), append(data, '\n'), 0o644)
 }
 
-// load restores persisted captures from dir (written by persist). Unknown
-// or unreadable files are skipped — the spill directory is a cache, not a
-// durability contract.
+// load restores persisted captures from dir (written by persist). Corrupted
+// or unreadable entries are skipped with a logged warning — the spill
+// directory is a cache, not a durability contract, so a bad entry must
+// never fail startup.
 func (c *captureCache) load(dir string) error {
 	names, err := os.ReadDir(dir)
 	if err != nil {
@@ -292,15 +299,22 @@ func (c *captureCache) load(dir string) error {
 	for _, name := range metas {
 		var meta spillMeta
 		data, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil || json.Unmarshal(data, &meta) != nil {
+		if err != nil {
+			c.warnf("tipd: spill sidecar %s: unreadable, skipping (%v)", name, err)
+			continue
+		}
+		if err := json.Unmarshal(data, &meta); err != nil {
+			c.warnf("tipd: spill sidecar %s: corrupted, skipping (%v)", name, err)
 			continue
 		}
 		enc, err := os.ReadFile(filepath.Join(dir, meta.Key.id()+".trc"))
 		if err != nil {
+			c.warnf("tipd: spill entry %s: missing payload, skipping (%v)", meta.Key.id(), err)
 			continue
 		}
 		capt, err := trace.NewCaptureFromEncoded(enc, meta.Records, meta.Cycles)
 		if err != nil {
+			c.warnf("tipd: spill entry %s: undecodable payload, skipping (%v)", meta.Key.id(), err)
 			continue
 		}
 		stats := meta.CoreStats

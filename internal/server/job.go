@@ -215,6 +215,11 @@ type job struct {
 	cancel   context.CancelFunc
 
 	cacheHit bool
+	// source records where the job's capture came from: "cache" (local LRU
+	// or a shared singleflight), "store" (pulled from the fleet's shared
+	// capture store), "simulated" (a fresh cycle-level simulation), or
+	// "sampled" (sampled jobs always simulate their windows).
+	source string
 	// timing reuses the experiments phase-split struct: capture vs replay
 	// wall-clock plus the replay worker count actually used.
 	timing experiments.Timing
@@ -222,12 +227,21 @@ type job struct {
 	outcome *jobOutcome
 }
 
+// Capture sources for job.source / jobOutcome.source.
+const (
+	sourceCache     = "cache"
+	sourceStore     = "store"
+	sourceSimulated = "simulated"
+	sourceSampled   = "sampled"
+)
+
 // jobOutcome is what a successful execution hands back to the server.
 // Exactly one of res (single-core) and multi (multicore) is set.
 type jobOutcome struct {
 	res      *tip.Result
 	multi    *tip.MulticoreResult
 	cacheHit bool
+	source   string
 	timing   experiments.Timing
 }
 
@@ -279,24 +293,36 @@ func (s *Server) executeJob(ctx context.Context, jb *job) (*jobOutcome, error) {
 		}
 		out.timing.Replay = time.Since(start)
 		out.res = res
+		out.source = sourceSampled
 		return out, nil
 	}
 
 	var fusedRes *tip.Result
+	fromStore := false
 	start := time.Now()
 	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, []tip.CoreStats, error) {
+		// Local miss: a warm fleet store beats re-simulating — any node's
+		// capture of this key is byte-identical to what we would produce.
+		if capt, stats, ok := s.storeGet(key); ok {
+			fromStore = true
+			return capt, stats, nil
+		}
 		res, capt, stats, err := tip.RunStreamingTee(ctx, w, rc)
 		if err != nil {
 			return nil, nil, err
 		}
+		s.met.simulationRan()
 		fusedRes = res
-		return capt, []tip.CoreStats{stats}, nil
+		allStats := []tip.CoreStats{stats}
+		s.storePut(key, capt, allStats)
+		return capt, allStats, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer s.cache.release(ent)
 	out.cacheHit = hit
+	out.source = captureSource(hit, fromStore)
 
 	if !hit && fusedRes != nil {
 		// Fused miss: this worker was the capture leader and the streaming
@@ -333,15 +359,27 @@ func (s *Server) executeMulticoreJob(ctx context.Context, spec JobSpec, rc tip.R
 		ws[i] = w
 	}
 	key := captureKey{Cores: coreSetHash(spec.Cores), Core: s.coreHash}
+	fromStore := false
 	start := time.Now()
 	ent, hit, err := s.cache.getOrCapture(ctx, key, func(ctx context.Context) (*tip.TraceCapture, []tip.CoreStats, error) {
-		return tip.CaptureMulticore(ctx, ws, rc.Core)
+		if capt, stats, ok := s.storeGet(key); ok {
+			fromStore = true
+			return capt, stats, nil
+		}
+		capt, stats, err := tip.CaptureMulticore(ctx, ws, rc.Core)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.met.simulationRan()
+		s.storePut(key, capt, stats)
+		return capt, stats, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer s.cache.release(ent)
 	out.cacheHit = hit
+	out.source = captureSource(hit, fromStore)
 	out.timing.Capture = time.Since(start)
 
 	repStart := time.Now()
@@ -352,6 +390,39 @@ func (s *Server) executeMulticoreJob(ctx context.Context, spec JobSpec, rc tip.R
 	}
 	out.multi = multi
 	return out, nil
+}
+
+// storeGet pulls key's capture from the shared store, if one is configured.
+func (s *Server) storeGet(key captureKey) (*tip.TraceCapture, []tip.CoreStats, bool) {
+	st := s.cfg.Store
+	if st == nil {
+		return nil, nil, false
+	}
+	return st.Get(key.id())
+}
+
+// storePut publishes a freshly simulated capture to the shared store,
+// best-effort: a failed publish costs the fleet a future warm hit, not this
+// job.
+func (s *Server) storePut(key captureKey, capt *tip.TraceCapture, stats []tip.CoreStats) {
+	st := s.cfg.Store
+	if st == nil {
+		return
+	}
+	if err := st.Put(key.id(), capt, stats); err != nil {
+		s.cfg.Logf("tipd: publishing %s to store: %v", key.id(), err)
+	}
+}
+
+func captureSource(hit, fromStore bool) string {
+	switch {
+	case hit:
+		return sourceCache
+	case fromStore:
+		return sourceStore
+	default:
+		return sourceSimulated
+	}
 }
 
 // --- JSON views ------------------------------------------------------------
@@ -414,23 +485,27 @@ type JobView struct {
 	State    string      `json:"state"`
 	Spec     JobSpec     `json:"spec"`
 	Error    string      `json:"error,omitempty"`
-	Created  time.Time   `json:"created"`
-	Started  *time.Time  `json:"started,omitempty"`
-	Finished *time.Time  `json:"finished,omitempty"`
-	CacheHit bool        `json:"cache_hit"`
-	Timing   *TimingView `json:"timing,omitempty"`
-	Result   *ResultView `json:"result,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	CacheHit bool       `json:"cache_hit"`
+	// CaptureSource says where the capture came from: "cache", "store",
+	// "simulated", or "sampled". Empty until the job finishes.
+	CaptureSource string      `json:"capture_source,omitempty"`
+	Timing        *TimingView `json:"timing,omitempty"`
+	Result        *ResultView `json:"result,omitempty"`
 }
 
 // view renders jb; the caller holds s.mu.
 func (s *Server) view(jb *job) JobView {
 	v := JobView{
-		ID:       jb.id,
-		State:    jb.state,
-		Spec:     jb.spec,
-		Error:    jb.errMsg,
-		Created:  jb.created,
-		CacheHit: jb.cacheHit,
+		ID:            jb.id,
+		State:         jb.state,
+		Spec:          jb.spec,
+		Error:         jb.errMsg,
+		Created:       jb.created,
+		CacheHit:      jb.cacheHit,
+		CaptureSource: jb.source,
 	}
 	if !jb.started.IsZero() {
 		t := jb.started

@@ -57,6 +57,7 @@ type metrics struct {
 	replaySeconds  *histogram
 	simCycles      uint64 // cycles simulated by cache-miss captures
 	replayCycles   uint64 // cycles streamed through replays
+	simulations    uint64 // full cycle-level capture simulations performed
 	lastCPS        float64
 }
 
@@ -78,6 +79,21 @@ func (m *metrics) jobRejected() {
 	m.mu.Lock()
 	m.rejected++
 	m.mu.Unlock()
+}
+
+// simulationRan counts one full cycle-level capture simulation — the thing
+// the capture cache and the shared store exist to avoid. The fleet CI gate
+// asserts a repeated key never moves this counter on any node.
+func (m *metrics) simulationRan() {
+	m.mu.Lock()
+	m.simulations++
+	m.mu.Unlock()
+}
+
+func (m *metrics) simulationCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.simulations
 }
 
 // jobFinished records a terminal transition. captureS/replayS are the phase
@@ -112,6 +128,10 @@ type gauges struct {
 	cacheMisses  uint64
 	cacheEntries int
 	cacheBytes   uint64
+	store        bool
+	storeHits    uint64
+	storeMisses  uint64
+	storePuts    uint64
 }
 
 // writeProm renders the full exposition page.
@@ -169,6 +189,21 @@ func (m *metrics) writeProm(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# HELP tipd_capture_cache_bytes Encoded bytes held by the capture cache.\n")
 	fmt.Fprintf(w, "# TYPE tipd_capture_cache_bytes gauge\n")
 	fmt.Fprintf(w, "tipd_capture_cache_bytes %d\n", g.cacheBytes)
+
+	fmt.Fprintf(w, "# HELP tipd_simulations_total Full cycle-level capture simulations performed (jobs not served by cache or store).\n")
+	fmt.Fprintf(w, "# TYPE tipd_simulations_total counter\n")
+	fmt.Fprintf(w, "tipd_simulations_total %d\n", m.simulations)
+	if g.store {
+		fmt.Fprintf(w, "# HELP tipd_store_hits_total Capture-cache misses served from the shared store.\n")
+		fmt.Fprintf(w, "# TYPE tipd_store_hits_total counter\n")
+		fmt.Fprintf(w, "tipd_store_hits_total %d\n", g.storeHits)
+		fmt.Fprintf(w, "# HELP tipd_store_misses_total Shared-store lookups that found nothing usable.\n")
+		fmt.Fprintf(w, "# TYPE tipd_store_misses_total counter\n")
+		fmt.Fprintf(w, "tipd_store_misses_total %d\n", g.storeMisses)
+		fmt.Fprintf(w, "# HELP tipd_store_puts_total Captures published to the shared store.\n")
+		fmt.Fprintf(w, "# TYPE tipd_store_puts_total counter\n")
+		fmt.Fprintf(w, "tipd_store_puts_total %d\n", g.storePuts)
+	}
 
 	fmt.Fprintf(w, "# HELP tipd_capture_seconds Capture-phase duration of completed jobs (cache hits observe ~0).\n")
 	fmt.Fprintf(w, "# TYPE tipd_capture_seconds histogram\n")

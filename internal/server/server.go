@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"reflect"
 	"runtime"
@@ -33,6 +34,7 @@ import (
 
 	tip "github.com/tipprof/tip"
 	"github.com/tipprof/tip/internal/cpu"
+	"github.com/tipprof/tip/internal/fleet"
 	"github.com/tipprof/tip/internal/pprofenc"
 )
 
@@ -60,6 +62,13 @@ type Config struct {
 	// Core is the simulated core configuration for every job (default
 	// Table 1). It is part of the capture-cache key.
 	Core cpu.Config
+	// Store, when set, is the fleet's shared capture store: cache misses
+	// try the store before simulating, and freshly simulated captures are
+	// published to it, so any node in a fleet serves any warm key.
+	Store *fleet.Store
+	// Logf receives operational warnings (corrupted spill entries, failed
+	// store publishes). Default log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c *Config) fill() error {
@@ -80,6 +89,9 @@ func (c *Config) fill() error {
 	}
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 256
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	// Only a fully zero core config selects the Table 1 default. Anything
 	// else must stand on its own: keying the decision on a single field
@@ -129,7 +141,7 @@ func New(cfg Config) (*Server, error) {
 		coreHash: coreConfigHash(cfg.Core),
 		jobs:     map[string]*job{},
 		queue:    make(chan *job, cfg.QueueDepth),
-		cache:    newCaptureCache(cfg.CacheEntries, cfg.CacheBytes),
+		cache:    newCaptureCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Logf),
 		met:      newMetrics(),
 		mux:      http.NewServeMux(),
 	}
@@ -197,6 +209,7 @@ func (s *Server) runJob(jb *job) {
 	case err == nil:
 		jb.outcome = out
 		jb.cacheHit = out.cacheHit
+		jb.source = out.source
 		jb.timing = out.timing
 	case errors.Is(err, context.Canceled):
 		state = stateCanceled
@@ -217,16 +230,40 @@ func (s *Server) runJob(jb *job) {
 		} else if jb.outcome.multi != nil {
 			cycles = jb.outcome.multi.TotalCycles
 		}
-		simulated = !jb.outcome.cacheHit
+		// A store pull is not a simulation: only fresh cycle-level runs
+		// (capture misses and sampled windows) count simulated cycles.
+		simulated = jb.outcome.source == sourceSimulated || jb.outcome.source == sourceSampled
 	}
 	s.met.jobFinished(state, jb.timing.Capture.Seconds(), jb.timing.Replay.Seconds(), cycles, simulated)
 	s.mu.Unlock()
 }
 
+// StartDrain marks the daemon draining: new submissions are refused with
+// 503, queued and running jobs keep executing, and reads keep being served.
+// Fleet workers call this (and push a draining heartbeat) before Shutdown so
+// the coordinator takes the node off the ring while its jobs finish.
+// Idempotent.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	s.startDrainLocked()
+	s.mu.Unlock()
+}
+
+func (s *Server) startDrainLocked() {
+	if s.draining {
+		return
+	}
+	s.draining = true
+	// Closing the queue lets the workers run every already-accepted job
+	// and then exit; handleSubmit stops adding to it once draining is set.
+	close(s.queue)
+}
+
 // Shutdown gracefully stops the daemon: new submissions are refused, queued
 // and running jobs drain, and the capture cache is persisted to the spill
 // directory. If ctx expires first, in-flight jobs are aborted via their
-// contexts and Shutdown returns ctx's error after they unwind.
+// contexts and Shutdown returns ctx's error after they unwind — ctx is the
+// drain-timeout bound, so a wedged job cannot hold shutdown forever.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.shutdown {
@@ -234,8 +271,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.shutdown = true
-	s.draining = true
-	close(s.queue)
+	s.startDrainLocked()
 	s.mu.Unlock()
 
 	done := make(chan struct{})
@@ -290,15 +326,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		created: time.Now(),
 	}
 	// Admission control: the queue send must not block — a full queue is
-	// a saturated service, and the client should back off and retry.
+	// a saturated service, and the client should back off and retry. The
+	// retry hint is jittered (fleet.RetryAfterMS) so the backed-off
+	// clients don't return in one synchronized storm, and the body carries
+	// the queue state so a fleet coordinator can treat the 429 as a steal
+	// signal.
 	select {
 	case s.queue <- jb:
 	default:
 		s.nextID--
+		depth, qcap := len(s.queue), s.cfg.QueueDepth
 		s.mu.Unlock()
 		s.met.jobRejected()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "job queue saturated; retry later")
+		ms := fleet.RetryAfterMS()
+		w.Header().Set("Retry-After", strconv.Itoa((ms+999)/1000))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":          "job queue saturated; retry later",
+			"retry_after_ms": ms,
+			"queue_depth":    depth,
+			"queue_cap":      qcap,
+		})
 		return
 	}
 	s.jobs[jb.id] = jb
@@ -497,22 +544,68 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cacheBytes:   bytes,
 	}
 	s.mu.Unlock()
+	if st := s.cfg.Store; st != nil {
+		g.store = true
+		g.storeHits, g.storeMisses, g.storePuts = st.Counters()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.writeProm(w, g)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	resp := map[string]any{
-		"ok":          true,
-		"draining":    s.draining,
-		"jobs":        len(s.jobs),
-		"queue_depth": len(s.queue),
-		"running":     s.running,
-		"workers":     s.cfg.Workers,
+// Health is the daemon's self-reported state: what /healthz serves, what a
+// fleet member pushes in heartbeats, and what a human probes — one struct so
+// all three read the same signal. The response stays a plain 200 regardless
+// of load or drain state, so liveness probes written against the old
+// endpoint keep working; drain is a field, not a status code.
+type Health struct {
+	OK           bool   `json:"ok"`
+	Draining     bool   `json:"draining"`
+	Jobs         int    `json:"jobs"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	Running      int    `json:"running"`
+	Workers      int    `json:"workers"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheBytes   uint64 `json:"cache_bytes"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Simulations  uint64 `json:"simulations"`
+	CoreHash     string `json:"core_hash"`
+	StoreEnabled bool   `json:"store"`
+	StoreHits    uint64 `json:"store_hits,omitempty"`
+	StoreMisses  uint64 `json:"store_misses,omitempty"`
+	StorePuts    uint64 `json:"store_puts,omitempty"`
+}
+
+// Health snapshots the daemon's state.
+func (s *Server) Health() Health {
+	hits, misses, entries, bytes := s.cache.counters()
+	h := Health{
+		OK:           true,
+		CacheEntries: entries,
+		CacheBytes:   bytes,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		Simulations:  s.met.simulationCount(),
+		CoreHash:     s.coreHash,
 	}
+	if st := s.cfg.Store; st != nil {
+		h.StoreEnabled = true
+		h.StoreHits, h.StoreMisses, h.StorePuts = st.Counters()
+	}
+	s.mu.Lock()
+	h.Draining = s.draining
+	h.Jobs = len(s.jobs)
+	h.QueueDepth = len(s.queue)
+	h.QueueCap = s.cfg.QueueDepth
+	h.Running = s.running
+	h.Workers = s.cfg.Workers
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
